@@ -1,0 +1,58 @@
+"""Ablation — destructive (paper-literal) vs non-destructive pruning.
+
+DESIGN.md documents that the paper's pseudocode prunes the live list,
+which is exact on 2-pin nets but a heuristic across branch merges.  This
+benchmark quantifies both sides on the scaled Table 1 nets: the speed
+gained by keeping only hull candidates, and the slack it risks.
+
+Run: ``pytest benchmarks/bench_ablation_pruning.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, scaled
+
+from repro.core.api import insert_buffers
+from repro.experiments.workloads import TABLE1_NETS, build_net
+from repro.library.generators import paper_library
+
+SPEC = scaled(TABLE1_NETS[1])
+LIBRARY_SIZE = 32
+
+
+@pytest.mark.parametrize("mode", ["keep-all", "destructive"])
+def test_pruning_mode_runtime(benchmark, mode):
+    tree = build_net(SPEC)
+    library = paper_library(LIBRARY_SIZE, jitter=0.03, seed=LIBRARY_SIZE)
+    benchmark.extra_info.update(mode=mode)
+    run_once(
+        benchmark,
+        insert_buffers,
+        tree,
+        library,
+        destructive_pruning=(mode == "destructive"),
+    )
+
+
+def test_pruning_mode_quality(benchmark):
+    """Destructive pruning must never win, and any loss is reported."""
+    library = paper_library(LIBRARY_SIZE, jitter=0.03, seed=LIBRARY_SIZE)
+
+    def compare():
+        gaps = []
+        for spec in TABLE1_NETS[:2]:
+            tree = build_net(scaled(spec))
+            exact = insert_buffers(tree, library)
+            paper_mode = insert_buffers(tree, library, destructive_pruning=True)
+            gaps.append((spec.name, exact.slack, paper_mode.slack))
+        return gaps
+
+    gaps = run_once(benchmark, compare)
+    print()
+    for name, exact, paper_mode in gaps:
+        loss_ps = (exact - paper_mode) / 1e-12
+        print(f"{name}: exact {exact/1e-12:.1f}ps, "
+              f"paper-literal {paper_mode/1e-12:.1f}ps, loss {loss_ps:.3f}ps")
+        assert paper_mode <= exact + 1e-16

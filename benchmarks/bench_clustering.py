@@ -1,0 +1,64 @@
+"""Motivation — library clustering (the pre-2005 workaround) measured.
+
+The paper's introduction: with hundreds of buffer types, the previous
+practice (Alpert et al., ICCAD 2000) was to cluster the library down to
+a few representatives, trading solution quality for speed.  The O(bn^2)
+algorithm removes the need.  This benchmark regenerates that trade-off:
+buffering with clustered libraries of 4..32 types versus the full 64,
+reporting runtime and slack loss.
+
+Run: ``pytest benchmarks/bench_clustering.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, scaled
+
+from repro.core.api import insert_buffers
+from repro.experiments.workloads import TABLE1_NETS, build_net
+from repro.library.clustering import cluster_library
+from repro.library.generators import paper_library
+
+SPEC = scaled(TABLE1_NETS[0])
+FULL_SIZE = 64
+TARGETS = (4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def full_library():
+    return paper_library(FULL_SIZE, jitter=0.05, seed=7)
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_clustered_library_runtime(benchmark, full_library, target):
+    tree = build_net(SPEC)
+    reduced = cluster_library(full_library, target, seed=0)
+    benchmark.extra_info.update(library_size=target)
+    run_once(benchmark, insert_buffers, tree, reduced, algorithm="fast")
+
+
+def test_clustering_quality_tradeoff(benchmark, full_library):
+    """Clustered libraries lose slack; the fast algorithm on the full
+    library needs no such sacrifice."""
+    tree = build_net(SPEC)
+
+    def sweep():
+        full = insert_buffers(tree, full_library)
+        losses = {}
+        for target in TARGETS:
+            reduced = cluster_library(full_library, target, seed=0)
+            result = insert_buffers(tree, reduced)
+            losses[target] = full.slack - result.slack
+        return full.slack, losses
+
+    full_slack, losses = run_once(benchmark, sweep)
+    print()
+    for target, loss in sorted(losses.items()):
+        print(f"b={target:>3}: slack loss vs full library "
+              f"{loss / 1e-12:.2f}ps")
+    # A clustered library can never beat the full library it came from.
+    assert all(loss >= -1e-16 for loss in losses.values())
+    # And the coarsest clustering hurts at least as much as the finest.
+    assert losses[4] >= losses[32] - 1e-16

@@ -1,0 +1,131 @@
+"""Extension benchmarks: wire sizing, polarity, segmenting quality.
+
+These back the library's beyond-the-paper features with measured
+evidence:
+
+* joint wire sizing (paper ref [7]) — runtime scales ~linearly with the
+  number of widths and the slack never degrades;
+* polarity-aware DP (inverters) — bounded overhead over the plain DP on
+  polarity-free instances;
+* wire segmenting (paper ref [1], Alpert & Devgan) — slack improves
+  with finer segmenting and saturates, motivating how the paper's
+  experiments choose n.
+
+Run: ``pytest benchmarks/bench_extensions.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, scaled
+
+from repro.core.api import insert_buffers
+from repro.core.polarity import insert_buffers_with_inverters
+from repro.experiments.workloads import TABLE1_NETS, build_net
+from repro.library.generators import mixed_paper_library, paper_library
+from repro.tree.builders import random_tree_net
+from repro.tree.node import Driver
+from repro.tree.segmenting import segment_tree
+from repro.units import ps
+from repro.wiresizing import default_wire_classes, size_wires_and_insert_buffers
+
+SPEC = scaled(TABLE1_NETS[0])
+
+
+@pytest.mark.parametrize("num_widths", [1, 2, 4])
+def test_wiresizing_runtime(benchmark, num_widths):
+    tree = build_net(SPEC)
+    library = paper_library(8, jitter=0.03, seed=8)
+    classes = default_wire_classes(num_widths)
+    benchmark.extra_info.update(num_widths=num_widths)
+    result = run_once(benchmark, size_wires_and_insert_buffers, tree,
+                      library, classes)
+    benchmark.extra_info["slack_ps"] = result.slack / 1e-12
+
+
+def test_wiresizing_quality_monotone(benchmark):
+    """More width choices can only help; measure the gain curve."""
+    tree = build_net(SPEC)
+    library = paper_library(8, jitter=0.03, seed=8)
+
+    def sweep():
+        return {
+            w: size_wires_and_insert_buffers(
+                tree, library, default_wire_classes(w)
+            ).slack
+            for w in (1, 2, 3, 4)
+        }
+
+    slacks = run_once(benchmark, sweep)
+    print()
+    base = slacks[1]
+    for w, slack in sorted(slacks.items()):
+        print(f"widths={w}: slack {slack/1e-12:.1f}ps "
+              f"(gain {(slack-base)/1e-12:+.1f}ps)")
+    ordered = [slacks[w] for w in sorted(slacks)]
+    assert ordered == sorted(ordered)
+
+
+@pytest.mark.parametrize("mode", ["plain", "polarity"])
+def test_polarity_overhead(benchmark, mode):
+    """The polarity DP on an all-positive net does the same optimization
+    with two lists; its overhead should be a small constant factor."""
+    tree = build_net(SPEC)
+    library = mixed_paper_library(16, inverter_fraction=0.0)
+    benchmark.extra_info.update(mode=mode)
+    if mode == "plain":
+        result = run_once(benchmark, insert_buffers, tree, library)
+        slack = result.slack
+    else:
+        result = run_once(benchmark, insert_buffers_with_inverters, tree,
+                          library)
+        slack = result.slack
+    benchmark.extra_info["slack_ps"] = slack / 1e-12
+
+
+def test_polarity_equivalence_on_positive_nets(benchmark):
+    tree = build_net(SPEC)
+    library = mixed_paper_library(8, inverter_fraction=0.0)
+
+    def both():
+        plain = insert_buffers(tree, library)
+        polarity = insert_buffers_with_inverters(tree, library)
+        return plain.slack, polarity.slack
+
+    plain_slack, polarity_slack = run_once(benchmark, both)
+    assert polarity_slack == pytest.approx(plain_slack, abs=1e-16)
+
+
+def test_segmenting_quality_saturates(benchmark):
+    """Alpert-Devgan: finer segmenting buys slack with diminishing
+    returns.  Sweep the segment length on one net."""
+    base = random_tree_net(24, seed=11, required_arrival=ps(1500.0),
+                           driver=Driver(200.0))
+    library = paper_library(8, jitter=0.03, seed=8)
+
+    def sweep():
+        results = {}
+        for length in (2000.0, 1000.0, 500.0, 250.0, 125.0):
+            tree = segment_tree(base, length)
+            results[length] = (
+                tree.num_buffer_positions,
+                insert_buffers(tree, library).slack,
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    slacks = []
+    for length in sorted(results, reverse=True):
+        positions, slack = results[length]
+        print(f"segment <= {length:6.0f}um: n={positions:>5}, "
+              f"slack {slack/1e-12:.1f}ps")
+        slacks.append(slack)
+    # Monotone improvement...
+    assert slacks == sorted(slacks)
+    # ...with diminishing returns: the last halving buys less than the
+    # first one.
+    first_gain = slacks[1] - slacks[0]
+    last_gain = slacks[-1] - slacks[-2]
+    assert last_gain <= first_gain + 1e-16

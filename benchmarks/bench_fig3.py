@@ -1,0 +1,53 @@
+"""Figure 3 — normalized running time versus library size b.
+
+Paper: on the m = 1944 / n = 33133 net, both algorithms' times grow
+roughly linearly in b, but the new algorithm's slope is much smaller
+(its add-buffer step is O(k + b) rather than O(b k)).  The benchmark
+regenerates the curve on the scaled net and asserts the slope ordering.
+
+Run: ``pytest benchmarks/bench_fig3.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, scaled
+
+from repro.core.api import insert_buffers
+from repro.experiments.figures import format_figure, run_fig3
+from repro.experiments.workloads import (
+    FIG3_LIBRARY_SIZES,
+    FIGURE_NET,
+    build_net,
+)
+from repro.library.generators import paper_library
+
+SPEC = scaled(FIGURE_NET)
+
+
+@pytest.mark.parametrize("size", FIG3_LIBRARY_SIZES)
+@pytest.mark.parametrize("algorithm", ["lillis", "fast"])
+def test_fig3_point(benchmark, size, algorithm):
+    tree = build_net(SPEC)
+    library = paper_library(size, jitter=0.03, seed=size)
+    benchmark.extra_info.update(library_size=size,
+                                positions=tree.num_buffer_positions)
+    run_once(benchmark, insert_buffers, tree, library, algorithm=algorithm)
+
+
+def test_fig3_claims(benchmark):
+    """The full sweep, normalized like the paper's y-axis."""
+    series = run_once(benchmark, run_fig3, spec=SPEC)
+    print()
+    print(format_figure(series))
+
+    lillis_slope, fast_slope = series.slopes()
+    # Both curves rise with b...
+    assert series.points[-1].lillis_normalized > series.points[0].lillis_normalized
+    assert series.points[-1].fast_normalized >= series.points[0].fast_normalized
+    # ...but the new algorithm's slope is clearly smaller (paper: ~5x).
+    assert fast_slope < 0.6 * lillis_slope
+    # At b = 64 the absolute times favour the new algorithm.
+    last = series.points[-1]
+    assert last.fast_seconds < last.lillis_seconds

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Slack-versus-cost Pareto frontier (the paper's closing remark).
+
+"Our algorithm can also be applied to reduce buffer cost" — this example
+runs the cost-stratified extension on a mid-size net and prints the full
+trade-off: how much slack each additional buffer buys, and the cheapest
+buffering meeting a timing target.
+
+Run: ``python examples/cost_tradeoff.py``
+"""
+
+from repro import Driver, paper_library, two_pin_net, unbuffered_slack
+from repro.cost import minimize_cost, slack_cost_frontier
+from repro.units import fF, ps, to_ps
+
+
+def main() -> None:
+    net = two_pin_net(
+        length=12_000.0,
+        sink_capacitance=fF(25.0),
+        required_arrival=ps(1500.0),
+        driver=Driver(resistance=250.0),
+        num_segments=24,
+    )
+    library = paper_library(8)
+
+    print(f"unbuffered slack: {to_ps(unbuffered_slack(net)):.1f} ps\n")
+    frontier = slack_cost_frontier(net, library)
+
+    print(f"{'buffers':>8}{'slack (ps)':>12}{'gain (ps)':>11}  types used")
+    previous = None
+    for point in frontier:
+        gain = "" if previous is None else f"{to_ps(point.slack - previous):.1f}"
+        types = sorted({b.name for b in point.assignment.values()})
+        print(f"{point.cost:>8}{to_ps(point.slack):>12.1f}{gain:>11}  "
+              f"{', '.join(types) if types else '-'}")
+        previous = point.slack
+
+    # Diminishing returns: the first buffer buys far more than the last.
+    if len(frontier) >= 3:
+        first_gain = frontier[1].slack - frontier[0].slack
+        last_gain = frontier[-1].slack - frontier[-2].slack
+        print(f"\nfirst buffer buys {to_ps(first_gain):.1f} ps, "
+              f"last buys {to_ps(last_gain):.1f} ps")
+
+    target = frontier[0].slack + 0.8 * (frontier[-1].slack - frontier[0].slack)
+    cheapest = minimize_cost(net, library, slack_target=target)
+    print(f"\ncheapest buffering reaching {to_ps(target):.1f} ps: "
+          f"{cheapest.cost} buffer(s), slack {to_ps(cheapest.slack):.1f} ps")
+
+
+if __name__ == "__main__":
+    main()

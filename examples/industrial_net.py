@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Industrial-like multi-pin net: the two algorithms head to head.
+
+Builds the scaled m = 194 net from the experiment harness (a stand-in
+for the paper's 1944-sink industrial case), buffers it with libraries of
+8..64 types using both the O(b^2 n^2) baseline and the O(b n^2)
+algorithm, and prints the Table-1-style comparison: identical optimal
+slacks, very different runtimes.
+
+Run: ``python examples/industrial_net.py`` (~30 s)
+"""
+
+from repro.experiments import TABLE1_NETS, build_net, format_table1, run_table1
+
+
+def main() -> None:
+    spec = TABLE1_NETS[1]  # scaled stand-in for the m = 1944 net
+    tree = build_net(spec)
+    print(f"net {spec.name}: m = {tree.num_sinks} sinks, "
+          f"n = {tree.num_buffer_positions} buffer positions "
+          f"(paper: m = {spec.paper_sinks}, n = 33133)")
+    print()
+
+    rows = run_table1(nets=[spec], library_sizes=(8, 16, 32, 64))
+    print(format_table1(rows))
+    print()
+
+    worst = max(rows, key=lambda r: r.library_size)
+    print(f"at b = {worst.library_size}: the O(bn^2) algorithm is "
+          f"{worst.speedup:.1f}x faster, and both algorithms agree on the "
+          f"optimal slack ({worst.slack_ps:.1f} ps) and use "
+          f"{worst.num_buffers} buffers.")
+
+
+if __name__ == "__main__":
+    main()

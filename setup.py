@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` can fall back to the legacy ``setup.py develop``
+path on offline machines where PEP 517 builds (which require the
+``wheel`` distribution) are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

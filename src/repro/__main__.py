@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro``."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

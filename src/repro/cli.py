@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the workflow a user needs without writing code:
+
+* ``generate`` — synthesize a net and/or a buffer library to JSON;
+* ``buffer``   — run an insertion algorithm on saved net + library and
+  print the report (optionally saving the assignment);
+* ``info``     — describe a saved net.
+
+Example session::
+
+    python -m repro generate --net net.json --sinks 50 --positions 400 \\
+                             --library lib.json --library-size 16
+    python -m repro buffer --net net.json --library lib.json --algorithm fast
+    python -m repro info --net net.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.api import ALGORITHMS, insert_buffers
+from repro.library.generators import paper_library
+from repro.report import describe_net, full_report, render_tree
+from repro.tree.builders import random_tree_net
+from repro.tree.io import (
+    library_from_dict,
+    library_to_dict,
+    load_tree,
+    save_tree,
+)
+from repro.tree.node import Driver
+from repro.tree.segmenting import segment_to_position_count
+from repro.units import ps
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal buffer insertion (Li & Shi, DATE 2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a net and/or library")
+    gen.add_argument("--net", type=Path, help="write the net JSON here")
+    gen.add_argument("--sinks", type=int, default=50, help="sink count m")
+    gen.add_argument("--positions", type=int, default=400,
+                     help="buffer-position count n (via wire segmenting)")
+    gen.add_argument("--seed", type=int, default=2005)
+    gen.add_argument("--driver-resistance", type=float, default=200.0)
+    gen.add_argument("--rat-ps", type=float, nargs=2, default=(500.0, 3000.0),
+                     metavar=("LO", "HI"),
+                     help="sink required-arrival window in picoseconds")
+    gen.add_argument("--library", type=Path, help="write the library JSON here")
+    gen.add_argument("--library-size", type=int, default=16, help="b")
+
+    buf = sub.add_parser("buffer", help="run buffer insertion")
+    buf.add_argument("--net", type=Path, required=True)
+    buf.add_argument("--library", type=Path, required=True)
+    buf.add_argument("--algorithm", choices=ALGORITHMS, default="fast")
+    buf.add_argument("--paper-pseudocode", action="store_true",
+                     help="use the paper's destructive Convexpruning "
+                          "(exact on 2-pin nets only)")
+    buf.add_argument("--output", type=Path,
+                     help="write the buffer assignment JSON here")
+    buf.add_argument("--show-tree", action="store_true",
+                     help="print an ASCII sketch with buffer markers")
+
+    info = sub.add_parser("info", help="describe a saved net")
+    info.add_argument("--net", type=Path, required=True)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.net is None and args.library is None:
+        print("generate: nothing to do (pass --net and/or --library)",
+              file=sys.stderr)
+        return 2
+    if args.net is not None:
+        lo, hi = args.rat_ps
+        tree = random_tree_net(
+            args.sinks,
+            seed=args.seed,
+            required_arrival=(ps(lo), ps(hi)),
+            driver=Driver(resistance=args.driver_resistance),
+        )
+        tree = segment_to_position_count(tree, args.positions)
+        save_tree(tree, args.net)
+        print(f"wrote net: m={tree.num_sinks} n={tree.num_buffer_positions} "
+              f"-> {args.net}")
+    if args.library is not None:
+        library = paper_library(args.library_size, jitter=0.03, seed=args.seed)
+        args.library.write_text(json.dumps(library_to_dict(library), indent=2))
+        print(f"wrote library: b={library.size} -> {args.library}")
+    return 0
+
+
+def _cmd_buffer(args: argparse.Namespace) -> int:
+    tree = load_tree(args.net)
+    library = library_from_dict(json.loads(args.library.read_text()))
+    options = {}
+    if args.paper_pseudocode:
+        if args.algorithm != "fast":
+            print("--paper-pseudocode only applies to --algorithm fast",
+                  file=sys.stderr)
+            return 2
+        options["destructive_pruning"] = True
+    result = insert_buffers(tree, library, algorithm=args.algorithm, **options)
+    print(full_report(tree, result))
+    if args.show_tree:
+        print()
+        print(render_tree(tree, result))
+    if args.output is not None:
+        payload = {
+            "slack_seconds": result.slack,
+            "algorithm": result.stats.algorithm,
+            "assignment": {
+                str(node_id): buffer.name
+                for node_id, buffer in sorted(result.assignment.items())
+            },
+        }
+        args.output.write_text(json.dumps(payload, indent=2))
+        print(f"\nwrote assignment -> {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    tree = load_tree(args.net)
+    print(describe_net(tree))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "buffer":
+        return _cmd_buffer(args)
+    if args.command == "info":
+        return _cmd_info(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The library's front door: :func:`insert_buffers`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.fast import insert_buffers_fast
+from repro.core.lillis import insert_buffers_lillis
+from repro.core.solution import BufferingResult
+from repro.core.van_ginneken import insert_buffers_van_ginneken
+from repro.errors import AlgorithmError
+from repro.library.library import BufferLibrary
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+#: Algorithms selectable by name.
+ALGORITHMS = ("fast", "lillis", "van_ginneken")
+
+
+def insert_buffers(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    algorithm: str = "fast",
+    driver: Optional[Driver] = None,
+    **options,
+) -> BufferingResult:
+    """Maximize slack by optimal buffer insertion.
+
+    This is the public entry point.  ``algorithm`` selects:
+
+    * ``"fast"`` (default) — the paper's O(b n^2) algorithm.  Accepts
+      ``destructive_pruning=True`` to run the literal DATE-2005
+      pseudocode (see :mod:`repro.core.fast`).
+    * ``"lillis"`` — the O(b^2 n^2) baseline.
+    * ``"van_ginneken"`` — the classic algorithm; requires ``b == 1``.
+
+    All algorithms return the same optimal slack; they differ in running
+    time only (that difference being the paper's entire point).
+
+    Args:
+        tree: A validated routing tree.
+        library: The buffer library.
+        algorithm: One of :data:`ALGORITHMS`.
+        driver: Source driver; defaults to ``tree.driver``; ``None``
+            means an ideal driver.
+        **options: Algorithm-specific flags.
+
+    Returns:
+        A :class:`~repro.core.solution.BufferingResult`.
+
+    Raises:
+        AlgorithmError: Unknown algorithm name or invalid options.
+    """
+    if algorithm == "fast":
+        return insert_buffers_fast(tree, library, driver=driver, **options)
+    if algorithm == "lillis":
+        if options:
+            raise AlgorithmError(f"unknown options for 'lillis': {sorted(options)}")
+        return insert_buffers_lillis(tree, library, driver=driver)
+    if algorithm == "van_ginneken":
+        if options:
+            raise AlgorithmError(
+                f"unknown options for 'van_ginneken': {sorted(options)}"
+            )
+        return insert_buffers_van_ginneken(tree, library, driver=driver)
+    raise AlgorithmError(
+        f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
+    )

@@ -1,0 +1,99 @@
+"""Exhaustive-enumeration oracle for tiny instances.
+
+Enumerates every assignment of {no buffer} union {allowed buffer types}
+over all buffer positions and measures each with the independent timing
+analysis in :mod:`repro.timing.buffered`.  Exponential, so guarded by an
+explicit combination budget; exists purely as ground truth for the unit
+and property tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.solution import BufferingResult, DPStats
+from repro.errors import AlgorithmError, TimingError
+from repro.library.buffer_type import BufferType
+from repro.library.library import BufferLibrary
+from repro.timing.buffered import evaluate_assignment
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+#: Refuse to enumerate more than this many assignments.
+DEFAULT_MAX_COMBINATIONS = 2_000_000
+
+
+def insert_buffers_brute_force(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    driver: Optional[Driver] = None,
+    max_combinations: int = DEFAULT_MAX_COMBINATIONS,
+) -> BufferingResult:
+    """Optimal buffering by exhaustive enumeration (test oracle).
+
+    Args:
+        tree: A validated routing tree (keep it tiny).
+        library: The buffer library.
+        driver: Source driver (defaults to ``tree.driver``).
+        max_combinations: Safety budget on the number of assignments.
+
+    Raises:
+        AlgorithmError: If the instance would exceed the budget.
+
+    Tie behaviour: among equally optimal assignments the one enumerated
+    first wins, which is *not* guaranteed to match the DP algorithms'
+    minimum-capacitance tie rule — tests compare slacks, not
+    assignments.
+    """
+    tree.validate()
+    driver = driver if driver is not None else tree.driver
+
+    positions = [node for node in tree.buffer_positions()]
+    choice_sets: List[List[Optional[BufferType]]] = []
+    total = 1
+    for node in positions:
+        choices: List[Optional[BufferType]] = [None]
+        choices.extend(b for b in library.buffers if node.permits(b.name))
+        choice_sets.append(choices)
+        total *= len(choices)
+        if total > max_combinations:
+            raise AlgorithmError(
+                f"brute force would enumerate > {max_combinations} assignments"
+            )
+
+    best_slack = float("-inf")
+    best_assignment: Dict[int, BufferType] = {}
+    evaluated = 0
+    for combo in itertools.product(*choice_sets):
+        assignment = {
+            node.node_id: buffer
+            for node, buffer in zip(positions, combo)
+            if buffer is not None
+        }
+        evaluated += 1
+        try:
+            report = evaluate_assignment(tree, assignment, driver)
+        except TimingError:
+            # Load-limit violation: an infeasible assignment, skip it.
+            continue
+        if report.slack > best_slack:
+            best_slack = report.slack
+            best_assignment = assignment
+
+    best_report = evaluate_assignment(tree, best_assignment, driver)
+    stats = DPStats(
+        algorithm="brute_force",
+        num_buffer_positions=len(positions),
+        library_size=library.size,
+        root_candidates=evaluated,
+        peak_list_length=evaluated,
+        candidates_generated=evaluated,
+        runtime_seconds=0.0,
+    )
+    return BufferingResult(
+        slack=best_slack,
+        assignment=best_assignment,
+        driver_load=best_report.driver_load,
+        stats=stats,
+    )

@@ -1,0 +1,198 @@
+"""The add-buffer operation: the one step the paper makes faster.
+
+Reaching a buffer position ``v`` with nonredundant candidate list
+``N(T_v)``, each buffer type ``B_i`` spawns one new candidate
+
+    beta_i = ( q = max over a of (q(a) - K_i - R_i * c(a)),  c = C_i )
+
+(paper Eq. 1), inserted alongside the unbuffered candidates.
+
+* :func:`generate_lillis` computes every ``beta_i`` by a full scan:
+  ``O(b * k)`` — the inner loop that makes Lillis, Cheng & Lin's
+  algorithm ``O(b^2 n^2)`` overall.
+
+* :func:`generate_fast` is the paper's contribution: convex-prune the
+  list (Lemma 3: every best candidate is on the hull), then walk the
+  hull once while iterating buffer types in non-increasing driving
+  resistance (Lemma 1: their best candidates move right monotonically;
+  Lemma 4: a local maximum on the hull is global).  Cost ``O(k + b)``.
+
+Both return the new candidates sorted by non-decreasing ``c`` and free of
+internal dominance, ready for the ``O(k + b)`` sorted-merge insertion of
+Theorem 2 (:func:`insert_candidates`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.candidate import (
+    BufferDecision,
+    Candidate,
+    CandidateList,
+)
+from repro.core.pruning import convex_prune, prune_dominated
+from repro.library.buffer_type import BufferType
+
+
+class BufferPlan:
+    """Per-node precomputation shared across the dynamic program.
+
+    Holds the node's allowed buffer types in the two orders the
+    operations need, so no per-visit sorting happens:
+
+    Attributes:
+        node_id: The buffer position this plan belongs to.
+        by_resistance_desc: Allowed buffers, non-increasing ``R``.
+        cap_order: Permutation such that iterating
+            ``by_resistance_desc[i] for i in cap_order`` yields
+            non-decreasing input capacitance (paper: "establish the
+            order from buffer index i to the order in C_b" once).
+    """
+
+    __slots__ = ("node_id", "by_resistance_desc", "cap_order")
+
+    def __init__(self, node_id: int, buffers: Sequence[BufferType]) -> None:
+        self.node_id = node_id
+        self.by_resistance_desc: Tuple[BufferType, ...] = tuple(
+            sorted(buffers, key=lambda b: (-b.driving_resistance, b.input_capacitance))
+        )
+        self.cap_order: Tuple[int, ...] = tuple(
+            sorted(
+                range(len(self.by_resistance_desc)),
+                key=lambda i: self.by_resistance_desc[i].input_capacitance,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.by_resistance_desc)
+
+
+def _scan_best(
+    candidates: CandidateList, resistance: float, max_load: float
+) -> Tuple[Candidate, float]:
+    """Min-c argmax of ``q - R c`` over candidates with ``c <= max_load``.
+
+    Returns ``(None, -inf)`` when no candidate is drivable.  Candidates
+    are c-sorted, so the scan stops at the load limit.
+    """
+    best = None
+    best_value = float("-inf")
+    for candidate in candidates:
+        if candidate.c > max_load:
+            break
+        value = candidate.q - resistance * candidate.c
+        if value > best_value:
+            best_value = value
+            best = candidate
+    return best, best_value
+
+
+def generate_lillis(candidates: CandidateList, plan: BufferPlan) -> CandidateList:
+    """All buffered candidates by exhaustive scan: ``O(b * k)``.
+
+    Ties in ``q(a) - R_i c(a)`` resolve to the minimum-``c`` candidate
+    (the scan runs in increasing ``c`` and only strict improvements move
+    the argmax), matching the paper's definition of the best candidate.
+    Buffer types with a ``max_load`` only consider candidates they can
+    legally drive; a type that can drive nothing emits no candidate.
+    """
+    if not candidates:
+        return []
+    betas: List[Optional[Candidate]] = [None] * len(plan.by_resistance_desc)
+    for index, buffer in enumerate(plan.by_resistance_desc):
+        limit = buffer.max_load if buffer.max_load is not None else float("inf")
+        best, best_value = _scan_best(candidates, buffer.driving_resistance, limit)
+        if best is None:
+            continue
+        betas[index] = Candidate(
+            q=best_value - buffer.intrinsic_delay,
+            c=buffer.input_capacitance,
+            decision=BufferDecision(plan.node_id, buffer, best.decision),
+        )
+    ordered = [betas[i] for i in plan.cap_order if betas[i] is not None]
+    return prune_dominated(ordered)
+
+
+def generate_fast(
+    candidates: CandidateList,
+    plan: BufferPlan,
+    hull: CandidateList = None,
+) -> CandidateList:
+    """All buffered candidates via the hull walk: ``O(k + b)``.
+
+    Args:
+        candidates: The nonredundant list ``N(T_v)`` (sorted).
+        plan: The node's buffer plan.
+        hull: Optionally a precomputed ``convex_prune(candidates)``
+            (the destructive mode reuses it as the surviving list).
+
+    The walk advances only on strict improvement, so on a plateau of
+    equal ``q - R c`` the leftmost (minimum ``c``) hull point wins —
+    the same tie rule as :func:`generate_lillis`, which the equivalence
+    tests rely on.
+
+    Buffer types with a ``max_load`` cannot use the hull shortcut: under
+    a load cap the constrained optimum may sit strictly inside the hull
+    (Lemma 3 needs all resistances to be feasible), so those types fall
+    back to a prefix scan of the full list.  Unconstrained types — the
+    DATE-2005 setting — keep the O(k + b) walk.
+    """
+    if not candidates:
+        return []
+    if hull is None:
+        hull = convex_prune(candidates)
+    betas: List[Optional[Candidate]] = [None] * len(plan.by_resistance_desc)
+    pointer = 0
+    last = len(hull) - 1
+    for index, buffer in enumerate(plan.by_resistance_desc):
+        resistance = buffer.driving_resistance
+        if buffer.max_load is not None:
+            current, value = _scan_best(candidates, resistance, buffer.max_load)
+            if current is None:
+                continue
+        else:
+            current = hull[pointer]
+            value = current.q - resistance * current.c
+            while pointer < last:
+                following = hull[pointer + 1]
+                next_value = following.q - resistance * following.c
+                if next_value <= value:
+                    break
+                pointer += 1
+                current = following
+                value = next_value
+        betas[index] = Candidate(
+            q=value - buffer.intrinsic_delay,
+            c=buffer.input_capacitance,
+            decision=BufferDecision(plan.node_id, buffer, current.decision),
+        )
+    ordered = [betas[i] for i in plan.cap_order if betas[i] is not None]
+    return prune_dominated(ordered)
+
+
+def insert_candidates(
+    candidates: CandidateList, new_candidates: CandidateList
+) -> CandidateList:
+    """Theorem 2: merge the ``beta_i`` into the list in ``O(k + b)``.
+
+    Both inputs must be sorted by non-decreasing ``c``; the result is
+    the nonredundant union, sorted by strictly increasing ``c`` and
+    ``q``.
+    """
+    if not new_candidates:
+        return candidates
+    if not candidates:
+        return prune_dominated(new_candidates)
+    merged: CandidateList = []
+    i = j = 0
+    while i < len(candidates) and j < len(new_candidates):
+        if candidates[i].c <= new_candidates[j].c:
+            merged.append(candidates[i])
+            i += 1
+        else:
+            merged.append(new_candidates[j])
+            j += 1
+    merged.extend(candidates[i:])
+    merged.extend(new_candidates[j:])
+    return prune_dominated(merged)

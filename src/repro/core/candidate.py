@@ -1,0 +1,148 @@
+"""Candidates: (Q, C) points with decision provenance.
+
+A *candidate* for a subtree ``T_v`` (paper Section 2) is one way of
+buffering ``T_v``, summarized upstream by two numbers:
+
+* ``q`` — the slack at ``v`` under that buffering, and
+* ``c`` — the downstream capacitance seen at ``v``.
+
+Candidate ``a`` *dominates* ``a'`` when ``q(a) >= q(a')`` and
+``c(a) <= c(a')``.  Every algorithm keeps, per subtree, the list of
+nonredundant candidates sorted by strictly increasing ``c`` *and*
+strictly increasing ``q`` — the representation all operations in
+:mod:`repro.core` assume and preserve.
+
+Each candidate also carries a *decision*, a node in a persistent DAG
+recording how it was formed, so the winning candidate at the root can be
+expanded into an explicit buffer assignment
+(:func:`reconstruct_assignment`).  Wires do not create decisions (they
+place no buffers); sinks, buffer insertions and branch merges do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.library.buffer_type import BufferType
+
+
+class SinkDecision:
+    """Terminal decision: the base candidate of a sink."""
+
+    __slots__ = ("node_id",)
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def __repr__(self) -> str:
+        return f"SinkDecision({self.node_id})"
+
+
+class BufferDecision:
+    """A buffer of type ``buffer`` inserted at ``node_id``.
+
+    ``below`` is the decision of the candidate the buffer was applied to
+    (the best candidate of the subtree hanging under the buffer).
+    """
+
+    __slots__ = ("node_id", "buffer", "below")
+
+    def __init__(self, node_id: int, buffer: BufferType, below: "Decision") -> None:
+        self.node_id = node_id
+        self.buffer = buffer
+        self.below = below
+
+    def __repr__(self) -> str:
+        return f"BufferDecision({self.node_id}, {self.buffer.name})"
+
+
+class MergeDecision:
+    """Two sibling branch candidates joined at a branching vertex."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: "Decision", right: "Decision") -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return "MergeDecision(...)"
+
+
+Decision = Union[SinkDecision, BufferDecision, MergeDecision]
+
+
+class Candidate:
+    """A (Q, C) candidate with provenance.
+
+    Attributes:
+        q: Slack at the subtree root under this candidate, seconds.
+        c: Downstream capacitance at the subtree root, farads.
+        decision: Provenance DAG node for assignment reconstruction.
+
+    ``q`` and ``c`` are mutated in place by the add-wire operation (the
+    owning list is private to the dynamic program); every other operation
+    builds fresh candidates.
+    """
+
+    __slots__ = ("q", "c", "decision")
+
+    def __init__(self, q: float, c: float, decision: Decision) -> None:
+        self.q = q
+        self.c = c
+        self.decision = decision
+
+    def dominates(self, other: "Candidate") -> bool:
+        """Paper Section 2: at least as much slack for no more load."""
+        return self.q >= other.q and self.c <= other.c
+
+    def __repr__(self) -> str:
+        return f"Candidate(q={self.q:.4e}, c={self.c:.4e})"
+
+
+CandidateList = List[Candidate]
+
+
+def reconstruct_assignment(decision: Decision) -> Dict[int, BufferType]:
+    """Expand a decision DAG into ``{node_id: buffer_type}``.
+
+    Iterative (decision chains are as deep as the tree) and linear in the
+    number of buffers plus merges.
+    """
+    assignment: Dict[int, BufferType] = {}
+    stack: List[Decision] = [decision]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BufferDecision):
+            assignment[node.node_id] = node.buffer
+            stack.append(node.below)
+        elif isinstance(node, MergeDecision):
+            stack.append(node.left)
+            stack.append(node.right)
+        # SinkDecision carries no buffers.
+    return assignment
+
+
+def best_candidate_for_driver(
+    candidates: CandidateList,
+    resistance: float,
+) -> Optional[Candidate]:
+    """The candidate maximizing ``q - R * c``.
+
+    Ties are broken toward minimum ``c`` (the paper's convention).  For
+    a sorted candidate list this is what the source driver — or a
+    prospective buffer — sees as the best buffering of the subtree.
+    An intrinsic delay term would shift every value equally, so it never
+    changes the argmax and is not a parameter here.
+
+    Returns ``None`` for an empty list.
+    """
+    best: Optional[Candidate] = None
+    best_value = float("-inf")
+    for candidate in candidates:
+        value = candidate.q - resistance * candidate.c
+        # Strict improvement keeps the earliest (minimum-c) maximizer.
+        if value > best_value:
+            best_value = value
+            best = candidate
+    return best

@@ -1,0 +1,167 @@
+"""The bottom-up dynamic program shared by every insertion algorithm.
+
+The engine walks the tree in post-order maintaining, per subtree, the
+sorted nonredundant candidate list of Section 2.  The three operations
+are exactly the paper's:
+
+1. *add buffer* at a buffer position — pluggable (this is where the
+   algorithms differ);
+2. *add wire* when moving a child's list up through its incoming edge;
+3. *merge* sibling branch lists at branching vertices.
+
+At the root the driver turns the list into a single slack number, and
+the winning candidate's decision DAG is expanded into an explicit
+:class:`~repro.core.solution.BufferingResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.core.buffer_ops import BufferPlan
+from repro.core.candidate import (
+    Candidate,
+    CandidateList,
+    SinkDecision,
+    best_candidate_for_driver,
+    reconstruct_assignment,
+)
+from repro.core.solution import BufferingResult, DPStats
+from repro.errors import AlgorithmError
+from repro.library.library import BufferLibrary
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+#: Signature of an add-buffer operation: takes the node's current
+#: candidate list and its :class:`BufferPlan`, returns the new full list
+#: (old and new candidates, nonredundant, sorted).
+AddBufferOp = Callable[[CandidateList, BufferPlan], CandidateList]
+
+
+def build_plans(tree: RoutingTree, library: BufferLibrary) -> Dict[int, BufferPlan]:
+    """Precompute a :class:`BufferPlan` per buffer position.
+
+    Nodes that allow the whole library share one plan object; restricted
+    nodes get a plan for their subset.  This mirrors the paper's one-off
+    ``O(b log b)`` library sort outside the main loop.
+    """
+    full_plan = BufferPlan(-1, library.buffers)
+    plans: Dict[int, BufferPlan] = {}
+    for node in tree.buffer_positions():
+        if node.allowed_buffers is None:
+            # Share the full-library orders; only the node id differs and
+            # the id inside the plan is used for decision records, so a
+            # per-node shallow plan is built from the shared tuples.
+            plan = BufferPlan.__new__(BufferPlan)
+            plan.node_id = node.node_id
+            plan.by_resistance_desc = full_plan.by_resistance_desc
+            plan.cap_order = full_plan.cap_order
+        else:
+            allowed = [b for b in library.buffers if b.name in node.allowed_buffers]
+            if not allowed:
+                continue  # effectively not a buffer position
+            plan = BufferPlan(node.node_id, allowed)
+        plans[node.node_id] = plan
+    return plans
+
+
+def run_dynamic_program(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    add_buffer: AddBufferOp,
+    algorithm: str,
+    driver: Optional[Driver] = None,
+    add_wire: Optional[Callable[[CandidateList, float, float], CandidateList]] = None,
+    merge: Optional[Callable[[CandidateList, CandidateList], CandidateList]] = None,
+) -> BufferingResult:
+    """Run the bottom-up DP and return the optimal buffering.
+
+    Args:
+        tree: A validated routing tree.
+        library: The buffer library (defines ``b``).
+        add_buffer: The pluggable add-buffer operation.
+        algorithm: Name recorded in the result.
+        driver: Source driver; defaults to ``tree.driver``; ``None``
+            means an ideal driver (slack is simply the best ``q``).
+        add_wire, merge: Overrides for the other two operations (used by
+            instrumentation and the cost extension); default to the
+            standard ones.
+
+    Raises:
+        AlgorithmError: If the tree fails validation.
+    """
+    from repro.core.merge import merge_branches as default_merge
+    from repro.core.wire_ops import add_wire as default_add_wire
+
+    add_wire = add_wire if add_wire is not None else default_add_wire
+    merge = merge if merge is not None else default_merge
+
+    try:
+        tree.validate()
+    except Exception as exc:
+        raise AlgorithmError(f"invalid routing tree: {exc}") from exc
+
+    driver = driver if driver is not None else tree.driver
+    plans = build_plans(tree, library)
+    started = time.perf_counter()
+
+    lists: Dict[int, CandidateList] = {}
+    peak_length = 0
+    candidates_generated = 0
+
+    for node_id in tree.postorder():
+        node = tree.node(node_id)
+        if node.is_sink:
+            current: CandidateList = [
+                Candidate(
+                    q=node.required_arrival,
+                    c=node.capacitance,
+                    decision=SinkDecision(node_id),
+                )
+            ]
+            candidates_generated += 1
+        else:
+            branch_lists: List[CandidateList] = []
+            for child in tree.children_of(node_id):
+                edge = tree.edge_to(child)
+                child_list = lists.pop(child)
+                branch_lists.append(
+                    add_wire(child_list, edge.resistance, edge.capacitance)
+                )
+            current = branch_lists[0]
+            for other in branch_lists[1:]:
+                current = merge(current, other)
+                candidates_generated += len(current)
+            plan = plans.get(node_id)
+            if plan is not None:
+                before = len(current)
+                current = add_buffer(current, plan)
+                candidates_generated += max(len(current) - before, 0)
+
+        if len(current) > peak_length:
+            peak_length = len(current)
+        lists[node_id] = current
+
+    root_list = lists[tree.root_id]
+    resistance = driver.resistance if driver is not None else 0.0
+    best = best_candidate_for_driver(root_list, resistance)
+    assert best is not None  # a validated tree always yields candidates
+    slack = best.q - (driver.delay(best.c) if driver is not None else 0.0)
+
+    elapsed = time.perf_counter() - started
+    stats = DPStats(
+        algorithm=algorithm,
+        num_buffer_positions=tree.num_buffer_positions,
+        library_size=library.size,
+        root_candidates=len(root_list),
+        peak_list_length=peak_length,
+        candidates_generated=candidates_generated,
+        runtime_seconds=elapsed,
+    )
+    return BufferingResult(
+        slack=slack,
+        assignment=reconstruct_assignment(best.decision),
+        driver_load=best.c,
+        stats=stats,
+    )

@@ -1,0 +1,52 @@
+"""The branch-merge operation of the dynamic program.
+
+At a branching vertex the candidate lists of two child branches combine:
+a joint candidate loads the vertex with ``c_l + c_r`` and its slack is
+the worse branch, ``min(q_l, q_r)``.  Only pairings in which the
+smaller-``q`` side is matched with the cheapest adequate partner can be
+nonredundant, which the classic two-pointer walk enumerates directly in
+``O(k_l + k_r)`` — the paper's third major operation.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidate import Candidate, CandidateList, MergeDecision
+from repro.core.pruning import prune_dominated
+
+
+def merge_branches(left: CandidateList, right: CandidateList) -> CandidateList:
+    """Merge two sorted nonredundant branch lists into one.
+
+    Both inputs must be sorted by strictly increasing ``c`` and ``q``;
+    so is the output.  Each output candidate records a
+    :class:`MergeDecision` pairing its two provenance decisions.
+    """
+    if not left or not right:
+        # An empty branch list cannot occur for well-formed subtrees (a
+        # subtree always has at least its unbuffered candidate), but the
+        # identity behaviour is the sane degenerate answer.
+        return left or right
+
+    merged: CandidateList = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i], right[j]
+        merged.append(
+            Candidate(
+                q=min(a.q, b.q),
+                c=a.c + b.c,
+                decision=MergeDecision(a.decision, b.decision),
+            )
+        )
+        # Advance the binding (smaller-q) side; on a tie advance both,
+        # since keeping either pointer would only raise c at the same q.
+        if a.q < b.q:
+            i += 1
+        elif b.q < a.q:
+            j += 1
+        else:
+            i += 1
+            j += 1
+    # Once one list is exhausted, pairing the other's remaining (higher
+    # c, higher q) candidates cannot raise min(q) further: dominated.
+    return prune_dominated(merged)

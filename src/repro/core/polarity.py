@@ -1,0 +1,247 @@
+"""Polarity-aware buffer insertion: inverters and signal-phase sinks.
+
+Real libraries are dominated by *inverters* (smaller and faster than
+back-to-back buffer pairs), and real nets have sinks that want the
+inverted phase.  Lillis, Cheng & Lin's formulation handles this by
+keeping, per subtree, one nonredundant candidate list for each signal
+polarity at the subtree root; the DATE-2005 hull-walk speedup applies to
+each list unchanged.  This module implements that extension on top of
+the same operation kit as :mod:`repro.core.dp`.
+
+Semantics: ``lists[+1]`` holds candidates that are valid when the signal
+*arriving at the subtree root* has the source's polarity; ``lists[-1]``
+when it arrives inverted.
+
+* A sink with polarity ``p`` seeds ``lists[p]`` only.
+* Wires transform both lists.
+* A branch merge combines same-polarity lists (both branches see the
+  same arriving signal); a polarity with an empty list in either branch
+  stays empty.
+* A non-inverting type buffers ``lists[p]`` into ``lists[p]``; an
+  inverting type buffers ``lists[p]`` into ``lists[-p]``.
+* The driver is non-inverting, so the answer is read from ``lists[+1]``
+  at the root; if that list is empty the instance is infeasible (e.g. a
+  negative sink with no inverter in the library).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.buffer_ops import (
+    BufferPlan,
+    generate_fast,
+    generate_lillis,
+    insert_candidates,
+)
+from repro.core.candidate import (
+    Candidate,
+    CandidateList,
+    SinkDecision,
+    best_candidate_for_driver,
+    reconstruct_assignment,
+)
+from repro.core.merge import merge_branches
+from repro.core.solution import BufferingResult, DPStats
+from repro.core.wire_ops import add_wire
+from repro.errors import AlgorithmError, InfeasibleError
+from repro.library.buffer_type import BufferType
+from repro.library.library import BufferLibrary
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+#: Per-subtree state: candidate list per arriving-signal polarity.
+PolarityLists = Dict[int, CandidateList]
+
+_POLARITIES = (1, -1)
+
+
+class _PolarityPlans:
+    """Per-node buffer plans split by inverting / non-inverting types."""
+
+    __slots__ = ("non_inverting", "inverting")
+
+    def __init__(self, node_id: int, buffers: List[BufferType]) -> None:
+        non_inv = [b for b in buffers if not b.inverting]
+        inv = [b for b in buffers if b.inverting]
+        self.non_inverting = BufferPlan(node_id, non_inv) if non_inv else None
+        self.inverting = BufferPlan(node_id, inv) if inv else None
+
+
+def _build_polarity_plans(
+    tree: RoutingTree, library: BufferLibrary
+) -> Dict[int, _PolarityPlans]:
+    plans: Dict[int, _PolarityPlans] = {}
+    for node in tree.buffer_positions():
+        allowed = [
+            b for b in library.buffers
+            if node.allowed_buffers is None or b.name in node.allowed_buffers
+        ]
+        if allowed:
+            plans[node.node_id] = _PolarityPlans(node.node_id, allowed)
+    return plans
+
+
+def verify_polarities(
+    tree: RoutingTree, assignment: Dict[int, BufferType]
+) -> bool:
+    """Whether ``assignment`` delivers every sink its required polarity.
+
+    The source emits polarity +1; each inverting cell on the path flips
+    it.  Independent of the DP — used as the oracle in tests.
+    """
+    polarity_at: Dict[int, int] = {tree.root_id: 1}
+    for node_id in tree.preorder():
+        if node_id == tree.root_id:
+            continue
+        parent = tree.edge_to(node_id).parent
+        polarity = polarity_at[parent]
+        buffer = assignment.get(node_id)
+        if buffer is not None and buffer.inverting:
+            polarity = -polarity
+        polarity_at[node_id] = polarity
+    return all(
+        polarity_at[sink.node_id] == sink.polarity for sink in tree.sinks()
+    )
+
+
+def insert_buffers_with_inverters(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    driver: Optional[Driver] = None,
+    algorithm: str = "fast",
+) -> BufferingResult:
+    """Maximum-slack buffering honouring inverters and sink polarities.
+
+    Args:
+        tree: A validated routing tree; sinks may carry ``polarity=-1``.
+        library: Buffer library; types may carry ``inverting=True``.
+        driver: Source driver (defaults to ``tree.driver``); treated as
+            non-inverting.
+        algorithm: ``"fast"`` (hull walk per polarity list, the
+            DATE-2005 operation) or ``"lillis"`` (exhaustive scan) —
+            both exact, used to cross-check each other in tests.
+
+    Returns:
+        The optimal :class:`BufferingResult`; its assignment is
+        polarity-correct by construction (re-checkable with
+        :func:`verify_polarities`).
+
+    Raises:
+        InfeasibleError: If no buffering can deliver every sink its
+            required polarity (e.g. negative sinks, no inverters).
+        AlgorithmError: Unknown ``algorithm`` or invalid tree.
+    """
+    if algorithm == "fast":
+        generate = generate_fast
+    elif algorithm == "lillis":
+        generate = generate_lillis
+    else:
+        raise AlgorithmError(
+            f"unknown algorithm {algorithm!r}; choose 'fast' or 'lillis'"
+        )
+
+    try:
+        tree.validate()
+    except Exception as exc:
+        raise AlgorithmError(f"invalid routing tree: {exc}") from exc
+
+    driver = driver if driver is not None else tree.driver
+    plans = _build_polarity_plans(tree, library)
+    started = time.perf_counter()
+
+    states: Dict[int, PolarityLists] = {}
+    peak_length = 0
+    candidates_generated = 0
+
+    for node_id in tree.postorder():
+        node = tree.node(node_id)
+        if node.is_sink:
+            seed = Candidate(
+                q=node.required_arrival,
+                c=node.capacitance,
+                decision=SinkDecision(node_id),
+            )
+            lists: PolarityLists = {1: [], -1: []}
+            lists[node.polarity] = [seed]
+            candidates_generated += 1
+        else:
+            branch_states: List[PolarityLists] = []
+            for child in tree.children_of(node_id):
+                edge = tree.edge_to(child)
+                child_lists = states.pop(child)
+                branch_states.append(
+                    {
+                        p: add_wire(child_lists[p], edge.resistance,
+                                    edge.capacitance)
+                        for p in _POLARITIES
+                    }
+                )
+            lists = branch_states[0]
+            for other in branch_states[1:]:
+                combined: PolarityLists = {}
+                for p in _POLARITIES:
+                    if lists[p] and other[p]:
+                        combined[p] = merge_branches(lists[p], other[p])
+                        candidates_generated += len(combined[p])
+                    else:
+                        # One branch cannot accept this arriving
+                        # polarity: nor can the merged subtree.
+                        combined[p] = []
+                lists = combined
+
+            plan = plans.get(node_id)
+            if plan is not None:
+                new_by_polarity: Dict[int, List[CandidateList]] = {1: [], -1: []}
+                for p in _POLARITIES:
+                    if not lists[p]:
+                        continue
+                    if plan.non_inverting is not None:
+                        new_by_polarity[p].append(
+                            generate(lists[p], plan.non_inverting)
+                        )
+                    if plan.inverting is not None:
+                        new_by_polarity[-p].append(
+                            generate(lists[p], plan.inverting)
+                        )
+                for p in _POLARITIES:
+                    for new_candidates in new_by_polarity[p]:
+                        if new_candidates:
+                            lists[p] = insert_candidates(lists[p], new_candidates)
+                            candidates_generated += len(new_candidates)
+
+        for p in _POLARITIES:
+            if len(lists[p]) > peak_length:
+                peak_length = len(lists[p])
+        states[node_id] = lists
+
+    root_positive = states[tree.root_id][1]
+    if not root_positive:
+        negative_sinks = [s.node_id for s in tree.sinks() if s.polarity == -1]
+        raise InfeasibleError(
+            "no polarity-correct buffering exists: sinks "
+            f"{negative_sinks} need the inverted signal and the library "
+            "offers no way to deliver it"
+        )
+
+    resistance = driver.resistance if driver is not None else 0.0
+    best = best_candidate_for_driver(root_positive, resistance)
+    assert best is not None
+    slack = best.q - (driver.delay(best.c) if driver is not None else 0.0)
+
+    stats = DPStats(
+        algorithm=f"{algorithm}-inverters",
+        num_buffer_positions=tree.num_buffer_positions,
+        library_size=library.size,
+        root_candidates=len(root_positive),
+        peak_list_length=peak_length,
+        candidates_generated=candidates_generated,
+        runtime_seconds=time.perf_counter() - started,
+    )
+    return BufferingResult(
+        slack=slack,
+        assignment=reconstruct_assignment(best.decision),
+        driver_load=best.c,
+        stats=stats,
+    )

@@ -1,0 +1,104 @@
+"""Dominance pruning and the paper's convex pruning (Graham's scan).
+
+Two prunes appear in the algorithms:
+
+* **Dominance pruning** keeps the nonredundant set: candidates sorted by
+  strictly increasing ``c`` and strictly increasing ``q``.  It restores
+  the invariant after operations that may break the ``q`` ordering
+  (add-wire) or introduce dominated points (inserting new buffered
+  candidates).
+
+* **Convex pruning** (paper Fig. 2, function ``Convexpruning``) further
+  removes candidates strictly inside the upper-left convex hull of the
+  (C, Q) point set.  Lemma 3 proves the best candidate for any buffer
+  type survives, so buffered candidates may be generated from the hull
+  alone.  The scan is Graham's scan specialized to pre-sorted points,
+  hence linear time (Lemma 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.candidate import Candidate, CandidateList
+
+
+def prune_dominated(candidates: CandidateList) -> CandidateList:
+    """Reduce a c-sorted candidate list to its nonredundant subset.
+
+    Input must be sorted by non-decreasing ``c`` (ties allowed, any ``q``
+    order); output is sorted by strictly increasing ``c`` and ``q``.
+    Among candidates tied in both ``q`` and ``c`` the earliest survives.
+    Linear time.
+    """
+    result: CandidateList = []
+    for candidate in candidates:
+        if result and candidate.c < result[-1].c:
+            raise ValueError("prune_dominated requires c-sorted input")
+        # Equal-c candidates are adjacent; a strictly better q replaces
+        # the kept one, an equal-or-worse q is dropped.
+        if result and candidate.c == result[-1].c and candidate.q > result[-1].q:
+            result.pop()
+        if not result or candidate.q > result[-1].q:
+            result.append(candidate)
+    return result
+
+
+def _left_turn_or_straight(a1: Candidate, a2: Candidate, a3: Candidate) -> bool:
+    """Paper Eq. (2): true when ``a2`` must be pruned.
+
+    With C as the x-axis and Q as the y-axis, ``a2`` lies on or below the
+    segment ``a1 -> a3`` exactly when
+    ``(q2 - q1) / (c2 - c1) <= (q3 - q2) / (c3 - c2)``; cross-multiplying
+    by the positive denominators avoids the division.
+    """
+    return (a2.q - a1.q) * (a3.c - a2.c) <= (a3.q - a2.q) * (a2.c - a1.c)
+
+
+def convex_prune(candidates: Sequence[Candidate]) -> CandidateList:
+    """The surviving hull of ``Convexpruning``, non-destructively.
+
+    Input must be a nonredundant list (strictly increasing ``c`` and
+    ``q``); the result is the subsequence forming the upper-left convex
+    hull: slopes between consecutive survivors strictly decrease.
+
+    This is Graham's scan on pre-sorted points: each candidate is pushed
+    once and popped at most once, so the scan is O(k) (Lemma 2).  The
+    input list is not modified; the paper's destructive variant is simply
+    ``lst[:] = convex_prune(lst)``, which
+    :class:`repro.core.fast.FastBufferInsertion` exposes via its
+    ``destructive_pruning`` flag.
+    """
+    hull: CandidateList = []
+    for candidate in candidates:
+        while len(hull) >= 2 and _left_turn_or_straight(
+            hull[-2], hull[-1], candidate
+        ):
+            hull.pop()
+        hull.append(candidate)
+    return hull
+
+
+def is_nonredundant(candidates: Sequence[Candidate]) -> bool:
+    """Check the sorted-nonredundant invariant (test helper).
+
+    True when ``c`` and ``q`` are both strictly increasing.
+    """
+    for prev, curr in zip(candidates, candidates[1:]):
+        if not (curr.c > prev.c and curr.q > prev.q):
+            return False
+    return True
+
+
+def is_convex(candidates: Sequence[Candidate]) -> bool:
+    """Check the convex-hull invariant (test helper).
+
+    True when the list is nonredundant and consecutive slopes strictly
+    decrease — i.e. ``convex_prune`` would keep every point.
+    """
+    if not is_nonredundant(candidates):
+        return False
+    for a1, a2, a3 in zip(candidates, candidates[1:], candidates[2:]):
+        if _left_turn_or_straight(a1, a2, a3):
+            return False
+    return True

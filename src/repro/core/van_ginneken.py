@@ -1,0 +1,66 @@
+"""The classic single-buffer-type algorithm (van Ginneken, ISCAS 1990).
+
+With one buffer type the add-buffer operation is a single ``O(k)`` scan,
+giving the classic ``O(n^2)`` total.  This wrapper exists both for its
+historical interface (a single :class:`BufferType`) and as the ``b = 1``
+sanity baseline in the tests: on size-1 libraries all three algorithms
+must agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.lillis import insert_buffers_lillis
+from repro.core.solution import BufferingResult
+from repro.errors import AlgorithmError
+from repro.library.buffer_type import BufferType
+from repro.library.library import BufferLibrary
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+
+def insert_buffers_van_ginneken(
+    tree: RoutingTree,
+    buffer_type: Union[BufferType, BufferLibrary],
+    driver: Optional[Driver] = None,
+) -> BufferingResult:
+    """Optimal buffer insertion with a single buffer type, O(n^2).
+
+    Args:
+        tree: A validated routing tree.
+        buffer_type: The buffer type, or a library of size exactly 1.
+        driver: Source driver (defaults to ``tree.driver``).
+
+    Raises:
+        AlgorithmError: If given a library with more than one type (use
+            :func:`repro.core.lillis.insert_buffers_lillis` or
+            :func:`repro.core.fast.insert_buffers_fast` instead).
+    """
+    if isinstance(buffer_type, BufferLibrary):
+        if buffer_type.size != 1:
+            raise AlgorithmError(
+                "van Ginneken's algorithm handles exactly one buffer type; "
+                f"got a library of size {buffer_type.size}"
+            )
+        library = buffer_type
+    else:
+        library = BufferLibrary([buffer_type])
+
+    result = insert_buffers_lillis(tree, library, driver=driver)
+    # Re-label: with b = 1 the Lillis scan *is* van Ginneken's algorithm.
+    stats = result.stats.__class__(
+        algorithm="van_ginneken",
+        num_buffer_positions=result.stats.num_buffer_positions,
+        library_size=result.stats.library_size,
+        root_candidates=result.stats.root_candidates,
+        peak_list_length=result.stats.peak_list_length,
+        candidates_generated=result.stats.candidates_generated,
+        runtime_seconds=result.stats.runtime_seconds,
+    )
+    return BufferingResult(
+        slack=result.slack,
+        assignment=result.assignment,
+        driver_load=result.driver_load,
+        stats=stats,
+    )

@@ -1,0 +1,26 @@
+"""Cost-bounded buffer insertion (the paper's "reduce buffer cost" note).
+
+The DATE-2005 paper closes with "Our algorithm can also be applied to
+reduce buffer cost.  We leave the details to the journal version" — the
+direction developed in Shi, Li & Alpert (ASP-DAC 2004).  This package
+implements that extension: the dynamic program is stratified by
+accumulated buffer cost, keeping one nonredundant (Q, C) list per cost
+level, which yields
+
+* the full slack-vs-cost Pareto frontier
+  (:func:`~repro.cost.min_cost.slack_cost_frontier`), and
+* the cheapest buffering meeting a slack target
+  (:func:`~repro.cost.min_cost.minimize_cost`).
+
+Costs are small non-negative integers (default: 1 per buffer, i.e.
+minimize the buffer count); pass ``cost_fn`` to weight by area or power.
+"""
+
+from repro.cost.min_cost import (
+    CostResult,
+    FrontierPoint,
+    minimize_cost,
+    slack_cost_frontier,
+)
+
+__all__ = ["CostResult", "FrontierPoint", "minimize_cost", "slack_cost_frontier"]

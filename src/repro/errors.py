@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library errors without also
+swallowing programming mistakes such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class TreeError(ReproError):
+    """A routing tree is malformed or an operation on it is invalid."""
+
+
+class TreeStructureError(TreeError):
+    """The tree violates a structural invariant (cycle, orphan, bad root)."""
+
+
+class NodeNotFoundError(TreeError, KeyError):
+    """A node id was requested that does not exist in the tree."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} does not exist in this tree")
+        self.node_id = node_id
+
+
+class LibraryError(ReproError):
+    """A buffer library or buffer type is invalid."""
+
+
+class TimingError(ReproError):
+    """A timing analysis could not be performed."""
+
+
+class AlgorithmError(ReproError):
+    """A buffer-insertion algorithm was invoked with invalid arguments."""
+
+
+class InfeasibleError(AlgorithmError):
+    """The instance admits no solution candidate at all.
+
+    This cannot happen for well-formed instances of the maximum-slack
+    problem (the empty assignment is always a candidate) but is raised by
+    the cost-bounded extension when the cost budget excludes every
+    candidate.
+    """

@@ -1,0 +1,160 @@
+"""Figures 3 and 4: normalized running-time curves.
+
+* Figure 3: fix the net (the scaled m = 1944 case), sweep the library
+  size ``b``; plot each algorithm's time normalized to its own b = 8
+  time.  Paper: both curves look linear in b, but the new algorithm's
+  slope is far smaller.
+
+* Figure 4: fix b = 32, sweep the position count ``n`` by re-segmenting
+  the same base net; normalize to the smallest n.  Paper: both grow
+  quadratically, the new algorithm far slower, because the add-buffer
+  step dominates as n grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import time_algorithm
+from repro.experiments.workloads import (
+    FIG3_LIBRARY_SIZES,
+    FIG4_NET,
+    FIG4_POSITION_COUNTS,
+    FIGURE_NET,
+    NetSpec,
+    build_net,
+)
+from repro.library.generators import paper_library
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One x-coordinate of a figure, both algorithms measured.
+
+    Attributes:
+        x: The swept parameter (b for Fig. 3, n for Fig. 4).
+        lillis_seconds / fast_seconds: Absolute wall times.
+        lillis_normalized / fast_normalized: Times divided by the series'
+            first point (the paper's y-axis).
+    """
+
+    x: int
+    lillis_seconds: float
+    fast_seconds: float
+    lillis_normalized: float
+    fast_normalized: float
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """A complete figure: swept parameter name and its points."""
+
+    name: str
+    parameter: str
+    points: Tuple[SeriesPoint, ...]
+
+    def slopes(self) -> Tuple[float, float]:
+        """(lillis, fast) normalized-time increase per unit of x.
+
+        Least-squares slope of normalized time against x; Figure 3's
+        qualitative claim is ``fast slope << lillis slope``.
+        """
+        xs = [p.x for p in self.points]
+        mean_x = sum(xs) / len(xs)
+        denom = sum((x - mean_x) ** 2 for x in xs) or 1.0
+
+        def slope(ys: List[float]) -> float:
+            mean_y = sum(ys) / len(ys)
+            return sum(
+                (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+            ) / denom
+
+        return (
+            slope([p.lillis_normalized for p in self.points]),
+            slope([p.fast_normalized for p in self.points]),
+        )
+
+
+def _build_series(
+    name: str,
+    parameter: str,
+    raw: Sequence[Tuple[int, float, float]],
+) -> FigureSeries:
+    base_lillis = raw[0][1] or 1.0
+    base_fast = raw[0][2] or 1.0
+    points = tuple(
+        SeriesPoint(
+            x=x,
+            lillis_seconds=lillis,
+            fast_seconds=fast,
+            lillis_normalized=lillis / base_lillis,
+            fast_normalized=fast / base_fast,
+        )
+        for x, lillis, fast in raw
+    )
+    return FigureSeries(name=name, parameter=parameter, points=points)
+
+
+def run_fig3(
+    spec: Optional[NetSpec] = None,
+    library_sizes: Sequence[int] = FIG3_LIBRARY_SIZES,
+    repeats: int = 1,
+    seed: int = 0,
+) -> FigureSeries:
+    """Figure 3: normalized running time versus library size ``b``."""
+    spec = spec if spec is not None else FIGURE_NET
+    tree = build_net(spec)
+    raw: List[Tuple[int, float, float]] = []
+    for size in library_sizes:
+        library = paper_library(size, jitter=0.03, seed=seed + size)
+        lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
+        fast = time_algorithm(tree, library, "fast", repeats=repeats)
+        raw.append((size, lillis.seconds, fast.seconds))
+    return _build_series("Figure 3", "b", raw)
+
+
+def run_fig4(
+    spec: Optional[NetSpec] = None,
+    position_counts: Sequence[int] = FIG4_POSITION_COUNTS,
+    library_size: int = 32,
+    repeats: int = 1,
+    seed: int = 0,
+) -> FigureSeries:
+    """Figure 4: normalized running time versus buffer positions ``n``.
+
+    Defaults to the trunk workload (:data:`FIG4_NET`): at Python-feasible
+    position counts only a deep net keeps candidate lists long enough for
+    the add-buffer operation to dominate, which is the regime Figure 4
+    illustrates (the paper gets there with n up to 66k).
+    """
+    spec = spec if spec is not None else FIG4_NET
+    library = paper_library(library_size, jitter=0.03, seed=seed + library_size)
+    raw: List[Tuple[int, float, float]] = []
+    for target in position_counts:
+        tree = build_net(spec, positions_override=target)
+        lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
+        fast = time_algorithm(tree, library, "fast", repeats=repeats)
+        raw.append((tree.num_buffer_positions, lillis.seconds, fast.seconds))
+    return _build_series("Figure 4", "n", raw)
+
+
+def format_figure(series: FigureSeries) -> str:
+    """Render a figure series as the paper's table of normalized times."""
+    header = (
+        f"{series.parameter:>7}{'Lillis (s)':>12}{'New (s)':>10}"
+        f"{'Lillis norm':>13}{'New norm':>10}"
+    )
+    lines = [f"{series.name}  (normalized to the first row)", header,
+             "-" * len(header)]
+    for point in series.points:
+        lines.append(
+            f"{point.x:>7}{point.lillis_seconds:>12.3f}{point.fast_seconds:>10.3f}"
+            f"{point.lillis_normalized:>13.2f}{point.fast_normalized:>10.2f}"
+        )
+    lillis_slope, fast_slope = series.slopes()
+    lines.append(
+        f"normalized slope: lillis {lillis_slope:.4f}/{series.parameter}, "
+        f"new {fast_slope:.4f}/{series.parameter}"
+    )
+    return "\n".join(lines)

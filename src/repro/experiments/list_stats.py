@@ -1,0 +1,107 @@
+"""Candidate-list statistics: where the O(b n) lists actually live.
+
+Section 2 bounds the nonredundant candidate count by ``b n + 1``; in
+practice wire pruning keeps lists far shorter, which is why the
+measured Table-1 speedups trail the worst-case ratio b.  This module
+instruments a DP run to collect the list-length distribution — the
+quantity EXPERIMENTS.md uses to explain the measured-vs-paper gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.buffer_ops import BufferPlan, generate_fast, insert_candidates
+from repro.core.candidate import CandidateList
+from repro.core.dp import run_dynamic_program
+from repro.core.pruning import convex_prune
+from repro.library.library import BufferLibrary
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+
+@dataclass(frozen=True)
+class ListStats:
+    """Distribution of candidate-list lengths over one DP run.
+
+    Lengths are sampled at every buffer position (just before the
+    add-buffer operation — the ``k`` in the paper's O(b k) / O(k + b)).
+
+    Attributes:
+        samples: Number of buffer positions visited.
+        mean / median / p90 / maximum: Length statistics.
+        hull_mean: Mean convex-hull size at the same points — the list
+            the fast algorithm actually walks.
+        theoretical_bound: ``b n + 1`` for the instance.
+    """
+
+    samples: int
+    mean: float
+    median: int
+    p90: int
+    maximum: int
+    hull_mean: float
+    theoretical_bound: int
+
+    def __str__(self) -> str:
+        return (
+            f"k over {self.samples} positions: mean {self.mean:.1f}, "
+            f"median {self.median}, p90 {self.p90}, max {self.maximum} "
+            f"(hull mean {self.hull_mean:.1f}; bound {self.theoretical_bound})"
+        )
+
+
+def collect_list_stats(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    driver: Optional[Driver] = None,
+) -> ListStats:
+    """Run the fast algorithm once, recording list lengths at buffers."""
+    lengths: List[int] = []
+    hull_lengths: List[int] = []
+
+    def instrumented(candidates: CandidateList, plan: BufferPlan):
+        hull = convex_prune(candidates)
+        lengths.append(len(candidates))
+        hull_lengths.append(len(hull))
+        new_candidates = generate_fast(candidates, plan, hull=hull)
+        return insert_candidates(candidates, new_candidates)
+
+    run_dynamic_program(
+        tree, library, instrumented, algorithm="fast-instrumented",
+        driver=driver,
+    )
+    if not lengths:
+        return ListStats(0, 0.0, 0, 0, 0, 0.0,
+                         library.size * tree.num_buffer_positions + 1)
+    ordered = sorted(lengths)
+    return ListStats(
+        samples=len(lengths),
+        mean=sum(lengths) / len(lengths),
+        median=ordered[len(ordered) // 2],
+        p90=ordered[min(len(ordered) - 1, int(0.9 * len(ordered)))],
+        maximum=ordered[-1],
+        hull_mean=sum(hull_lengths) / len(hull_lengths),
+        theoretical_bound=library.size * tree.num_buffer_positions + 1,
+    )
+
+
+def list_growth_by_positions(
+    tree_builder,
+    position_counts: Tuple[int, ...],
+    library: BufferLibrary,
+) -> List[Tuple[int, ListStats]]:
+    """List statistics across instance sizes (for shape analyses).
+
+    Args:
+        tree_builder: Callable ``n -> RoutingTree``.
+        position_counts: The ``n`` values to sample.
+        library: Buffer library.
+    """
+    results = []
+    for count in position_counts:
+        tree = tree_builder(count)
+        results.append((tree.num_buffer_positions,
+                        collect_list_stats(tree, library)))
+    return results

@@ -1,0 +1,150 @@
+"""Per-operation profiling of the dynamic program.
+
+The paper explains Figure 4 by noting that "the operation of adding a
+buffer becomes more dominant among three major operations when n
+increases".  This module makes that claim measurable: it runs either
+algorithm with the three operations wrapped in timers and reports the
+wall-clock share of each.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.buffer_ops import (
+    BufferPlan,
+    generate_fast,
+    generate_lillis,
+    insert_candidates,
+)
+from repro.core.candidate import CandidateList
+from repro.core.dp import run_dynamic_program
+from repro.core.merge import merge_branches
+from repro.core.pruning import convex_prune
+from repro.core.wire_ops import add_wire
+from repro.errors import AlgorithmError
+from repro.library.library import BufferLibrary
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+
+@dataclass(frozen=True)
+class OperationProfile:
+    """Wall-clock decomposition of one DP run.
+
+    Attributes:
+        algorithm: Which algorithm was profiled.
+        wire_seconds / merge_seconds / buffer_seconds: Time inside each
+            of the paper's three major operations.
+        total_seconds: End-to-end DP time (includes untimed glue).
+        wire_calls / merge_calls / buffer_calls: Operation counts.
+    """
+
+    algorithm: str
+    wire_seconds: float
+    merge_seconds: float
+    buffer_seconds: float
+    total_seconds: float
+    wire_calls: int
+    merge_calls: int
+    buffer_calls: int
+
+    @property
+    def buffer_fraction(self) -> float:
+        """Share of *operation* time spent adding buffers."""
+        measured = self.wire_seconds + self.merge_seconds + self.buffer_seconds
+        return self.buffer_seconds / measured if measured else 0.0
+
+    def __str__(self) -> str:
+        measured = self.wire_seconds + self.merge_seconds + self.buffer_seconds
+        if not measured:
+            return f"OperationProfile({self.algorithm}: no operations)"
+        return (
+            f"{self.algorithm}: wire {self.wire_seconds / measured:5.1%}  "
+            f"merge {self.merge_seconds / measured:5.1%}  "
+            f"buffer {self.buffer_seconds / measured:5.1%}  "
+            f"(total {self.total_seconds:.3f}s)"
+        )
+
+
+def profile_operations(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    algorithm: str = "lillis",
+    driver: Optional[Driver] = None,
+) -> OperationProfile:
+    """Run one DP with the three major operations individually timed.
+
+    Args:
+        tree: The instance.
+        library: Buffer library.
+        algorithm: ``"lillis"`` or ``"fast"``.
+        driver: Source driver (defaults to ``tree.driver``).
+
+    Returns:
+        An :class:`OperationProfile`; the buffering result itself is
+        discarded (per-op timers add overhead, so callers wanting clean
+        end-to-end numbers should time the plain entry points).
+    """
+    if algorithm == "lillis":
+        generate = generate_lillis
+    elif algorithm == "fast":
+        generate = generate_fast
+    else:
+        raise AlgorithmError(
+            f"unknown algorithm {algorithm!r}; choose 'fast' or 'lillis'"
+        )
+
+    timers = {"wire": 0.0, "merge": 0.0, "buffer": 0.0}
+    counts = {"wire": 0, "merge": 0, "buffer": 0}
+
+    def timed_wire(candidates: CandidateList, r: float, c: float):
+        start = time.perf_counter()
+        out = add_wire(candidates, r, c)
+        timers["wire"] += time.perf_counter() - start
+        counts["wire"] += 1
+        return out
+
+    def timed_merge(left: CandidateList, right: CandidateList):
+        start = time.perf_counter()
+        out = merge_branches(left, right)
+        timers["merge"] += time.perf_counter() - start
+        counts["merge"] += 1
+        return out
+
+    def timed_buffer(candidates: CandidateList, plan: BufferPlan):
+        start = time.perf_counter()
+        if algorithm == "fast":
+            hull = convex_prune(candidates)
+            new_candidates = generate(candidates, plan, hull=hull)
+        else:
+            new_candidates = generate(candidates, plan)
+        out = insert_candidates(candidates, new_candidates)
+        timers["buffer"] += time.perf_counter() - start
+        counts["buffer"] += 1
+        return out
+
+    started = time.perf_counter()
+    run_dynamic_program(
+        tree,
+        library,
+        timed_buffer,
+        algorithm=f"{algorithm}-profiled",
+        driver=driver,
+        add_wire=timed_wire,
+        merge=timed_merge,
+    )
+    total = time.perf_counter() - started
+
+    return OperationProfile(
+        algorithm=algorithm,
+        wire_seconds=timers["wire"],
+        merge_seconds=timers["merge"],
+        buffer_seconds=timers["buffer"],
+        total_seconds=total,
+        wire_calls=counts["wire"],
+        merge_calls=counts["merge"],
+        buffer_calls=counts["buffer"],
+    )

@@ -1,0 +1,64 @@
+"""Timing runner: measure one algorithm on one instance."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.api import insert_buffers
+from repro.core.solution import BufferingResult
+from repro.library.library import BufferLibrary
+from repro.tree.routing_tree import RoutingTree
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """One timed algorithm execution.
+
+    Attributes:
+        algorithm: Algorithm name as passed to ``insert_buffers``.
+        library_size: ``b``.
+        num_positions: ``n``.
+        seconds: Best wall-clock time over the repeats.
+        result: The :class:`BufferingResult` (identical across repeats).
+    """
+
+    algorithm: str
+    library_size: int
+    num_positions: int
+    seconds: float
+    result: BufferingResult
+
+
+def time_algorithm(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    algorithm: str,
+    repeats: int = 1,
+    **options,
+) -> MeasuredRun:
+    """Run ``algorithm`` ``repeats`` times; keep the best wall time.
+
+    Best-of-N (rather than mean) follows standard microbenchmark
+    practice: the minimum is the least noisy estimator of the
+    deterministic work under OS jitter, and both algorithms receive the
+    same treatment.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best_seconds = float("inf")
+    result: Optional[BufferingResult] = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = insert_buffers(tree, library, algorithm=algorithm, **options)
+        elapsed = time.perf_counter() - started
+        best_seconds = min(best_seconds, elapsed)
+    assert result is not None
+    return MeasuredRun(
+        algorithm=algorithm,
+        library_size=library.size,
+        num_positions=tree.num_buffer_positions,
+        seconds=best_seconds,
+        result=result,
+    )

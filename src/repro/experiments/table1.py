@@ -1,0 +1,123 @@
+"""Table 1: runtimes of the O(b^2 n^2) baseline versus the O(bn^2)
+algorithm on the three industrial-like nets, across library sizes.
+
+The paper reports absolute seconds on a 400 MHz SPARC and speedups up to
+~11x at b = 64 (and a slight *slow-down* at small b, attributed to the
+``Convexpruning`` overhead).  Here the same row/column structure is
+regenerated on the scaled nets; the qualitative claims asserted by
+``benchmarks/bench_table1.py`` are: identical optimal slacks, speedup
+growing with b, and speedup > 1 at b = 64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import time_algorithm
+from repro.experiments.workloads import (
+    TABLE1_LIBRARY_SIZES,
+    TABLE1_NETS,
+    NetSpec,
+    build_net,
+)
+from repro.library.generators import paper_library
+from repro.units import to_ps
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (net, b) cell pair of Table 1.
+
+    Attributes:
+        net: Net name.
+        sinks: Scaled sink count ``m``.
+        positions: Buffer positions ``n``.
+        library_size: ``b``.
+        lillis_seconds: Baseline wall time.
+        fast_seconds: New-algorithm wall time.
+        slack_ps: Optimal slack (identical for both, in picoseconds).
+        num_buffers: Buffers in the optimal solution.
+        peak_list_lillis / peak_list_fast: Peak candidate-list lengths —
+            the paper's ~2% memory-overhead discussion.
+    """
+
+    net: str
+    sinks: int
+    positions: int
+    library_size: int
+    lillis_seconds: float
+    fast_seconds: float
+    slack_ps: float
+    num_buffers: int
+    peak_list_lillis: int
+    peak_list_fast: int
+
+    @property
+    def speedup(self) -> float:
+        """Baseline time over new-algorithm time."""
+        return self.lillis_seconds / self.fast_seconds if self.fast_seconds else 0.0
+
+
+def run_table1(
+    nets: Optional[Sequence[NetSpec]] = None,
+    library_sizes: Sequence[int] = TABLE1_LIBRARY_SIZES,
+    repeats: int = 1,
+    seed: int = 0,
+) -> List[Table1Row]:
+    """Measure both algorithms over the Table 1 grid.
+
+    Args:
+        nets: Net specs (default: the three scaled industrial nets).
+        library_sizes: The ``b`` column values.
+        repeats: Timing repeats per cell (best-of).
+        seed: Jitter seed for the synthetic libraries.
+
+    Returns:
+        One :class:`Table1Row` per (net, b), in net-major order.
+    """
+    nets = list(nets) if nets is not None else list(TABLE1_NETS)
+    rows: List[Table1Row] = []
+    for spec in nets:
+        tree = build_net(spec)
+        for size in library_sizes:
+            library = paper_library(size, jitter=0.03, seed=seed + size)
+            lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
+            fast = time_algorithm(tree, library, "fast", repeats=repeats)
+            if abs(lillis.result.slack - fast.result.slack) > 1e-15:
+                raise AssertionError(
+                    f"slack mismatch on {spec.name} b={size}: "
+                    f"{lillis.result.slack} vs {fast.result.slack}"
+                )
+            rows.append(
+                Table1Row(
+                    net=spec.name,
+                    sinks=tree.num_sinks,
+                    positions=tree.num_buffer_positions,
+                    library_size=size,
+                    lillis_seconds=lillis.seconds,
+                    fast_seconds=fast.seconds,
+                    slack_ps=to_ps(fast.result.slack),
+                    num_buffers=fast.result.num_buffers,
+                    peak_list_lillis=lillis.result.stats.peak_list_length,
+                    peak_list_fast=fast.result.stats.peak_list_length,
+                )
+            )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render rows in the paper's Table 1 layout (plus slack columns)."""
+    header = (
+        f"{'net':<12}{'m':>6}{'n':>7}{'b':>5}"
+        f"{'Lillis (s)':>12}{'New (s)':>10}{'speedup':>9}"
+        f"{'slack (ps)':>12}{'bufs':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.net:<12}{row.sinks:>6}{row.positions:>7}{row.library_size:>5}"
+            f"{row.lillis_seconds:>12.3f}{row.fast_seconds:>10.3f}"
+            f"{row.speedup:>8.2f}x{row.slack_ps:>12.1f}{row.num_buffers:>6}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Buffer libraries: buffer types, library containers, synthesis, clustering.
+
+A :class:`~repro.library.buffer_type.BufferType` models a (non-inverting)
+repeater with the linear delay model the paper uses: inserting buffer type
+``B_i`` driving downstream capacitance ``C`` costs ``K_i + R_i * C`` and
+presents input capacitance ``C_i`` upstream.
+
+:class:`~repro.library.library.BufferLibrary` is an immutable, validated
+collection of buffer types with the two sorted views the O(bn^2) algorithm
+needs (by non-increasing driving resistance and by non-decreasing input
+capacitance), both precomputed once per library.
+"""
+
+from repro.library.buffer_type import BufferType
+from repro.library.library import BufferLibrary
+from repro.library.generators import (
+    paper_library,
+    geometric_library,
+    mixed_paper_library,
+    uniform_random_library,
+)
+from repro.library.clustering import cluster_library
+
+__all__ = [
+    "BufferType",
+    "BufferLibrary",
+    "paper_library",
+    "geometric_library",
+    "mixed_paper_library",
+    "uniform_random_library",
+    "cluster_library",
+]

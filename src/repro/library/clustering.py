@@ -1,0 +1,146 @@
+"""Buffer-library clustering (Alpert, Gandham, Neves & Quay, ICCAD 2000).
+
+The paper's introduction motivates the O(bn^2) algorithm by noting that
+the previous workaround for huge libraries was to *cluster* the library
+down to a few representatives, which "is often degraded accordingly" in
+solution quality.  This module implements that baseline so the trade-off
+can be measured (``benchmarks/bench_clustering.py``).
+
+The clustering is a k-means in a normalized feature space of
+``(log R, log C, K)``: log scales because both parameters span more than
+an order of magnitude, and each dimension is standardized so no single
+parameter dominates the distance.  Each cluster is represented by the
+member closest to the centroid (a real library cell, never an average
+that does not exist in the design kit).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+from repro.errors import LibraryError
+from repro.library.buffer_type import BufferType
+from repro.library.library import BufferLibrary
+
+
+def _features(buffers: Sequence[BufferType]) -> List[List[float]]:
+    """Standardized (log R, log C, K) feature vectors."""
+    raw = [
+        [
+            math.log(b.driving_resistance),
+            math.log(b.input_capacitance) if b.input_capacitance > 0 else -60.0,
+            b.intrinsic_delay,
+        ]
+        for b in buffers
+    ]
+    dims = len(raw[0])
+    means = [sum(row[d] for row in raw) / len(raw) for d in range(dims)]
+    stds = []
+    for d in range(dims):
+        var = sum((row[d] - means[d]) ** 2 for row in raw) / len(raw)
+        stds.append(math.sqrt(var) or 1.0)
+    return [
+        [(row[d] - means[d]) / stds[d] for d in range(dims)] for row in raw
+    ]
+
+
+def _squared_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def cluster_library(
+    library: BufferLibrary,
+    target_size: int,
+    seed: int = 0,
+    iterations: int = 50,
+) -> BufferLibrary:
+    """Reduce ``library`` to ``target_size`` representative buffers.
+
+    Args:
+        library: The full library.
+        target_size: Desired number of representatives, ``1 <= target
+            <= len(library)``.
+        seed: RNG seed for k-means++ style initialization.
+        iterations: Maximum Lloyd iterations.
+
+    Returns:
+        A new :class:`BufferLibrary` whose members are a subset of
+        ``library`` (real cells, one per cluster).
+    """
+    if not 1 <= target_size <= library.size:
+        raise LibraryError(
+            f"target size must be in [1, {library.size}], got {target_size}"
+        )
+    if target_size == library.size:
+        return BufferLibrary(library.buffers)
+
+    buffers = list(library.buffers)
+    points = _features(buffers)
+    rng = random.Random(seed)
+
+    # k-means++ initialization: spread the initial centroids out.
+    centroids = [list(points[rng.randrange(len(points))])]
+    while len(centroids) < target_size:
+        weights = [
+            min(_squared_distance(p, c) for c in centroids) for p in points
+        ]
+        total = sum(weights)
+        if total == 0.0:
+            # All remaining points coincide with a centroid; pick any.
+            centroids.append(list(points[rng.randrange(len(points))]))
+            continue
+        pick = rng.uniform(0.0, total)
+        acc = 0.0
+        for p, w in zip(points, weights):
+            acc += w
+            if acc >= pick:
+                centroids.append(list(p))
+                break
+
+    assignment = [0] * len(points)
+    for _ in range(iterations):
+        changed = False
+        for i, p in enumerate(points):
+            best = min(
+                range(len(centroids)),
+                key=lambda c: _squared_distance(p, centroids[c]),
+            )
+            if best != assignment[i]:
+                assignment[i] = best
+                changed = True
+        for c in range(len(centroids)):
+            members = [points[i] for i in range(len(points)) if assignment[i] == c]
+            if members:
+                centroids[c] = [
+                    sum(m[d] for m in members) / len(members)
+                    for d in range(len(members[0]))
+                ]
+        if not changed:
+            break
+
+    representatives: List[BufferType] = []
+    for c in range(len(centroids)):
+        member_ids = [i for i in range(len(points)) if assignment[i] == c]
+        if not member_ids:
+            continue
+        closest = min(
+            member_ids, key=lambda i: _squared_distance(points[i], centroids[c])
+        )
+        representatives.append(buffers[closest])
+
+    # Empty clusters can leave us short; top up with the buffers farthest
+    # from any chosen representative so coverage stays broad.
+    chosen = {b.name for b in representatives}
+    while len(representatives) < target_size:
+        remaining = [i for i, b in enumerate(buffers) if b.name not in chosen]
+        rep_points = [points[i] for i, b in enumerate(buffers) if b.name in chosen]
+        farthest = max(
+            remaining,
+            key=lambda i: min(_squared_distance(points[i], rp) for rp in rep_points),
+        )
+        representatives.append(buffers[farthest])
+        chosen.add(buffers[farthest].name)
+
+    return BufferLibrary(representatives)

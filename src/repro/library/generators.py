@@ -1,0 +1,208 @@
+"""Synthetic buffer libraries matching the paper's Section 4 parameters.
+
+The paper evaluates libraries of size 8, 16, 32 and 64 built from a
+TSMC 180 nm design kit, with
+
+* driving resistance between 180 and 7000 ohms,
+* input capacitance between 0.7 and 23 fF,
+* intrinsic delay between 29 and 36.4 ps.
+
+Real libraries trade resistance against capacitance: a stronger buffer
+(lower R, wider transistors) has a larger input capacitance.  The
+generators below reproduce that trade-off so candidate-list dynamics
+(hull sizes, pruning rates) behave like the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.errors import LibraryError
+from repro.library.buffer_type import BufferType
+from repro.library.library import BufferLibrary
+from repro.units import fF, ps
+
+#: Parameter ranges quoted in Section 4 of the paper.
+PAPER_RESISTANCE_RANGE = (180.0, 7000.0)
+PAPER_CAPACITANCE_RANGE = (fF(0.7), fF(23.0))
+PAPER_INTRINSIC_RANGE = (ps(29.0), ps(36.4))
+
+
+def paper_library(size: int, jitter: float = 0.0, seed: Optional[int] = None) -> BufferLibrary:
+    """A library of ``size`` buffers spanning the paper's parameter ranges.
+
+    Buffers form a geometric strength ladder: driving resistance sweeps
+    7000 ohms down to 180 ohms geometrically while input capacitance
+    sweeps 0.7 fF up to 23 fF, matching the physical R*C ~ constant
+    scaling of a sized inverter chain.  Intrinsic delay grows mildly with
+    drive strength across the 29-36.4 ps range.
+
+    Args:
+        size: Number of buffer types (the paper uses 8, 16, 32, 64).
+        jitter: Optional relative perturbation (e.g. ``0.05`` for 5%)
+            applied to every parameter, so that large libraries are not
+            perfectly collinear in (R, C).  Requires ``seed`` when > 0
+            for reproducibility (a fresh RNG is always used).
+        seed: Seed for the jitter RNG.
+
+    Returns:
+        A validated :class:`BufferLibrary` of exactly ``size`` types.
+    """
+    if size < 1:
+        raise LibraryError(f"library size must be >= 1, got {size}")
+    if jitter < 0.0 or jitter >= 1.0:
+        raise LibraryError(f"jitter must be in [0, 1), got {jitter}")
+
+    rng = random.Random(seed)
+    r_hi, r_lo = PAPER_RESISTANCE_RANGE[1], PAPER_RESISTANCE_RANGE[0]
+    c_lo, c_hi = PAPER_CAPACITANCE_RANGE
+    k_lo, k_hi = PAPER_INTRINSIC_RANGE
+
+    buffers = []
+    for i in range(size):
+        # t runs 0 -> 1 from the weakest to the strongest buffer.
+        t = i / (size - 1) if size > 1 else 0.5
+        resistance = r_hi * (r_lo / r_hi) ** t
+        capacitance = c_lo * (c_hi / c_lo) ** t
+        intrinsic = k_lo + (k_hi - k_lo) * t
+        if jitter > 0.0:
+            resistance *= 1.0 + rng.uniform(-jitter, jitter)
+            capacitance *= 1.0 + rng.uniform(-jitter, jitter)
+            intrinsic *= 1.0 + rng.uniform(-jitter, jitter)
+        buffers.append(
+            BufferType(
+                name=f"BUF_X{i}",
+                driving_resistance=resistance,
+                input_capacitance=capacitance,
+                intrinsic_delay=intrinsic,
+                # Abstract cost grows with drive strength (area proxy).
+                cost=float(2 ** (4.0 * t)),
+            )
+        )
+    return BufferLibrary(buffers)
+
+
+def geometric_library(
+    size: int,
+    resistance_range: tuple = PAPER_RESISTANCE_RANGE,
+    capacitance_range: tuple = PAPER_CAPACITANCE_RANGE,
+    intrinsic_range: tuple = PAPER_INTRINSIC_RANGE,
+    name_prefix: str = "BUF",
+) -> BufferLibrary:
+    """A geometric strength ladder over caller-supplied parameter ranges.
+
+    Like :func:`paper_library` but fully parameterized and jitter-free.
+    Resistance sweeps from the top of ``resistance_range`` down to its
+    bottom; capacitance and intrinsic delay sweep upward.
+    """
+    if size < 1:
+        raise LibraryError(f"library size must be >= 1, got {size}")
+    r_lo, r_hi = resistance_range
+    c_lo, c_hi = capacitance_range
+    k_lo, k_hi = intrinsic_range
+    if r_lo <= 0 or r_hi < r_lo:
+        raise LibraryError(f"bad resistance range {resistance_range}")
+    if c_lo <= 0 or c_hi < c_lo:
+        raise LibraryError(f"bad capacitance range {capacitance_range}")
+
+    buffers = []
+    for i in range(size):
+        t = i / (size - 1) if size > 1 else 0.5
+        buffers.append(
+            BufferType(
+                name=f"{name_prefix}_X{i}",
+                driving_resistance=r_hi * (r_lo / r_hi) ** t,
+                input_capacitance=c_lo * (c_hi / c_lo) ** t,
+                intrinsic_delay=k_lo + (k_hi - k_lo) * t,
+                cost=float(2 ** (4.0 * t)),
+            )
+        )
+    return BufferLibrary(buffers)
+
+
+def uniform_random_library(size: int, seed: int) -> BufferLibrary:
+    """A library with parameters drawn independently and uniformly.
+
+    Unlike :func:`paper_library` there is no R-vs-C correlation, so many
+    buffers are dominated.  This stresses pruning logic in tests; it is
+    not meant to model a real design kit.
+
+    Args:
+        size: Number of buffer types.
+        seed: RNG seed (mandatory: this generator exists for tests and
+            experiments, which must be reproducible).
+    """
+    if size < 1:
+        raise LibraryError(f"library size must be >= 1, got {size}")
+    rng = random.Random(seed)
+    r_lo, r_hi = PAPER_RESISTANCE_RANGE
+    c_lo, c_hi = PAPER_CAPACITANCE_RANGE
+    k_lo, k_hi = PAPER_INTRINSIC_RANGE
+    buffers = []
+    for i in range(size):
+        # Log-uniform in R and C keeps small values well represented.
+        buffers.append(
+            BufferType(
+                name=f"RND_X{i}",
+                driving_resistance=math.exp(
+                    rng.uniform(math.log(r_lo), math.log(r_hi))
+                ),
+                input_capacitance=math.exp(
+                    rng.uniform(math.log(c_lo), math.log(c_hi))
+                ),
+                intrinsic_delay=rng.uniform(k_lo, k_hi),
+                cost=rng.uniform(0.5, 16.0),
+            )
+        )
+    return BufferLibrary(buffers)
+
+
+def mixed_paper_library(
+    size: int,
+    inverter_fraction: float = 0.5,
+    jitter: float = 0.0,
+    seed: Optional[int] = None,
+) -> BufferLibrary:
+    """A paper-range library mixing buffers and inverters.
+
+    Every second position on the strength ladder (by default) is an
+    inverter; inverters get a small electrical edge (90% of the R and K
+    of the equally-sized buffer) reflecting that an inverter is one
+    stage, not two.  Used by the polarity-aware extension's tests and
+    examples.
+
+    Args:
+        size: Total number of cells.
+        inverter_fraction: Fraction of cells that invert, in [0, 1].
+        jitter: As in :func:`paper_library`.
+        seed: RNG seed for the jitter.
+    """
+    if not 0.0 <= inverter_fraction <= 1.0:
+        raise LibraryError(
+            f"inverter_fraction must be in [0, 1], got {inverter_fraction}"
+        )
+    base = paper_library(size, jitter=jitter, seed=seed)
+    num_inverters = round(size * inverter_fraction)
+    # Spread inverters evenly across the strength ladder.
+    inverter_slots = set()
+    if num_inverters:
+        step = size / num_inverters
+        inverter_slots = {int(i * step) for i in range(num_inverters)}
+    cells = []
+    for i, cell in enumerate(base.buffers):
+        if i in inverter_slots:
+            cells.append(
+                BufferType(
+                    name=f"INV_X{i}",
+                    driving_resistance=cell.driving_resistance * 0.9,
+                    input_capacitance=cell.input_capacitance,
+                    intrinsic_delay=cell.intrinsic_delay * 0.9,
+                    cost=cell.cost * 0.8,
+                    inverting=True,
+                )
+            )
+        else:
+            cells.append(cell)
+    return BufferLibrary(cells)

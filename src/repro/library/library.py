@@ -1,0 +1,140 @@
+"""Immutable buffer-library container with precomputed sorted views."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import LibraryError
+from repro.library.buffer_type import BufferType
+
+
+class BufferLibrary:
+    """An immutable collection of :class:`BufferType` objects.
+
+    The O(bn^2) algorithm needs the library in two orders:
+
+    * non-increasing driving resistance (the order in which the monotone
+      hull walk visits buffer types, Lemma 1), and
+    * non-decreasing input capacitance (the order in which new buffered
+      candidates are merged back into the candidate list, Theorem 2).
+
+    Both orders are computed once at construction so per-node work never
+    sorts anything.
+
+    Args:
+        buffers: The buffer types. Names must be unique and at least one
+            buffer is required.
+    """
+
+    def __init__(self, buffers: Iterable[BufferType]) -> None:
+        self._buffers: Tuple[BufferType, ...] = tuple(buffers)
+        if not self._buffers:
+            raise LibraryError("a buffer library must contain at least one buffer")
+        names = [b.name for b in self._buffers]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise LibraryError(f"duplicate buffer names in library: {dupes}")
+
+        # Non-increasing R; ties broken by non-decreasing C so the hull
+        # walk never has to move its pointer backwards on a tie.
+        self._by_resistance_desc: Tuple[BufferType, ...] = tuple(
+            sorted(
+                self._buffers,
+                key=lambda b: (-b.driving_resistance, b.input_capacitance),
+            )
+        )
+        self._by_capacitance_asc: Tuple[BufferType, ...] = tuple(
+            sorted(self._buffers, key=lambda b: b.input_capacitance)
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of buffer types, the paper's ``b``."""
+        return len(self._buffers)
+
+    @property
+    def buffers(self) -> Tuple[BufferType, ...]:
+        """The buffer types in construction order."""
+        return self._buffers
+
+    @property
+    def by_resistance_desc(self) -> Tuple[BufferType, ...]:
+        """Buffer types sorted by non-increasing driving resistance."""
+        return self._by_resistance_desc
+
+    @property
+    def by_capacitance_asc(self) -> Tuple[BufferType, ...]:
+        """Buffer types sorted by non-decreasing input capacitance."""
+        return self._by_capacitance_asc
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __iter__(self) -> Iterator[BufferType]:
+        return iter(self._buffers)
+
+    def __getitem__(self, index: int) -> BufferType:
+        return self._buffers[index]
+
+    def __contains__(self, buffer: object) -> bool:
+        return buffer in self._buffers
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BufferLibrary):
+            return NotImplemented
+        return self._buffers == other._buffers
+
+    def __hash__(self) -> int:
+        return hash(self._buffers)
+
+    def __repr__(self) -> str:
+        return f"BufferLibrary({list(self._buffers)!r})"
+
+    def get(self, name: str) -> BufferType:
+        """Return the buffer type called ``name``.
+
+        Raises:
+            LibraryError: If no buffer has that name.
+        """
+        for buffer in self._buffers:
+            if buffer.name == name:
+                return buffer
+        raise LibraryError(f"no buffer named {name!r} in library")
+
+    def subset(self, names: Sequence[str]) -> "BufferLibrary":
+        """Return a new library restricted to the given buffer names."""
+        return BufferLibrary([self.get(name) for name in names])
+
+    def without_dominated(self) -> "BufferLibrary":
+        """Return a library with dominated buffer types removed.
+
+        Buffer ``x`` is dominated when another buffer is no worse in all
+        of driving resistance, input capacitance and intrinsic delay (and
+        strictly better in at least one, or earlier in library order on an
+        exact tie).  Dominated buffers can be dropped without changing the
+        optimal slack; doing so shrinks ``b``.
+        """
+        kept: List[BufferType] = []
+        for i, candidate in enumerate(self._buffers):
+            dominated = False
+            for j, other in enumerate(self._buffers):
+                if i == j:
+                    continue
+                if other.dominates(candidate) and not (
+                    candidate.dominates(other) and i < j
+                ):
+                    dominated = True
+                    break
+            if not dominated:
+                kept.append(candidate)
+        return BufferLibrary(kept)
+
+    def resistance_range(self) -> Tuple[float, float]:
+        """(min, max) driving resistance over the library, ohms."""
+        resistances = [b.driving_resistance for b in self._buffers]
+        return min(resistances), max(resistances)
+
+    def capacitance_range(self) -> Tuple[float, float]:
+        """(min, max) input capacitance over the library, farads."""
+        capacitances = [b.input_capacitance for b in self._buffers]
+        return min(capacitances), max(capacitances)

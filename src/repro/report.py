@@ -1,0 +1,147 @@
+"""Human-readable reports: net summaries, solution tables, tree sketches.
+
+Everything here is plain-text formatting over the public data model —
+no algorithmic logic — so the CLI and examples can present results
+without each reinventing table code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.solution import BufferingResult
+from repro.timing.buffered import TimingReport, evaluate_assignment
+from repro.timing.elmore import unbuffered_slack
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+from repro.units import to_fF, to_ps
+
+
+def describe_net(tree: RoutingTree) -> str:
+    """A one-paragraph summary of a routing tree."""
+    lines = [
+        f"nodes:            {tree.num_nodes}",
+        f"sinks (m):        {tree.num_sinks}",
+        f"buffer positions (n): {tree.num_buffer_positions}",
+        f"tree depth:       {tree.depth()} edges",
+        f"total wire cap:   {to_fF(tree.total_wire_capacitance()):.1f} fF",
+    ]
+    if tree.total_wire_length() > 0:
+        lines.append(f"total wirelength: {tree.total_wire_length():.0f} um")
+    if tree.driver is not None:
+        lines.append(
+            f"driver:           R={tree.driver.resistance:.0f} ohm, "
+            f"K={to_ps(tree.driver.intrinsic_delay):.1f} ps"
+        )
+    negative = sum(1 for s in tree.sinks() if s.polarity == -1)
+    if negative:
+        lines.append(f"negative-polarity sinks: {negative}")
+    return "\n".join(lines)
+
+
+def describe_result(
+    tree: RoutingTree,
+    result: BufferingResult,
+    driver: Optional[Driver] = None,
+) -> str:
+    """A solution report: slack improvement, buffers used, verification."""
+    base = unbuffered_slack(tree, driver)
+    lines = [
+        f"algorithm:        {result.stats.algorithm}",
+        f"unbuffered slack: {to_ps(base):10.1f} ps",
+        f"optimized slack:  {to_ps(result.slack):10.1f} ps  "
+        f"(improvement {to_ps(result.slack - base):+.1f} ps)",
+        f"buffers inserted: {result.num_buffers}",
+        f"driver load:      {to_fF(result.driver_load):.1f} fF",
+        f"dp runtime:       {result.stats.runtime_seconds * 1e3:.1f} ms "
+        f"(peak list {result.stats.peak_list_length}, "
+        f"{result.stats.candidates_generated} candidates)",
+    ]
+    counts = result.buffer_counts_by_type()
+    if counts:
+        usage = ", ".join(
+            f"{name} x{count}" for name, count in sorted(counts.items())
+        )
+        lines.append(f"usage by type:    {usage}")
+    return "\n".join(lines)
+
+
+def sink_slack_table(
+    report: TimingReport, tree: RoutingTree, limit: int = 20
+) -> str:
+    """Per-sink slack table, most critical first."""
+    rows = sorted(report.sink_slacks.items(), key=lambda item: item[1])
+    lines = [f"{'sink':<14}{'delay (ps)':>12}{'rat (ps)':>10}{'slack (ps)':>12}"]
+    lines.append("-" * len(lines[0]))
+    for sink_id, slack in rows[:limit]:
+        node = tree.node(sink_id)
+        lines.append(
+            f"{node.name or sink_id:<14}"
+            f"{to_ps(report.sink_delays[sink_id]):>12.1f}"
+            f"{to_ps(node.required_arrival):>10.1f}"
+            f"{to_ps(slack):>12.1f}"
+        )
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more sinks")
+    return "\n".join(lines)
+
+
+def render_tree(
+    tree: RoutingTree,
+    result: Optional[BufferingResult] = None,
+    max_nodes: int = 200,
+) -> str:
+    """An indented ASCII sketch of the tree, marking buffers.
+
+    Nodes beyond ``max_nodes`` are elided (big segmented nets would
+    print thousands of wire vertices).
+    """
+    assignment = result.assignment if result is not None else {}
+    lines: List[str] = []
+    stack: List[tuple] = [(tree.root_id, 0)]
+    printed = 0
+    while stack:
+        node_id, depth = stack.pop()
+        if printed >= max_nodes:
+            lines.append("  ... (truncated)")
+            break
+        node = tree.node(node_id)
+        marker = ""
+        if node.is_sink:
+            marker = (
+                f"  sink cap={to_fF(node.capacitance):.1f}fF "
+                f"rat={to_ps(node.required_arrival):.0f}ps"
+            )
+            if node.polarity == -1:
+                marker += " (inverted)"
+        elif node_id in assignment:
+            marker = f"  <= {assignment[node_id].name}"
+        elif node.is_buffer_position:
+            marker = "  ."
+        label = node.name or f"n{node_id}"
+        lines.append("  " * depth + label + marker)
+        printed += 1
+        for child in reversed(tree.children_of(node_id)):
+            stack.append((child, depth + 1))
+    return "\n".join(lines)
+
+
+def full_report(
+    tree: RoutingTree,
+    result: BufferingResult,
+    driver: Optional[Driver] = None,
+    sink_limit: int = 10,
+) -> str:
+    """Net summary + solution summary + critical-sink table."""
+    timing = evaluate_assignment(tree, result.assignment, driver)
+    sections = [
+        "== net ==",
+        describe_net(tree),
+        "",
+        "== solution ==",
+        describe_result(tree, result, driver),
+        "",
+        "== critical sinks ==",
+        sink_slack_table(timing, tree, limit=sink_limit),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,36 @@
+"""Timing analysis: Elmore wire delay + linear buffer delay.
+
+Two analyses live here:
+
+* :mod:`repro.timing.elmore` — downstream capacitances and per-sink
+  Elmore delays of a plain (unbuffered) RC tree.
+* :mod:`repro.timing.buffered` — full staged analysis of a tree with an
+  explicit buffer assignment.  This is written independently of the
+  dynamic-programming candidate algebra and serves as the correctness
+  oracle for every algorithm in :mod:`repro.core`: the slack predicted by
+  a DP candidate must equal the slack this module measures for the
+  reconstructed assignment.
+"""
+
+from repro.timing.elmore import (
+    downstream_capacitance,
+    elmore_delays,
+    unbuffered_slack,
+)
+from repro.timing.buffered import (
+    TimingReport,
+    evaluate_assignment,
+    evaluate_slack,
+)
+from repro.timing.slack_map import SlackMap, compute_slack_map
+
+__all__ = [
+    "downstream_capacitance",
+    "elmore_delays",
+    "unbuffered_slack",
+    "TimingReport",
+    "evaluate_assignment",
+    "evaluate_slack",
+    "SlackMap",
+    "compute_slack_map",
+]

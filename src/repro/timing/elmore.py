@@ -1,0 +1,78 @@
+"""Elmore delay analysis of unbuffered RC trees.
+
+The Elmore delay of the wire from ``u`` to ``v`` with lumped resistance
+``R_e`` and capacitance ``C_e`` is ``R_e * (C_e / 2 + C_down(v))`` where
+``C_down(v)`` is the total capacitance hanging below ``v`` (paper Eq. for
+``D(e)``): the wire's own capacitance is modelled as a pi-segment, half
+on each side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import TimingError
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+
+def downstream_capacitance(tree: RoutingTree) -> Dict[int, float]:
+    """Total capacitance below (and at) each node of an unbuffered tree.
+
+    ``result[v]`` includes ``v``'s own sink capacitance, the wire
+    capacitance of every edge below ``v`` and every sink capacitance in
+    the subtree — but *not* the capacitance of the edge arriving at ``v``.
+    """
+    caps: Dict[int, float] = {}
+    for node_id in tree.postorder():
+        node = tree.node(node_id)
+        total = node.capacitance if node.is_sink else 0.0
+        for child in tree.children_of(node_id):
+            edge = tree.edge_to(child)
+            total += edge.capacitance + caps[child]
+        caps[node_id] = total
+    return caps
+
+
+def elmore_delays(
+    tree: RoutingTree, driver: Optional[Driver] = None
+) -> Dict[int, float]:
+    """Per-sink Elmore delay of the unbuffered tree, in seconds.
+
+    Args:
+        tree: The net.
+        driver: Source driver; defaults to ``tree.driver``.  When absent
+            the delay is measured from the source pin with an ideal
+            (zero-resistance) driver.
+
+    Returns:
+        Mapping from sink node id to its delay from the driver input.
+    """
+    driver = driver if driver is not None else tree.driver
+    caps = downstream_capacitance(tree)
+
+    arrival: Dict[int, float] = {}
+    arrival[tree.root_id] = driver.delay(caps[tree.root_id]) if driver else 0.0
+    for node_id in tree.preorder():
+        if node_id == tree.root_id:
+            continue
+        edge = tree.edge_to(node_id)
+        wire_delay = edge.resistance * (edge.capacitance / 2.0 + caps[node_id])
+        arrival[node_id] = arrival[edge.parent] + wire_delay
+
+    return {sink.node_id: arrival[sink.node_id] for sink in tree.sinks()}
+
+
+def unbuffered_slack(tree: RoutingTree, driver: Optional[Driver] = None) -> float:
+    """Slack of the tree with no buffers inserted.
+
+    ``min over sinks (required_arrival - delay)``; the baseline every
+    buffering solution is compared against.
+    """
+    delays = elmore_delays(tree, driver)
+    if not delays:
+        raise TimingError("tree has no sinks")
+    return min(
+        tree.node(sink_id).required_arrival - delay
+        for sink_id, delay in delays.items()
+    )

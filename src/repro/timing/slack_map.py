@@ -1,0 +1,112 @@
+"""Per-node slack maps: where in the tree the timing is lost.
+
+Standard static-timing bookkeeping specialized to one net: propagate
+arrival times down from the driver and required times up from the
+sinks; the difference is each node's slack, and nodes whose slack
+equals the worst slack form the *critical path*.  Useful for examples,
+reports and for sanity-checking solutions (the critical path must run
+from the driver to the critical sink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.library.buffer_type import BufferType
+from repro.timing.buffered import _stage_capacitances
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+
+@dataclass(frozen=True)
+class SlackMap:
+    """Arrival / required / slack per node for one buffered net.
+
+    Attributes:
+        arrival: Signal arrival time at each node's driving point.
+        required: Latest allowed arrival there (propagated from sinks).
+        slack: ``required - arrival`` per node.
+        worst_slack: ``min(slack over sinks)`` — equals the
+            :class:`TimingReport` slack for the same assignment.
+    """
+
+    arrival: Mapping[int, float]
+    required: Mapping[int, float]
+    slack: Mapping[int, float]
+    worst_slack: float
+
+    def critical_path(self, tree: RoutingTree, tolerance: float = 1e-15) -> List[int]:
+        """Node ids from the root to the critical sink.
+
+        The path follows, at each step, the child whose slack equals
+        the worst slack (within ``tolerance`` relative).
+        """
+        scale = max(1.0, abs(self.worst_slack))
+        path = [tree.root_id]
+        while True:
+            children = [
+                child for child in tree.children_of(path[-1])
+                if abs(self.slack[child] - self.worst_slack) <= tolerance * scale
+            ]
+            if not children:
+                break
+            path.append(children[0])
+        return path
+
+
+def compute_slack_map(
+    tree: RoutingTree,
+    assignment: Optional[Mapping[int, BufferType]] = None,
+    driver: Optional[Driver] = None,
+) -> SlackMap:
+    """Arrival/required/slack at every node under ``assignment``.
+
+    Arrival times mirror :func:`repro.timing.buffered.evaluate_assignment`
+    exactly; required times are propagated upward through the same
+    stage delays, so for every node ``slack >= worst_slack`` with
+    equality exactly on the critical path.
+    """
+    assignment = dict(assignment) if assignment else {}
+    driver = driver if driver is not None else tree.driver
+    cap_below, cap_presented = _stage_capacitances(tree, assignment)
+
+    root = tree.root_id
+    arrival: Dict[int, float] = {
+        root: driver.delay(cap_presented[root]) if driver else 0.0
+    }
+    # Stage delay of the edge into each node (wire + optional buffer).
+    stage_delay: Dict[int, float] = {}
+    for node_id in tree.preorder():
+        if node_id == root:
+            continue
+        edge = tree.edge_to(node_id)
+        delay = edge.resistance * (
+            edge.capacitance / 2.0 + cap_presented[node_id]
+        )
+        buffer = assignment.get(node_id)
+        if buffer is not None:
+            delay += buffer.delay(cap_below[node_id])
+        stage_delay[node_id] = delay
+        arrival[node_id] = arrival[edge.parent] + delay
+
+    required: Dict[int, float] = {}
+    for node_id in tree.postorder():
+        node = tree.node(node_id)
+        if node.is_sink:
+            required[node_id] = node.required_arrival
+        else:
+            required[node_id] = min(
+                required[child] - stage_delay[child]
+                for child in tree.children_of(node_id)
+            )
+
+    slack = {
+        node_id: required[node_id] - arrival[node_id] for node_id in arrival
+    }
+    worst = min(
+        slack[sink.node_id] for sink in tree.sinks()
+    )
+    return SlackMap(
+        arrival=arrival, required=required, slack=slack, worst_slack=worst
+    )

@@ -1,0 +1,50 @@
+"""Routing trees: data structure, builders, wire segmenting, serialization.
+
+A :class:`~repro.tree.routing_tree.RoutingTree` is the net model from the
+paper's Section 2: a rooted tree ``T = (V, E)`` whose root is the source,
+whose leaves are sinks (each with a load capacitance and a required
+arrival time), and whose internal vertices may be candidate buffer
+positions.  Each edge carries lumped wire resistance and capacitance.
+"""
+
+from repro.tree.node import Node, NodeKind, Driver
+from repro.tree.routing_tree import RoutingTree, Edge
+from repro.tree.builders import (
+    two_pin_net,
+    caterpillar_net,
+    balanced_tree_net,
+    random_tree_net,
+    star_net,
+)
+from repro.tree.clock import h_tree_net
+from repro.tree.steiner import prim_steiner_net
+from repro.tree.segmenting import segment_tree, max_segment_length_for_positions
+from repro.tree.io import tree_to_dict, tree_from_dict, save_tree, load_tree
+from repro.tree.blockages import Blockage, apply_blockages, blockage_coverage
+from repro.tree.spef import read_spef, write_spef
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "Driver",
+    "RoutingTree",
+    "Edge",
+    "two_pin_net",
+    "caterpillar_net",
+    "balanced_tree_net",
+    "random_tree_net",
+    "star_net",
+    "h_tree_net",
+    "prim_steiner_net",
+    "segment_tree",
+    "max_segment_length_for_positions",
+    "tree_to_dict",
+    "tree_from_dict",
+    "save_tree",
+    "load_tree",
+    "Blockage",
+    "apply_blockages",
+    "blockage_coverage",
+    "read_spef",
+    "write_spef",
+]

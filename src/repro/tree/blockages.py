@@ -1,0 +1,124 @@
+"""Buffer blockages: geometric restrictions on buffer locations.
+
+The paper's reference [15] (Zhou, Wong, Liu & Aziz) studies buffer
+insertion "with restrictions on buffer locations": macros, IP blocks
+and memory arrays are routable *over* but not *through* — wires may
+cross them, buffers may not land on them.  In the van Ginneken model
+this only changes which internal vertices are insertable, so the
+algorithms need no modification; this module provides the geometry
+layer that applies rectangular blockages to a placed tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.errors import TreeError
+from repro.tree.node import NodeKind
+from repro.tree.routing_tree import RoutingTree
+
+
+@dataclass(frozen=True)
+class Blockage:
+    """An axis-aligned rectangle where buffers may not be placed.
+
+    Attributes:
+        x_min, y_min, x_max, y_max: Corners in micrometres (inclusive).
+        name: Optional label for reports.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise TreeError(
+                f"blockage {self.name or '(unnamed)'}: max corner must not "
+                "be below min corner"
+            )
+
+    def contains(self, point: Tuple[float, float]) -> bool:
+        """Whether ``point`` lies inside (or on the edge of) the rect."""
+        x, y = point
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+    @property
+    def area(self) -> float:
+        return (self.x_max - self.x_min) * (self.y_max - self.y_min)
+
+
+def apply_blockages(
+    tree: RoutingTree, blockages: Iterable[Blockage]
+) -> Tuple[RoutingTree, int]:
+    """A copy of ``tree`` with buffer positions inside blockages removed.
+
+    Vertices without placement metadata are conservatively kept (no
+    geometry, no restriction).  Sinks and pure Steiner points are
+    unaffected; the tree topology and parasitics are unchanged, so the
+    unbuffered timing is identical.
+
+    Returns:
+        ``(restricted_tree, num_positions_removed)``.
+    """
+    rects: List[Blockage] = list(blockages)
+
+    out = RoutingTree.with_source(
+        driver=tree.driver, name=tree.node(tree.root_id).name
+    )
+    id_map = {tree.root_id: out.root_id}
+    removed = 0
+    for node_id in tree.preorder():
+        if node_id == tree.root_id:
+            continue
+        node = tree.node(node_id)
+        edge = tree.edge_to(node_id)
+        parent_new = id_map[edge.parent]
+        if node.kind is NodeKind.SINK:
+            new_id = out.add_sink(
+                parent_new, edge.resistance, edge.capacitance,
+                capacitance=node.capacitance,
+                required_arrival=node.required_arrival,
+                name=node.name, length=edge.length,
+                position=node.position, polarity=node.polarity,
+            )
+        else:
+            insertable = node.is_buffer_position
+            if (
+                insertable
+                and node.position is not None
+                and any(rect.contains(node.position) for rect in rects)
+            ):
+                insertable = False
+                removed += 1
+            new_id = out.add_internal(
+                parent_new, edge.resistance, edge.capacitance,
+                buffer_position=insertable,
+                allowed_buffers=node.allowed_buffers if insertable else None,
+                name=node.name, length=edge.length, position=node.position,
+            )
+        id_map[node_id] = new_id
+    out.validate()
+    return out, removed
+
+
+def blockage_coverage(tree: RoutingTree, blockages: Iterable[Blockage]) -> float:
+    """Fraction of placed buffer positions falling inside blockages.
+
+    A quick workload statistic: how constrained an instance is.
+    Positions without placement metadata are ignored.
+    """
+    rects = list(blockages)
+    placed = [
+        node for node in tree.buffer_positions() if node.position is not None
+    ]
+    if not placed:
+        return 0.0
+    blocked = sum(
+        1 for node in placed
+        if any(rect.contains(node.position) for rect in rects)
+    )
+    return blocked / len(placed)

@@ -1,0 +1,332 @@
+"""Net topology builders.
+
+Every builder returns a validated :class:`~repro.tree.routing_tree.RoutingTree`
+whose edge parasitics come from per-micrometre wire constants (defaults:
+the TSMC 180 nm values quoted in the paper, 0.076 ohm/um and 0.118 fF/um).
+
+Buffer positions are created in two ways:
+
+* builders mark internal vertices (Steiner points, spine taps) as
+  insertable, and
+* :func:`repro.tree.segmenting.segment_tree` splits long wires into
+  segments whose endpoints are insertable — this is how the paper's
+  experiments scale ``n`` independently of the sink count ``m``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TreeError
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+from repro.units import (
+    TSMC180_WIRE_CAP_PER_UM,
+    TSMC180_WIRE_RES_PER_UM,
+    fF,
+    ps,
+)
+
+#: Sink capacitance range quoted in Section 4 of the paper (2-41 fF).
+PAPER_SINK_CAP_RANGE = (fF(2.0), fF(41.0))
+
+RatSpec = Union[float, Tuple[float, float]]
+
+
+def _resolve_rat(rat: RatSpec, rng: random.Random) -> float:
+    if isinstance(rat, tuple):
+        lo, hi = rat
+        return rng.uniform(lo, hi)
+    return float(rat)
+
+
+def _wire(length: float, res_per_um: float, cap_per_um: float) -> Tuple[float, float]:
+    return res_per_um * length, cap_per_um * length
+
+
+def two_pin_net(
+    length: float,
+    sink_capacitance: float = fF(10.0),
+    required_arrival: float = 0.0,
+    driver: Optional[Driver] = None,
+    num_segments: int = 1,
+    res_per_um: float = TSMC180_WIRE_RES_PER_UM,
+    cap_per_um: float = TSMC180_WIRE_CAP_PER_UM,
+) -> RoutingTree:
+    """A single source-to-sink line of ``length`` micrometres.
+
+    The line is divided into ``num_segments`` equal wire segments whose
+    internal endpoints are candidate buffer positions, so the net has
+    ``num_segments - 1`` buffer positions.
+
+    Args:
+        length: Total line length in micrometres.
+        sink_capacitance: Load at the far end, farads.
+        required_arrival: Sink required arrival time, seconds.
+        driver: Optional source driver.
+        num_segments: Number of equal wire segments (>= 1).
+        res_per_um: Wire resistance per micrometre.
+        cap_per_um: Wire capacitance per micrometre.
+    """
+    if length <= 0.0:
+        raise TreeError(f"line length must be positive, got {length}")
+    if num_segments < 1:
+        raise TreeError(f"num_segments must be >= 1, got {num_segments}")
+
+    tree = RoutingTree.with_source(driver=driver)
+    seg_len = length / num_segments
+    seg_r, seg_c = _wire(seg_len, res_per_um, cap_per_um)
+    parent = tree.root_id
+    for i in range(num_segments - 1):
+        parent = tree.add_internal(
+            parent,
+            seg_r,
+            seg_c,
+            buffer_position=True,
+            length=seg_len,
+            position=((i + 1) * seg_len, 0.0),
+        )
+    tree.add_sink(
+        parent,
+        seg_r,
+        seg_c,
+        capacitance=sink_capacitance,
+        required_arrival=required_arrival,
+        length=seg_len,
+        position=(length, 0.0),
+    )
+    tree.validate()
+    return tree
+
+
+def star_net(
+    num_sinks: int,
+    arm_length: float,
+    sink_capacitance: float = fF(10.0),
+    required_arrival: RatSpec = 0.0,
+    driver: Optional[Driver] = None,
+    seed: int = 0,
+    res_per_um: float = TSMC180_WIRE_RES_PER_UM,
+    cap_per_um: float = TSMC180_WIRE_CAP_PER_UM,
+) -> RoutingTree:
+    """``num_sinks`` sinks, each on its own arm straight from the source."""
+    if num_sinks < 1:
+        raise TreeError(f"num_sinks must be >= 1, got {num_sinks}")
+    rng = random.Random(seed)
+    tree = RoutingTree.with_source(driver=driver)
+    arm_r, arm_c = _wire(arm_length, res_per_um, cap_per_um)
+    for i in range(num_sinks):
+        tree.add_sink(
+            tree.root_id,
+            arm_r,
+            arm_c,
+            capacitance=sink_capacitance,
+            required_arrival=_resolve_rat(required_arrival, rng),
+            name=f"s{i}",
+            length=arm_length,
+        )
+    tree.validate()
+    return tree
+
+
+def caterpillar_net(
+    num_sinks: int,
+    spine_segment: float = 200.0,
+    rib_length: float = 50.0,
+    sink_capacitance: RatSpec = fF(10.0),
+    required_arrival: RatSpec = 0.0,
+    driver: Optional[Driver] = None,
+    seed: int = 0,
+    res_per_um: float = TSMC180_WIRE_RES_PER_UM,
+    cap_per_um: float = TSMC180_WIRE_CAP_PER_UM,
+) -> RoutingTree:
+    """A spine of buffer positions with one sink rib per spine vertex.
+
+    This is the canonical "bus tap" topology: a long horizontal trunk
+    where each trunk vertex both continues the trunk and feeds a sink.
+    """
+    if num_sinks < 1:
+        raise TreeError(f"num_sinks must be >= 1, got {num_sinks}")
+    rng = random.Random(seed)
+    tree = RoutingTree.with_source(driver=driver)
+    spine_r, spine_c = _wire(spine_segment, res_per_um, cap_per_um)
+    rib_r, rib_c = _wire(rib_length, res_per_um, cap_per_um)
+
+    spine = tree.root_id
+    for i in range(num_sinks):
+        spine = tree.add_internal(
+            spine,
+            spine_r,
+            spine_c,
+            buffer_position=True,
+            name=f"tap{i}",
+            length=spine_segment,
+            position=((i + 1) * spine_segment, 0.0),
+        )
+        if i == num_sinks - 1:
+            # The last tap would otherwise leave the spine tip a non-sink
+            # leaf; terminate the spine with the final sink instead.
+            tree.add_sink(
+                spine,
+                rib_r,
+                rib_c,
+                capacitance=_resolve_rat(sink_capacitance, rng),
+                required_arrival=_resolve_rat(required_arrival, rng),
+                name=f"s{i}",
+                length=rib_length,
+            )
+        else:
+            tree.add_sink(
+                spine,
+                rib_r,
+                rib_c,
+                capacitance=_resolve_rat(sink_capacitance, rng),
+                required_arrival=_resolve_rat(required_arrival, rng),
+                name=f"s{i}",
+                length=rib_length,
+                position=((i + 1) * spine_segment, -rib_length),
+            )
+    tree.validate()
+    return tree
+
+
+def balanced_tree_net(
+    depth: int,
+    branching: int = 2,
+    edge_length: float = 200.0,
+    sink_capacitance: RatSpec = fF(10.0),
+    required_arrival: RatSpec = 0.0,
+    driver: Optional[Driver] = None,
+    seed: int = 0,
+    res_per_um: float = TSMC180_WIRE_RES_PER_UM,
+    cap_per_um: float = TSMC180_WIRE_CAP_PER_UM,
+) -> RoutingTree:
+    """A perfectly balanced tree with ``branching ** depth`` sinks.
+
+    Internal vertices are buffer positions, mimicking a clock-tree-like
+    symmetric net.  ``depth`` counts internal levels; ``depth=0`` is a
+    single source-to-sink wire.
+    """
+    if depth < 0:
+        raise TreeError(f"depth must be >= 0, got {depth}")
+    if branching < 1:
+        raise TreeError(f"branching must be >= 1, got {branching}")
+    rng = random.Random(seed)
+    tree = RoutingTree.with_source(driver=driver)
+    edge_r, edge_c = _wire(edge_length, res_per_um, cap_per_um)
+
+    frontier = [tree.root_id]
+    for _ in range(depth):
+        next_frontier: List[int] = []
+        for parent in frontier:
+            for _ in range(branching):
+                next_frontier.append(
+                    tree.add_internal(
+                        parent,
+                        edge_r,
+                        edge_c,
+                        buffer_position=True,
+                        length=edge_length,
+                    )
+                )
+        frontier = next_frontier
+    for parent in frontier:
+        tree.add_sink(
+            parent,
+            edge_r,
+            edge_c,
+            capacitance=_resolve_rat(sink_capacitance, rng),
+            required_arrival=_resolve_rat(required_arrival, rng),
+            length=edge_length,
+        )
+    tree.validate()
+    return tree
+
+
+def random_tree_net(
+    num_sinks: int,
+    seed: int,
+    die_size: float = 10_000.0,
+    sink_capacitance_range: Tuple[float, float] = PAPER_SINK_CAP_RANGE,
+    required_arrival: RatSpec = 0.0,
+    driver: Optional[Driver] = None,
+    steiner_buffer_positions: bool = True,
+    res_per_um: float = TSMC180_WIRE_RES_PER_UM,
+    cap_per_um: float = TSMC180_WIRE_CAP_PER_UM,
+) -> RoutingTree:
+    """A random multi-pin net resembling the paper's industrial cases.
+
+    ``num_sinks`` pins are placed uniformly in a ``die_size`` x
+    ``die_size`` micrometre region and connected by a topology built with
+    recursive bisection (alternating x/y median splits), which yields the
+    balanced Steiner-ish trees typical of timing-driven routers.  Edge
+    lengths are Manhattan distances; parasitics follow the per-um wire
+    constants.  Sink capacitances are drawn uniformly from
+    ``sink_capacitance_range`` (paper: 2-41 fF).
+
+    The source sits at the region's lower-left corner.  Steiner vertices
+    are buffer positions when ``steiner_buffer_positions`` is true; use
+    :func:`repro.tree.segmenting.segment_tree` afterwards to reach a
+    target ``n``.
+    """
+    if num_sinks < 1:
+        raise TreeError(f"num_sinks must be >= 1, got {num_sinks}")
+    rng = random.Random(seed)
+    points = [
+        (rng.uniform(0.0, die_size), rng.uniform(0.0, die_size))
+        for _ in range(num_sinks)
+    ]
+    caps = [rng.uniform(*sink_capacitance_range) for _ in range(num_sinks)]
+    rats = [_resolve_rat(required_arrival, rng) for _ in range(num_sinks)]
+
+    tree = RoutingTree.with_source(driver=driver)
+
+    def manhattan(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def centroid(indices: Sequence[int]) -> Tuple[float, float]:
+        xs = sum(points[i][0] for i in indices) / len(indices)
+        ys = sum(points[i][1] for i in indices) / len(indices)
+        return xs, ys
+
+    # Iterative recursive-bisection topology construction.  Each work item
+    # is (parent_node_id, parent_position, sink_indices, split_axis).
+    stack: List[Tuple[int, Tuple[float, float], List[int], int]] = [
+        (tree.root_id, (0.0, 0.0), list(range(num_sinks)), 0)
+    ]
+    while stack:
+        parent_id, parent_pos, indices, axis = stack.pop()
+        if len(indices) == 1:
+            i = indices[0]
+            length = manhattan(parent_pos, points[i])
+            edge_r, edge_c = _wire(length, res_per_um, cap_per_um)
+            tree.add_sink(
+                parent_id,
+                edge_r,
+                edge_c,
+                capacitance=caps[i],
+                required_arrival=rats[i],
+                name=f"s{i}",
+                length=length,
+                position=points[i],
+            )
+            continue
+        here = centroid(indices)
+        length = manhattan(parent_pos, here)
+        edge_r, edge_c = _wire(length, res_per_um, cap_per_um)
+        steiner = tree.add_internal(
+            parent_id,
+            edge_r,
+            edge_c,
+            buffer_position=steiner_buffer_positions,
+            length=length,
+            position=here,
+        )
+        ordered = sorted(indices, key=lambda i: points[i][axis])
+        half = len(ordered) // 2
+        stack.append((steiner, here, ordered[:half], 1 - axis))
+        stack.append((steiner, here, ordered[half:], 1 - axis))
+
+    tree.validate()
+    return tree

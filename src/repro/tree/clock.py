@@ -1,0 +1,84 @@
+"""H-tree clock-distribution topology builder.
+
+The H-tree is the canonical symmetric clock network: each level draws an
+"H" whose four corners host the next level, giving ``4**levels`` leaf
+taps with exactly equal source-to-leaf wirelength.  Buffered H-trees are
+a classic consumer of buffer-insertion algorithms (every branch point
+and segment midpoint is a natural buffer position), and symmetry gives
+the tests a strong invariant: every sink's delay must come out equal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TreeError
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+from repro.units import TSMC180_WIRE_CAP_PER_UM, TSMC180_WIRE_RES_PER_UM, fF
+
+
+def h_tree_net(
+    levels: int,
+    span: float = 8000.0,
+    sink_capacitance: float = fF(10.0),
+    required_arrival: float = 0.0,
+    driver: Optional[Driver] = None,
+    res_per_um: float = TSMC180_WIRE_RES_PER_UM,
+    cap_per_um: float = TSMC180_WIRE_CAP_PER_UM,
+) -> RoutingTree:
+    """A ``levels``-deep H-tree with ``4**levels`` identical sinks.
+
+    The source sits at the die centre.  Level ``i`` draws a horizontal
+    bar of length ``span / 2**i`` and two vertical half-bars; bar
+    midpoints and corners are insertable internal vertices.
+
+    Args:
+        levels: H recursion depth (>= 1); 1 gives 4 sinks.
+        span: Width of the top-level H in micrometres.
+        sink_capacitance: Load of each leaf tap.
+        required_arrival: Common required arrival time.
+        driver: Optional source driver.
+        res_per_um / cap_per_um: Wire constants.
+    """
+    if levels < 1:
+        raise TreeError(f"levels must be >= 1, got {levels}")
+    if span <= 0.0:
+        raise TreeError(f"span must be positive, got {span}")
+
+    tree = RoutingTree.with_source(driver=driver)
+
+    def wire(length: float):
+        return res_per_um * length, cap_per_um * length
+
+    # Work queue: (parent node id, centre position, half-width, level).
+    stack = [(tree.root_id, (0.0, 0.0), span / 2.0, 1)]
+    while stack:
+        parent, (cx, cy), half, level = stack.pop()
+        edge_r, edge_c = wire(half)
+        is_leaf_level = level == levels
+        for dx in (-half, half):
+            # Horizontal arm from centre to the H corner column.
+            arm = tree.add_internal(
+                parent, edge_r, edge_c, buffer_position=True,
+                position=(cx + dx, cy), length=half,
+            )
+            vert_r, vert_c = wire(half / 2.0)
+            for dy in (-half / 2.0, half / 2.0):
+                corner = (cx + dx, cy + dy)
+                if is_leaf_level:
+                    tree.add_sink(
+                        arm, vert_r, vert_c,
+                        capacitance=sink_capacitance,
+                        required_arrival=required_arrival,
+                        position=corner, length=half / 2.0,
+                    )
+                else:
+                    child = tree.add_internal(
+                        arm, vert_r, vert_c, buffer_position=True,
+                        position=corner, length=half / 2.0,
+                    )
+                    stack.append((child, corner, half / 4.0, level + 1))
+
+    tree.validate()
+    return tree

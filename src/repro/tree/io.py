@@ -1,0 +1,175 @@
+"""JSON serialization for routing trees and buffer libraries.
+
+The interchange format is deliberately simple: a dict with a ``nodes``
+list (pre-order, so parents always precede children), an optional
+``driver``, and a format version.  It exists so workloads can be saved,
+diffed and reloaded deterministically; it is not an industry format, but
+the structure mirrors what a SPEF/DEF importer would produce.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import TreeError
+from repro.library.buffer_type import BufferType
+from repro.library.library import BufferLibrary
+from repro.tree.node import Driver, NodeKind
+from repro.tree.routing_tree import RoutingTree
+
+FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree: RoutingTree) -> Dict[str, Any]:
+    """Serialize ``tree`` (including its driver) to plain dicts."""
+    nodes = []
+    for node_id in tree.preorder():
+        node = tree.node(node_id)
+        entry: Dict[str, Any] = {
+            "id": node.node_id,
+            "kind": node.kind.value,
+            "name": node.name,
+        }
+        if node.position is not None:
+            entry["position"] = list(node.position)
+        if node.kind is NodeKind.SINK:
+            entry["capacitance"] = node.capacitance
+            entry["required_arrival"] = node.required_arrival
+            if node.polarity != 1:
+                entry["polarity"] = node.polarity
+        if node.kind is NodeKind.INTERNAL:
+            entry["buffer_position"] = node.is_buffer_position
+            if node.allowed_buffers is not None:
+                entry["allowed_buffers"] = sorted(node.allowed_buffers)
+        if node_id != tree.root_id:
+            edge = tree.edge_to(node_id)
+            entry["edge"] = {
+                "parent": edge.parent,
+                "resistance": edge.resistance,
+                "capacitance": edge.capacitance,
+                "length": edge.length,
+            }
+        nodes.append(entry)
+
+    data: Dict[str, Any] = {"format_version": FORMAT_VERSION, "nodes": nodes}
+    if tree.driver is not None:
+        data["driver"] = {
+            "resistance": tree.driver.resistance,
+            "intrinsic_delay": tree.driver.intrinsic_delay,
+            "name": tree.driver.name,
+        }
+    return data
+
+
+def tree_from_dict(data: Dict[str, Any]) -> RoutingTree:
+    """Rebuild a tree from :func:`tree_to_dict` output.
+
+    Node ids are re-assigned sequentially but the pre-order layout of
+    the format guarantees the same topology and electrical data.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TreeError(f"unsupported tree format version: {version!r}")
+
+    driver = None
+    if "driver" in data:
+        d = data["driver"]
+        driver = Driver(
+            resistance=d["resistance"],
+            intrinsic_delay=d.get("intrinsic_delay", 0.0),
+            name=d.get("name", "driver"),
+        )
+
+    nodes = data["nodes"]
+    if not nodes or nodes[0]["kind"] != NodeKind.SOURCE.value:
+        raise TreeError("first serialized node must be the source")
+
+    tree = RoutingTree.with_source(driver=driver, name=nodes[0].get("name", "src"))
+    id_map = {nodes[0]["id"]: tree.root_id}
+
+    for entry in nodes[1:]:
+        edge = entry.get("edge")
+        if edge is None:
+            raise TreeError(f"non-root node {entry.get('id')} lacks an edge")
+        parent = id_map[edge["parent"]]
+        position = tuple(entry["position"]) if "position" in entry else None
+        kind = entry["kind"]
+        if kind == NodeKind.SINK.value:
+            new_id = tree.add_sink(
+                parent,
+                edge["resistance"],
+                edge["capacitance"],
+                capacitance=entry["capacitance"],
+                required_arrival=entry["required_arrival"],
+                name=entry.get("name", ""),
+                length=edge.get("length", 0.0),
+                position=position,
+                polarity=entry.get("polarity", 1),
+            )
+        elif kind == NodeKind.INTERNAL.value:
+            new_id = tree.add_internal(
+                parent,
+                edge["resistance"],
+                edge["capacitance"],
+                buffer_position=entry.get("buffer_position", False),
+                allowed_buffers=entry.get("allowed_buffers"),
+                name=entry.get("name", ""),
+                length=edge.get("length", 0.0),
+                position=position,
+            )
+        else:
+            raise TreeError(f"unknown node kind {kind!r}")
+        id_map[entry["id"]] = new_id
+
+    tree.validate()
+    return tree
+
+
+def library_to_dict(library: BufferLibrary) -> Dict[str, Any]:
+    """Serialize a buffer library."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "buffers": [
+            {
+                "name": b.name,
+                "driving_resistance": b.driving_resistance,
+                "input_capacitance": b.input_capacitance,
+                "intrinsic_delay": b.intrinsic_delay,
+                "cost": b.cost,
+                "inverting": b.inverting,
+                "max_load": b.max_load,
+            }
+            for b in library.buffers
+        ],
+    }
+
+
+def library_from_dict(data: Dict[str, Any]) -> BufferLibrary:
+    """Rebuild a buffer library from :func:`library_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TreeError(f"unsupported library format version: {version!r}")
+    return BufferLibrary(
+        BufferType(
+            name=entry["name"],
+            driving_resistance=entry["driving_resistance"],
+            input_capacitance=entry["input_capacitance"],
+            intrinsic_delay=entry["intrinsic_delay"],
+            cost=entry.get("cost", 1.0),
+            inverting=entry.get("inverting", False),
+            max_load=entry.get("max_load"),
+        )
+        for entry in data["buffers"]
+    )
+
+
+def save_tree(tree: RoutingTree, path: Union[str, Path]) -> None:
+    """Write ``tree`` as JSON to ``path``."""
+    Path(path).write_text(json.dumps(tree_to_dict(tree), indent=2))
+
+
+def load_tree(path: Union[str, Path]) -> RoutingTree:
+    """Read a tree previously written by :func:`save_tree`."""
+    return tree_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,127 @@
+"""Vertex and driver models for routing trees."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import TreeError
+
+
+class NodeKind(enum.Enum):
+    """The role of a vertex in the routing tree (paper Section 2)."""
+
+    #: The net's driver pin; always the root and unique.
+    SOURCE = "source"
+    #: A load pin with sink capacitance and required arrival time.
+    SINK = "sink"
+    #: An internal vertex: a candidate buffer position or a Steiner point.
+    INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class Driver:
+    """The source driver under the same linear delay model as buffers.
+
+    The slack reported by every algorithm is measured at the *output* of
+    this driver: ``slack = max over candidates (Q - K_d - R_d * C)``.
+
+    Attributes:
+        resistance: Driver output resistance in ohms.
+        intrinsic_delay: Driver intrinsic delay in seconds.
+        name: Optional label for reports.
+    """
+
+    resistance: float
+    intrinsic_delay: float = 0.0
+    name: str = "driver"
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0.0:
+            raise TreeError(f"driver resistance must be >= 0, got {self.resistance}")
+        if self.intrinsic_delay < 0.0:
+            raise TreeError(
+                f"driver intrinsic delay must be >= 0, got {self.intrinsic_delay}"
+            )
+
+    def delay(self, downstream_capacitance: float) -> float:
+        """Driver delay when loaded with ``downstream_capacitance``."""
+        return self.intrinsic_delay + self.resistance * downstream_capacitance
+
+
+@dataclass
+class Node:
+    """A vertex of the routing tree.
+
+    Attributes:
+        node_id: Integer id, unique within a tree and assigned by the tree.
+        kind: Source, sink or internal.
+        capacitance: Sink load capacitance in farads (sinks only).
+        required_arrival: Required arrival time in seconds (sinks only).
+        is_buffer_position: Whether a buffer may be inserted here
+            (internal vertices only; Steiner branch points may be
+            non-insertable).
+        allowed_buffers: The paper's function ``f``: the set of buffer
+            type *names* permitted at this vertex, or ``None`` to allow
+            the whole library.
+        position: Optional (x, y) placement in micrometres, used by
+            builders and examples; the algorithms never read it.
+        name: Optional human-readable label.
+        polarity: For sinks: the signal polarity the pin requires,
+            ``+1`` (default, same as the source) or ``-1`` (inverted).
+            Only the polarity-aware extension
+            (:mod:`repro.core.polarity`) reads it; the DATE-2005
+            algorithms assume every sink is positive.
+    """
+
+    node_id: int
+    kind: NodeKind
+    capacitance: float = 0.0
+    required_arrival: float = 0.0
+    is_buffer_position: bool = False
+    allowed_buffers: Optional[FrozenSet[str]] = None
+    position: Optional[Tuple[float, float]] = None
+    name: str = ""
+    polarity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind is NodeKind.SINK:
+            if self.capacitance < 0.0:
+                raise TreeError(
+                    f"sink {self.node_id}: capacitance must be >= 0, "
+                    f"got {self.capacitance}"
+                )
+            if self.is_buffer_position:
+                raise TreeError(f"sink {self.node_id} cannot be a buffer position")
+        elif self.kind is NodeKind.SOURCE:
+            if self.is_buffer_position:
+                raise TreeError("the source cannot be a buffer position")
+        if self.allowed_buffers is not None and not self.is_buffer_position:
+            raise TreeError(
+                f"node {self.node_id}: allowed_buffers set on a "
+                "non-buffer-position vertex"
+            )
+        if self.polarity not in (1, -1):
+            raise TreeError(
+                f"node {self.node_id}: polarity must be +1 or -1, "
+                f"got {self.polarity}"
+            )
+        if self.polarity == -1 and self.kind is not NodeKind.SINK:
+            raise TreeError(
+                f"node {self.node_id}: only sinks carry a polarity requirement"
+            )
+
+    @property
+    def is_sink(self) -> bool:
+        return self.kind is NodeKind.SINK
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind is NodeKind.SOURCE
+
+    def permits(self, buffer_name: str) -> bool:
+        """Whether buffer type ``buffer_name`` may be inserted here."""
+        if not self.is_buffer_position:
+            return False
+        return self.allowed_buffers is None or buffer_name in self.allowed_buffers

@@ -1,0 +1,209 @@
+"""A pragmatic SPEF subset: export/import nets as parasitic netlists.
+
+SPEF (IEEE 1481) is the industry format for extracted parasitics.  This
+module writes a routing tree as one ``*D_NET`` with ``*CONN``/``*CAP``/
+``*RES`` sections and reads such files back, so instances can move
+between this library and standard tooling.
+
+Subset and conventions (documented, deliberately simple):
+
+* One net per file; the driver pin is the single ``*P`` (port) entry,
+  sinks are ``*I`` entries with their pin loads (``*L``).
+* Edge capacitance is lumped at the *downstream* node (L-model in the
+  file).  The reader reassembles it as the edge's lumped capacitance,
+  and the library's timing then applies its usual pi split — so a
+  write/read round trip reproduces the original tree exactly.
+* Node naming encodes insertability: internal vertices named ``n<k>``
+  are candidate buffer positions, ``s<k>`` are Steiner-only.
+* Required arrival times are not part of SPEF; they are carried in
+  ``// rat <pin> <seconds>`` comment lines the reader understands (and
+  other tools ignore).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import TreeError
+from repro.tree.node import Driver, NodeKind
+from repro.tree.routing_tree import RoutingTree
+
+_HEADER_LINES = [
+    '*SPEF "IEEE 1481-1998"',
+    '*DESIGN "repro"',
+    '*T_UNIT 1 S',
+    '*C_UNIT 1 F',
+    '*R_UNIT 1 OHM',
+    '*L_UNIT 1 HENRY',
+]
+
+
+def _node_label(tree: RoutingTree, node_id: int) -> str:
+    node = tree.node(node_id)
+    if node.kind is NodeKind.SOURCE:
+        return "driver"
+    if node.kind is NodeKind.SINK:
+        return node.name or f"sink{node_id}"
+    prefix = "n" if node.is_buffer_position else "s"
+    return f"{prefix}{node_id}"
+
+
+def write_spef(tree: RoutingTree, path: Union[str, Path]) -> None:
+    """Write ``tree`` as a single-net SPEF file at ``path``."""
+    labels = {node_id: _node_label(tree, node_id) for node_id in
+              (n.node_id for n in tree.nodes())}
+    if len(set(labels.values())) != len(labels):
+        raise TreeError("node labels are not unique; rename sinks")
+
+    lines: List[str] = list(_HEADER_LINES)
+    if tree.driver is not None:
+        lines.append(f"// driver {tree.driver.resistance!r} "
+                     f"{tree.driver.intrinsic_delay!r}")
+    for sink in tree.sinks():
+        if sink.required_arrival != 0.0:
+            lines.append(f"// rat {labels[sink.node_id]} "
+                         f"{sink.required_arrival!r}")
+        if sink.polarity == -1:
+            lines.append(f"// polarity {labels[sink.node_id]} -1")
+
+    total_cap = tree.total_wire_capacitance() + sum(
+        s.capacitance for s in tree.sinks()
+    )
+    lines.append(f"*D_NET net0 {total_cap!r}")
+
+    lines.append("*CONN")
+    lines.append("*P driver O")
+    for sink in tree.sinks():
+        lines.append(f"*I {labels[sink.node_id]} I *L {sink.capacitance!r}")
+
+    lines.append("*CAP")
+    cap_index = 1
+    for node_id in tree.preorder():
+        if node_id == tree.root_id:
+            continue
+        edge = tree.edge_to(node_id)
+        if edge.capacitance != 0.0:
+            lines.append(
+                f"{cap_index} {labels[node_id]} {edge.capacitance!r}"
+            )
+            cap_index += 1
+
+    lines.append("*RES")
+    res_index = 1
+    for node_id in tree.preorder():
+        if node_id == tree.root_id:
+            continue
+        edge = tree.edge_to(node_id)
+        lines.append(
+            f"{res_index} {labels[edge.parent]} {labels[node_id]} "
+            f"{edge.resistance!r}"
+        )
+        res_index += 1
+
+    lines.append("*END")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_spef(path: Union[str, Path]) -> RoutingTree:
+    """Read a file written by :func:`write_spef` back into a tree.
+
+    Only the documented subset is understood; unknown directives raise
+    :class:`TreeError` (silent misparses of timing data are worse than
+    loud failures).
+    """
+    text = Path(path).read_text()
+    rats: Dict[str, float] = {}
+    polarities: Dict[str, int] = {}
+    loads: Dict[str, float] = {}
+    caps: Dict[str, float] = {}
+    resistors: List[Tuple[str, str, float]] = []
+    driver: Optional[Driver] = None
+
+    section = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("//"):
+            parts = line[2:].split()
+            if parts and parts[0] == "rat":
+                rats[parts[1]] = float(parts[2])
+            elif parts and parts[0] == "polarity":
+                polarities[parts[1]] = int(parts[2])
+            elif parts and parts[0] == "driver":
+                driver = Driver(resistance=float(parts[1]),
+                                intrinsic_delay=float(parts[2]))
+            continue
+        if line.startswith("*"):
+            directive = line.split()[0]
+            if directive in ("*SPEF", "*DESIGN", "*T_UNIT", "*C_UNIT",
+                             "*R_UNIT", "*L_UNIT", "*D_NET", "*END"):
+                section = None
+                continue
+            if directive == "*CONN":
+                section = "conn"
+                continue
+            if directive == "*CAP":
+                section = "cap"
+                continue
+            if directive == "*RES":
+                section = "res"
+                continue
+            if directive in ("*P", "*I") and section == "conn":
+                parts = line.split()
+                if directive == "*I":
+                    if "*L" not in parts:
+                        raise TreeError(f"sink pin without load: {line!r}")
+                    loads[parts[1]] = float(parts[parts.index("*L") + 1])
+                continue
+            raise TreeError(f"unsupported SPEF directive: {line!r}")
+        parts = line.split()
+        if section == "cap":
+            if len(parts) != 3:
+                raise TreeError(f"malformed *CAP entry: {line!r}")
+            caps[parts[1]] = float(parts[2])
+        elif section == "res":
+            if len(parts) != 4:
+                raise TreeError(f"malformed *RES entry: {line!r}")
+            resistors.append((parts[1], parts[2], float(parts[3])))
+        else:
+            raise TreeError(f"unexpected line outside sections: {line!r}")
+
+    if not resistors:
+        raise TreeError("no *RES entries: cannot reconstruct topology")
+
+    children: Dict[str, List[Tuple[str, float]]] = {}
+    for parent, child, resistance in resistors:
+        children.setdefault(parent, []).append((child, resistance))
+
+    tree = RoutingTree.with_source(driver=driver)
+    id_of = {"driver": tree.root_id}
+    stack = ["driver"]
+    seen = {"driver"}
+    while stack:
+        label = stack.pop()
+        for child_label, resistance in children.get(label, []):
+            if child_label in seen:
+                raise TreeError(f"node {child_label!r} has two drivers")
+            seen.add(child_label)
+            capacitance = caps.get(child_label, 0.0)
+            if child_label in loads:
+                new_id = tree.add_sink(
+                    id_of[label], resistance, capacitance,
+                    capacitance=loads[child_label],
+                    required_arrival=rats.get(child_label, 0.0),
+                    name=child_label,
+                    polarity=polarities.get(child_label, 1),
+                )
+            else:
+                new_id = tree.add_internal(
+                    id_of[label], resistance, capacitance,
+                    buffer_position=child_label.startswith("n"),
+                    name=child_label,
+                )
+            id_of[child_label] = new_id
+            stack.append(child_label)
+
+    tree.validate()
+    return tree

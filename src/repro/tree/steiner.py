@@ -1,0 +1,105 @@
+"""Prim-based rectilinear Steiner-ish topology builder.
+
+The recursive-bisection builder (:func:`repro.tree.builders.random_tree_net`)
+yields balanced topologies; real routers produce greedier trees.  This
+builder grows the tree Prim-style: sinks attach one at a time to the
+closest point already in the tree, via an L-shaped (one-bend) route
+whose bend becomes a Steiner vertex.  The result has the long trunks
+and stubby branches typical of congestion-free maze routing, giving the
+algorithms a structurally different workload than the bisection trees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TreeError
+from repro.tree.builders import PAPER_SINK_CAP_RANGE, RatSpec, _resolve_rat
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+from repro.units import TSMC180_WIRE_CAP_PER_UM, TSMC180_WIRE_RES_PER_UM
+
+
+def prim_steiner_net(
+    num_sinks: int,
+    seed: int,
+    die_size: float = 10_000.0,
+    sink_capacitance_range: Tuple[float, float] = PAPER_SINK_CAP_RANGE,
+    required_arrival: RatSpec = 0.0,
+    driver: Optional[Driver] = None,
+    res_per_um: float = TSMC180_WIRE_RES_PER_UM,
+    cap_per_um: float = TSMC180_WIRE_CAP_PER_UM,
+) -> RoutingTree:
+    """Grow a rectilinear Steiner-like net by nearest-point attachment.
+
+    Pins are placed uniformly at random; the source sits at the die
+    centre-left edge.  Each sink (in random order) connects to the
+    nearest vertex already in the tree with an L route: first the
+    horizontal leg to a bend vertex, then the vertical leg to the pin
+    (degenerate legs are skipped).  Bend and attachment vertices are
+    buffer positions.
+
+    Args:
+        num_sinks: Number of pins (>= 1).
+        seed: RNG seed (topology and electrical data).
+        die_size: Region side, micrometres.
+        sink_capacitance_range: Uniform sink-load window.
+        required_arrival: Scalar or (lo, hi) window, seconds.
+        driver: Optional source driver.
+        res_per_um / cap_per_um: Wire constants.
+    """
+    if num_sinks < 1:
+        raise TreeError(f"num_sinks must be >= 1, got {num_sinks}")
+    rng = random.Random(seed)
+    tree = RoutingTree.with_source(driver=driver)
+
+    pins = [
+        (rng.uniform(0.0, die_size), rng.uniform(0.0, die_size))
+        for _ in range(num_sinks)
+    ]
+    # Vertices available as attachment points: node id -> position.
+    attachable: Dict[int, Tuple[float, float]] = {
+        tree.root_id: (0.0, die_size / 2.0)
+    }
+
+    def wire(length: float) -> Tuple[float, float]:
+        return res_per_um * length, cap_per_um * length
+
+    order = list(range(num_sinks))
+    rng.shuffle(order)
+    for pin_index in order:
+        px, py = pins[pin_index]
+        host_id, (hx, hy) = min(
+            attachable.items(),
+            key=lambda item: abs(item[1][0] - px) + abs(item[1][1] - py),
+        )
+        attach = host_id
+        horizontal = abs(px - hx)
+        vertical = abs(py - hy)
+        if horizontal > 0.0 and vertical > 0.0:
+            edge_r, edge_c = wire(horizontal)
+            attach = tree.add_internal(
+                attach, edge_r, edge_c, buffer_position=True,
+                position=(px, hy), length=horizontal,
+            )
+            attachable[attach] = (px, hy)
+            leg = vertical
+        else:
+            leg = horizontal + vertical  # one of them is zero
+        edge_r, edge_c = wire(leg)
+        sink = tree.add_sink(
+            attach, edge_r, edge_c,
+            capacitance=rng.uniform(*sink_capacitance_range),
+            required_arrival=_resolve_rat(required_arrival, rng),
+            name=f"s{pin_index}",
+            position=(px, py),
+            length=leg,
+        )
+        # Future pins may tap the new sink's *position* but not the sink
+        # vertex itself (sinks are leaves); expose the bend instead.
+        if attach != host_id:
+            attachable[attach] = tree.node(attach).position
+
+    tree.validate()
+    return tree

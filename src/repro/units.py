@@ -1,0 +1,79 @@
+"""Unit helpers.
+
+The library stores every physical quantity in SI units:
+
+* resistance in ohms,
+* capacitance in farads,
+* time in seconds,
+* distance in micrometres (the customary unit for on-chip wire lengths;
+  per-unit-length parasitics are therefore "per micrometre").
+
+The helpers below exist so that code reads in the units the paper quotes
+(femtofarads, picoseconds, ohms per micrometre) while the arithmetic stays
+in SI.  They are trivial multiplications on purpose — no unit *objects* are
+introduced, because candidate-list inner loops must stay plain ``float``.
+"""
+
+from __future__ import annotations
+
+#: One femtofarad in farads.
+FF = 1e-15
+
+#: One picofarad in farads.
+PF = 1e-12
+
+#: One picosecond in seconds.
+PS = 1e-12
+
+#: One nanosecond in seconds.
+NS = 1e-9
+
+#: One kiloohm in ohms.
+KOHM = 1e3
+
+
+def fF(value: float) -> float:
+    """Convert a value in femtofarads to farads."""
+    return value * FF
+
+
+def pF(value: float) -> float:
+    """Convert a value in picofarads to farads."""
+    return value * PF
+
+
+def ps(value: float) -> float:
+    """Convert a value in picoseconds to seconds."""
+    return value * PS
+
+
+def ns(value: float) -> float:
+    """Convert a value in nanoseconds to seconds."""
+    return value * NS
+
+
+def ohm(value: float) -> float:
+    """Identity helper for readability: a value already in ohms."""
+    return value
+
+
+def kohm(value: float) -> float:
+    """Convert a value in kiloohms to ohms."""
+    return value * KOHM
+
+
+def to_ps(seconds: float) -> float:
+    """Convert seconds to picoseconds (for reporting)."""
+    return seconds / PS
+
+
+def to_fF(farads: float) -> float:
+    """Convert farads to femtofarads (for reporting)."""
+    return farads / FF
+
+
+# TSMC 180 nm interconnect parameters quoted in Section 4 of the paper.
+#: Wire resistance, ohms per micrometre.
+TSMC180_WIRE_RES_PER_UM = 0.076
+#: Wire capacitance, farads per micrometre.
+TSMC180_WIRE_CAP_PER_UM = 0.118 * FF

@@ -1,0 +1,33 @@
+"""Simultaneous buffer insertion and wire sizing.
+
+The paper's reference [7] (Lillis, Cheng & Lin, JSSC 1996) treats wire
+sizing and buffer insertion in one dynamic program: every wire may be
+drawn at one of a few widths, a wider wire having lower resistance but
+higher capacitance.  The candidate algebra is unchanged — each width
+choice is just another way to generate (Q, C) candidates for an edge,
+merged by the same dominance pruning — so the DATE-2005 add-buffer
+speedup composes with it directly.
+
+Public API:
+
+* :class:`~repro.wiresizing.wire_library.WireClass` /
+  :func:`~repro.wiresizing.wire_library.default_wire_classes`
+* :func:`~repro.wiresizing.dp.size_wires_and_insert_buffers`
+"""
+
+from repro.wiresizing.wire_library import WireClass, default_wire_classes
+from repro.wiresizing.dp import (
+    WireSizingResult,
+    size_wires_and_insert_buffers,
+    apply_wire_assignment,
+    verify_wire_sizing,
+)
+
+__all__ = [
+    "WireClass",
+    "default_wire_classes",
+    "WireSizingResult",
+    "size_wires_and_insert_buffers",
+    "apply_wire_assignment",
+    "verify_wire_sizing",
+]

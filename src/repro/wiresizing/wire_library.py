@@ -1,0 +1,82 @@
+"""Wire classes: the discrete widths a router may draw a wire at."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LibraryError
+
+
+@dataclass(frozen=True)
+class WireClass:
+    """One drawable wire width, as scale factors on the base parasitics.
+
+    A wire of width ``w`` (relative to minimum width) has resistance
+    ``~1/w`` and capacitance ``~f + (1-f) w`` where ``f`` is the fringe
+    fraction (fringe capacitance does not grow with width).  The scale
+    factors are stored explicitly so exotic stacks (thick top metal,
+    shielded routes) can be expressed too.
+
+    Attributes:
+        name: Label, unique within a set of classes.
+        resistance_scale: Multiplier on the edge's base resistance.
+        capacitance_scale: Multiplier on the edge's base capacitance.
+        cost_per_length: Abstract routing-resource cost (not used by the
+            delay objective; carried for reporting).
+    """
+
+    name: str
+    resistance_scale: float
+    capacitance_scale: float
+    cost_per_length: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.resistance_scale <= 0.0:
+            raise LibraryError(
+                f"wire class {self.name!r}: resistance scale must be > 0"
+            )
+        if self.capacitance_scale <= 0.0:
+            raise LibraryError(
+                f"wire class {self.name!r}: capacitance scale must be > 0"
+            )
+
+
+def default_wire_classes(
+    count: int = 3,
+    max_width: float = 4.0,
+    fringe_fraction: float = 0.3,
+) -> List[WireClass]:
+    """``count`` widths from 1x to ``max_width``x, geometrically spaced.
+
+    Width ``w`` gives resistance scale ``1/w`` and capacitance scale
+    ``fringe_fraction + (1 - fringe_fraction) * w``.  The first class is
+    always the minimum width (scales 1.0/1.0), so an unsized run is
+    reproduced by passing ``count=1``.
+
+    Args:
+        count: Number of classes (>= 1).
+        max_width: Width of the widest class relative to minimum.
+        fringe_fraction: Fraction of base capacitance that is fringe.
+    """
+    if count < 1:
+        raise LibraryError(f"count must be >= 1, got {count}")
+    if max_width < 1.0:
+        raise LibraryError(f"max_width must be >= 1, got {max_width}")
+    if not 0.0 <= fringe_fraction < 1.0:
+        raise LibraryError(
+            f"fringe_fraction must be in [0, 1), got {fringe_fraction}"
+        )
+    classes = []
+    for i in range(count):
+        t = i / (count - 1) if count > 1 else 0.0
+        width = max_width ** t
+        classes.append(
+            WireClass(
+                name=f"W{width:.2f}x",
+                resistance_scale=1.0 / width,
+                capacitance_scale=fringe_fraction + (1.0 - fringe_fraction) * width,
+                cost_per_length=width,
+            )
+        )
+    return classes

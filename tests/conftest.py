@@ -1,0 +1,105 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+import pytest
+
+from repro import (
+    BufferLibrary,
+    BufferType,
+    Driver,
+    RoutingTree,
+    paper_library,
+    two_pin_net,
+)
+from repro.core.candidate import Candidate, SinkDecision
+from repro.units import fF, ps
+
+#: Tolerance for slack comparisons in seconds (sub-femtosecond).
+SLACK_ATOL = 1e-16
+
+
+def make_candidates(points: Sequence[Tuple[float, float]]) -> List[Candidate]:
+    """Candidates from raw (q, c) pairs with dummy sink decisions."""
+    return [Candidate(q=q, c=c, decision=SinkDecision(i)) for i, (q, c) in enumerate(points)]
+
+
+def qc(candidates: Sequence[Candidate]) -> List[Tuple[float, float]]:
+    """The (q, c) pairs of a candidate list, for equality assertions."""
+    return [(cand.q, cand.c) for cand in candidates]
+
+
+def random_small_tree(seed: int, max_extra: int = 3) -> RoutingTree:
+    """A random tree with <= ~7 buffer positions, for oracle tests.
+
+    The shape mixes chains and branches so merges happen above buffer
+    positions (the structurally interesting case).
+    """
+    rng = random.Random(seed)
+    tree = RoutingTree.with_source(driver=Driver(rng.uniform(100.0, 800.0)))
+
+    def wire() -> Tuple[float, float]:
+        return rng.uniform(5.0, 400.0), fF(rng.uniform(2.0, 60.0))
+
+    def sink(parent: int) -> None:
+        r, c = wire()
+        tree.add_sink(
+            parent,
+            r,
+            c,
+            capacitance=fF(rng.uniform(2.0, 41.0)),
+            required_arrival=ps(rng.uniform(0.0, 1500.0)),
+        )
+
+    # A short chain off the source, then a branch, then short chains.
+    r, c = wire()
+    node = tree.add_internal(tree.root_id, r, c)
+    for _ in range(rng.randrange(max_extra)):
+        r, c = wire()
+        node = tree.add_internal(node, r, c)
+    branches = rng.choice([1, 2, 2, 3])
+    for _ in range(branches):
+        child = node
+        for _ in range(rng.randrange(1, 3)):
+            r, c = wire()
+            child = tree.add_internal(child, r, c)
+        sink(child)
+    tree.validate()
+    return tree
+
+
+@pytest.fixture
+def small_library() -> BufferLibrary:
+    """A 3-type library with spread parameters."""
+    return BufferLibrary(
+        [
+            BufferType("weak", 4000.0, fF(1.5), ps(30.0)),
+            BufferType("mid", 1200.0, fF(6.0), ps(32.0)),
+            BufferType("strong", 300.0, fF(18.0), ps(35.0)),
+        ]
+    )
+
+
+@pytest.fixture
+def single_buffer() -> BufferType:
+    return BufferType("only", 1000.0, fF(5.0), ps(30.0))
+
+
+@pytest.fixture
+def line_net() -> RoutingTree:
+    """An 8-segment 2-pin line with a driver."""
+    return two_pin_net(
+        length=6000.0,
+        sink_capacitance=fF(20.0),
+        required_arrival=ps(900.0),
+        driver=Driver(resistance=200.0),
+        num_segments=8,
+    )
+
+
+@pytest.fixture
+def paper_lib8() -> BufferLibrary:
+    return paper_library(8)

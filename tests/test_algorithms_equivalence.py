@@ -1,0 +1,135 @@
+"""Cross-algorithm equivalence: the paper's central correctness claim.
+
+Both the O(b^2 n^2) baseline and the O(b n^2) algorithm are *exact*, so
+they must return identical optimal slacks on every instance, and every
+reported slack must be reproduced by the independent timing oracle on
+the reconstructed assignment.
+"""
+
+import pytest
+
+from conftest import SLACK_ATOL, random_small_tree
+
+from repro import (
+    Driver,
+    balanced_tree_net,
+    caterpillar_net,
+    insert_buffers,
+    paper_library,
+    random_tree_net,
+    segment_tree,
+    star_net,
+    two_pin_net,
+    uniform_random_library,
+    unbuffered_slack,
+)
+from repro.units import fF, ps
+
+NETS = {
+    "line": lambda: two_pin_net(
+        length=8000.0, sink_capacitance=fF(20.0), required_arrival=ps(900.0),
+        driver=Driver(200.0), num_segments=24,
+    ),
+    "caterpillar": lambda: caterpillar_net(
+        8, required_arrival=(ps(100.0), ps(900.0)), driver=Driver(300.0), seed=5,
+    ),
+    "balanced": lambda: balanced_tree_net(
+        3, edge_length=600.0, required_arrival=ps(800.0), driver=Driver(250.0),
+    ),
+    "star_segmented": lambda: segment_tree(
+        star_net(4, arm_length=2500.0, required_arrival=ps(700.0),
+                 driver=Driver(400.0)),
+        250.0,
+    ),
+    "random": lambda: segment_tree(
+        random_tree_net(20, seed=8, required_arrival=(ps(200.0), ps(1500.0)),
+                        driver=Driver(200.0)),
+        400.0,
+    ),
+}
+
+
+@pytest.mark.parametrize("net_name", sorted(NETS))
+@pytest.mark.parametrize("lib_size", [1, 2, 8])
+def test_fast_equals_lillis(net_name, lib_size):
+    tree = NETS[net_name]()
+    library = paper_library(lib_size)
+    fast = insert_buffers(tree, library, algorithm="fast")
+    lillis = insert_buffers(tree, library, algorithm="lillis")
+    assert fast.slack == pytest.approx(lillis.slack, abs=SLACK_ATOL)
+
+
+@pytest.mark.parametrize("net_name", sorted(NETS))
+def test_slack_verified_by_oracle(net_name):
+    tree = NETS[net_name]()
+    library = paper_library(8)
+    for algorithm in ("fast", "lillis"):
+        result = insert_buffers(tree, library, algorithm=algorithm)
+        report = result.verify(tree)
+        assert report.slack == pytest.approx(result.slack, rel=1e-12), algorithm
+
+
+@pytest.mark.parametrize("net_name", sorted(NETS))
+def test_buffering_never_hurts(net_name):
+    tree = NETS[net_name]()
+    library = paper_library(8)
+    result = insert_buffers(tree, library)
+    assert result.slack >= unbuffered_slack(tree) - SLACK_ATOL
+
+
+def test_bigger_library_never_hurts():
+    """A superset library can only improve the optimum (more choices)."""
+    tree = NETS["line"]()
+    small = paper_library(8)
+    slack_small = insert_buffers(tree, small).slack
+
+    from repro import BufferLibrary
+
+    extra = paper_library(16, jitter=0.1, seed=3)
+    renamed = [
+        type(b)(f"extra_{i}", b.driving_resistance, b.input_capacitance,
+                b.intrinsic_delay, b.cost)
+        for i, b in enumerate(extra)
+    ]
+    superset = BufferLibrary(list(small.buffers) + renamed)
+    slack_super = insert_buffers(tree, superset).slack
+    assert slack_super >= slack_small - SLACK_ATOL
+
+
+def test_more_positions_never_hurt():
+    """Segmenting more finely can only improve the optimum."""
+    base = two_pin_net(length=8000.0, sink_capacitance=fF(20.0),
+                       required_arrival=ps(900.0), driver=Driver(200.0),
+                       num_segments=8)
+    fine = two_pin_net(length=8000.0, sink_capacitance=fF(20.0),
+                       required_arrival=ps(900.0), driver=Driver(200.0),
+                       num_segments=32)
+    library = paper_library(8)
+    assert (
+        insert_buffers(fine, library).slack
+        >= insert_buffers(base, library).slack - SLACK_ATOL
+    )
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_fast_equals_lillis_on_random_trees(seed):
+    tree = random_small_tree(seed)
+    library = uniform_random_library(5, seed=seed + 1000)
+    fast = insert_buffers(tree, library, algorithm="fast")
+    lillis = insert_buffers(tree, library, algorithm="lillis")
+    assert fast.slack == pytest.approx(lillis.slack, abs=SLACK_ATOL)
+    assert fast.verify(tree).slack == pytest.approx(fast.slack, rel=1e-12)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_identical_assignments_not_required_but_slacks_equal(seed):
+    """Multiple optima may exist; assignments may differ, slacks cannot."""
+    tree = random_small_tree(seed + 50)
+    library = uniform_random_library(4, seed=seed)
+    fast = insert_buffers(tree, library, algorithm="fast")
+    lillis = insert_buffers(tree, library, algorithm="lillis")
+    from repro import evaluate_slack
+
+    assert evaluate_slack(tree, fast.assignment) == pytest.approx(
+        evaluate_slack(tree, lillis.assignment), abs=SLACK_ATOL
+    )

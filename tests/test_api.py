@@ -1,0 +1,57 @@
+"""Public API dispatch tests."""
+
+import pytest
+
+from repro import BufferLibrary, insert_buffers
+from repro.core.api import ALGORITHMS
+from repro.errors import AlgorithmError
+
+
+def test_algorithm_names_exported():
+    assert set(ALGORITHMS) == {"fast", "lillis", "van_ginneken"}
+
+
+def test_unknown_algorithm_rejected(line_net, small_library):
+    with pytest.raises(AlgorithmError):
+        insert_buffers(line_net, small_library, algorithm="magic")
+
+
+def test_default_is_fast(line_net, small_library):
+    assert insert_buffers(line_net, small_library).stats.algorithm == "fast"
+
+
+def test_options_rejected_for_lillis(line_net, small_library):
+    with pytest.raises(AlgorithmError):
+        insert_buffers(line_net, small_library, algorithm="lillis",
+                       destructive_pruning=True)
+
+
+def test_options_rejected_for_van_ginneken(line_net, single_buffer):
+    with pytest.raises(AlgorithmError):
+        insert_buffers(line_net, BufferLibrary([single_buffer]),
+                       algorithm="van_ginneken", destructive_pruning=True)
+
+
+def test_van_ginneken_via_dispatch(line_net, single_buffer):
+    result = insert_buffers(line_net, BufferLibrary([single_buffer]),
+                            algorithm="van_ginneken")
+    assert result.stats.algorithm == "van_ginneken"
+
+
+def test_result_str_and_properties(line_net, small_library):
+    result = insert_buffers(line_net, small_library)
+    assert "slack" in str(result)
+    assert result.num_buffers == len(result.assignment)
+    counts = result.buffer_counts_by_type()
+    assert sum(counts.values()) == result.num_buffers
+    assert result.total_cost == pytest.approx(
+        sum(b.cost for b in result.assignment.values())
+    )
+
+
+def test_package_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__

@@ -1,0 +1,97 @@
+"""Buffer-blockage tests (paper ref [15]: restricted buffer locations)."""
+
+import pytest
+
+from conftest import SLACK_ATOL
+
+from repro import (
+    Driver,
+    insert_buffers,
+    paper_library,
+    two_pin_net,
+    unbuffered_slack,
+)
+from repro.errors import TreeError
+from repro.tree.blockages import Blockage, apply_blockages, blockage_coverage
+from repro.units import fF, ps
+
+
+@pytest.fixture
+def line():
+    # Positions at x = 500, 1000, ..., 9500 along a 10 mm line.
+    return two_pin_net(length=10_000.0, sink_capacitance=fF(20.0),
+                       required_arrival=ps(2000.0), driver=Driver(200.0),
+                       num_segments=20)
+
+
+def test_blockage_validation():
+    with pytest.raises(TreeError):
+        Blockage(10.0, 0.0, 0.0, 5.0)
+
+
+def test_contains_and_area():
+    rect = Blockage(0.0, 0.0, 10.0, 5.0)
+    assert rect.contains((5.0, 2.5))
+    assert rect.contains((0.0, 0.0))  # edges inclusive
+    assert not rect.contains((11.0, 2.5))
+    assert rect.area == 50.0
+
+
+def test_apply_removes_covered_positions(line):
+    # Block the middle 2 mm of the line: 4 positions (4500..6500).
+    macro = Blockage(4400.0, -10.0, 6600.0, 10.0, name="macro")
+    restricted, removed = apply_blockages(line, [macro])
+    assert removed == 5  # x = 4500, 5000, 5500, 6000, 6500
+    assert restricted.num_buffer_positions == line.num_buffer_positions - 5
+
+
+def test_apply_preserves_topology_and_timing(line):
+    macro = Blockage(4400.0, -10.0, 6600.0, 10.0)
+    restricted, _ = apply_blockages(line, [macro])
+    assert restricted.num_nodes == line.num_nodes
+    assert unbuffered_slack(restricted) == pytest.approx(
+        unbuffered_slack(line), abs=SLACK_ATOL
+    )
+
+
+def test_blockage_can_cost_slack(line):
+    """Blocking the line's sweet spot must not improve the optimum and
+    typically degrades it."""
+    library = paper_library(4)
+    free = insert_buffers(line, library)
+    # Block everything except the first and last position.
+    huge = Blockage(900.0, -10.0, 9100.0, 10.0)
+    restricted, removed = apply_blockages(line, [huge])
+    assert removed > 10
+    blocked = insert_buffers(restricted, library)
+    assert blocked.slack <= free.slack + SLACK_ATOL
+    # No buffer lands inside the blockage.
+    for node_id in blocked.assignment:
+        x, _ = restricted.node(node_id).position
+        assert x < 900.0 or x > 9100.0
+
+
+def test_empty_blockage_list_is_identity(line):
+    restricted, removed = apply_blockages(line, [])
+    assert removed == 0
+    assert restricted.num_buffer_positions == line.num_buffer_positions
+
+
+def test_positions_without_geometry_kept():
+    from repro import RoutingTree
+
+    tree = RoutingTree.with_source()
+    v = tree.add_internal(0, 1.0, fF(1.0))  # no position metadata
+    tree.add_sink(v, 1.0, fF(1.0), capacitance=fF(2.0), required_arrival=0.0)
+    restricted, removed = apply_blockages(
+        tree, [Blockage(-1e9, -1e9, 1e9, 1e9)]
+    )
+    assert removed == 0
+    assert restricted.num_buffer_positions == 1
+
+
+def test_coverage_fraction(line):
+    macro = Blockage(4400.0, -10.0, 6600.0, 10.0)
+    coverage = blockage_coverage(line, [macro])
+    assert coverage == pytest.approx(5 / line.num_buffer_positions)
+    assert blockage_coverage(line, []) == 0.0

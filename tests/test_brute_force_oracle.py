@@ -1,0 +1,70 @@
+"""Tiny-instance ground truth: DP algorithms versus exhaustive search."""
+
+import pytest
+
+from conftest import random_small_tree
+
+from repro import (
+    Driver,
+    insert_buffers,
+    insert_buffers_brute_force,
+    paper_library,
+    two_pin_net,
+    uniform_random_library,
+)
+from repro.errors import AlgorithmError
+from repro.units import fF, ps
+
+
+def test_budget_guard():
+    net = two_pin_net(length=1000.0, num_segments=30)
+    with pytest.raises(AlgorithmError):
+        insert_buffers_brute_force(net, paper_library(8), max_combinations=100)
+
+
+def test_line_matches_brute_force():
+    net = two_pin_net(length=3000.0, sink_capacitance=fF(20.0),
+                      required_arrival=ps(900.0), driver=Driver(180.0),
+                      num_segments=6)
+    library = paper_library(3)
+    exact = insert_buffers_brute_force(net, library)
+    for algorithm in ("fast", "lillis"):
+        dp = insert_buffers(net, library, algorithm=algorithm)
+        assert dp.slack == pytest.approx(exact.slack, rel=1e-12), algorithm
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_trees_match_brute_force(seed):
+    tree = random_small_tree(seed)
+    if tree.num_buffer_positions > 7:
+        pytest.skip("combinatorial blow-up")
+    library = uniform_random_library(3, seed=seed + 7)
+    exact = insert_buffers_brute_force(tree, library)
+    dp = insert_buffers(tree, library)
+    assert dp.slack == pytest.approx(exact.slack, rel=1e-12)
+
+
+def test_brute_force_respects_allowed_buffers():
+    from repro import RoutingTree
+
+    library = paper_library(3)
+    tree = RoutingTree.with_source(driver=Driver(300.0))
+    v = tree.add_internal(0, 200.0, fF(30.0),
+                          allowed_buffers=[library[0].name])
+    tree.add_sink(v, 200.0, fF(30.0), capacitance=fF(20.0),
+                  required_arrival=ps(500.0))
+    exact = insert_buffers_brute_force(tree, library)
+    for buffer in exact.assignment.values():
+        assert buffer.name == library[0].name
+    dp = insert_buffers(tree, library)
+    assert dp.slack == pytest.approx(exact.slack, rel=1e-12)
+
+
+def test_brute_force_stats_report_enumeration():
+    net = two_pin_net(length=2000.0, num_segments=3,
+                      required_arrival=ps(500.0), driver=Driver(200.0))
+    library = paper_library(2)
+    exact = insert_buffers_brute_force(net, library)
+    # 2 positions, 3 choices each = 9 assignments.
+    assert exact.stats.candidates_generated == 9
+    assert exact.stats.algorithm == "brute_force"

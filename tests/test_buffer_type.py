@@ -1,0 +1,87 @@
+"""BufferType validation and delay-model tests."""
+
+import math
+
+import pytest
+
+from repro import BufferType
+from repro.errors import LibraryError
+from repro.units import fF, ps
+
+
+def make(name="b", r=1000.0, c=fF(5.0), k=ps(30.0), cost=1.0):
+    return BufferType(name, r, c, k, cost)
+
+
+def test_linear_delay_model():
+    buf = make(r=2000.0, c=fF(3.0), k=ps(25.0))
+    load = fF(10.0)
+    assert math.isclose(buf.delay(load), ps(25.0) + 2000.0 * load)
+
+
+def test_delay_with_zero_load_is_intrinsic():
+    buf = make(k=ps(29.0))
+    assert buf.delay(0.0) == ps(29.0)
+
+
+def test_rejects_non_positive_resistance():
+    with pytest.raises(LibraryError):
+        make(r=0.0)
+    with pytest.raises(LibraryError):
+        make(r=-5.0)
+
+
+def test_rejects_negative_capacitance():
+    with pytest.raises(LibraryError):
+        make(c=-fF(1.0))
+
+
+def test_rejects_negative_intrinsic():
+    with pytest.raises(LibraryError):
+        make(k=-ps(1.0))
+
+
+def test_rejects_negative_cost():
+    with pytest.raises(LibraryError):
+        make(cost=-1.0)
+
+
+def test_zero_capacitance_allowed():
+    # An idealized buffer: legal, exercised in algorithm edge tests.
+    assert make(c=0.0).input_capacitance == 0.0
+
+
+def test_dominates_all_three_axes():
+    better = make("x", r=500.0, c=fF(2.0), k=ps(20.0))
+    worse = make("y", r=600.0, c=fF(3.0), k=ps(25.0))
+    assert better.dominates(worse)
+    assert not worse.dominates(better)
+
+
+def test_dominates_ignores_cost():
+    cheap = make("x", cost=0.5)
+    pricey = make("y", cost=9.0)
+    assert cheap.dominates(pricey) and pricey.dominates(cheap)
+
+
+def test_dominates_is_reflexive():
+    buf = make()
+    assert buf.dominates(buf)
+
+
+def test_not_dominating_when_tradeoff():
+    low_r = make("x", r=500.0, c=fF(10.0))
+    low_c = make("y", r=2000.0, c=fF(2.0))
+    assert not low_r.dominates(low_c)
+    assert not low_c.dominates(low_r)
+
+
+def test_frozen():
+    buf = make()
+    with pytest.raises(AttributeError):
+        buf.driving_resistance = 1.0
+
+
+def test_str_mentions_name_and_units():
+    text = str(make("BUF_X3"))
+    assert "BUF_X3" in text and "ohm" in text and "fF" in text and "ps" in text

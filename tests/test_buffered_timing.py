@@ -1,0 +1,122 @@
+"""Buffered-tree timing-oracle tests (hand-computed stage delays)."""
+
+import pytest
+
+from repro import BufferType, Driver, RoutingTree, evaluate_assignment, evaluate_slack
+from repro.errors import TimingError
+from repro.units import fF, ps
+
+
+@pytest.fixture
+def chain():
+    """src --(R1=10,C1=2f)--> v1 --(R2=20,C2=4f)--> sink(6f, rat=1000ps)."""
+    tree = RoutingTree.with_source(driver=Driver(resistance=100.0))
+    v1 = tree.add_internal(0, 10.0, fF(2.0))
+    tree.add_sink(v1, 20.0, fF(4.0), capacitance=fF(6.0), required_arrival=ps(1000.0))
+    return tree
+
+
+@pytest.fixture
+def buffer_type():
+    return BufferType("B", driving_resistance=50.0, input_capacitance=fF(3.0),
+                      intrinsic_delay=ps(7.0))
+
+
+def test_unbuffered_matches_elmore(chain):
+    from repro import elmore_delays, unbuffered_slack
+
+    report = evaluate_assignment(chain)
+    assert report.slack == pytest.approx(unbuffered_slack(chain))
+    sink_id = chain.sinks()[0].node_id
+    assert report.sink_delays[sink_id] == pytest.approx(
+        elmore_delays(chain)[sink_id]
+    )
+
+
+def test_buffered_chain_hand_computed(chain, buffer_type):
+    """Buffer at v1: driver sees wire1 + Cb; buffer drives wire2 + load."""
+    sink_id = chain.sinks()[0].node_id
+    report = evaluate_assignment(chain, {1: buffer_type})
+
+    downstream_of_buffer = fF(4.0) + fF(6.0)
+    expected = (
+        100.0 * (fF(2.0) + fF(3.0))                     # driver: wire1 + Cb
+        + 10.0 * (fF(1.0) + fF(3.0))                     # wire1 pi-delay into Cb
+        + ps(7.0) + 50.0 * downstream_of_buffer          # buffer delay
+        + 20.0 * (fF(2.0) + fF(6.0))                     # wire2 into load
+    )
+    assert report.sink_delays[sink_id] == pytest.approx(expected)
+    assert report.slack == pytest.approx(ps(1000.0) - expected)
+
+
+def test_driver_load_reflects_buffer_shielding(chain, buffer_type):
+    unbuffered = evaluate_assignment(chain)
+    buffered = evaluate_assignment(chain, {1: buffer_type})
+    assert unbuffered.driver_load == pytest.approx(fF(2.0 + 4.0 + 6.0))
+    assert buffered.driver_load == pytest.approx(fF(2.0 + 3.0))
+
+
+def test_report_counts_buffers_and_cost(chain, buffer_type):
+    report = evaluate_assignment(chain, {1: buffer_type})
+    assert report.num_buffers == 1
+    assert report.total_buffer_cost == buffer_type.cost
+
+
+def test_rejects_buffer_on_non_position(chain, buffer_type):
+    sink_id = chain.sinks()[0].node_id
+    with pytest.raises(TimingError):
+        evaluate_assignment(chain, {sink_id: buffer_type})
+
+
+def test_rejects_disallowed_type():
+    tree = RoutingTree.with_source()
+    v = tree.add_internal(0, 1.0, fF(1.0), allowed_buffers=["other"])
+    tree.add_sink(v, 1.0, fF(1.0), capacitance=fF(2.0), required_arrival=0.0)
+    buf = BufferType("mine", 100.0, fF(1.0), ps(5.0))
+    with pytest.raises(TimingError):
+        evaluate_assignment(tree, {v: buf})
+
+
+def test_critical_sink_identified():
+    tree = RoutingTree.with_source()
+    v = tree.add_internal(0, 10.0, fF(2.0), buffer_position=False)
+    easy = tree.add_sink(v, 5.0, fF(1.0), capacitance=fF(3.0),
+                         required_arrival=ps(500.0))
+    tight = tree.add_sink(v, 5.0, fF(1.0), capacitance=fF(3.0),
+                          required_arrival=ps(1.0))
+    report = evaluate_assignment(tree)
+    assert report.critical_sink == tight
+    assert report.sink_slacks[tight] < report.sink_slacks[easy]
+
+
+def test_buffer_shields_downstream_capacitance_from_side_branch():
+    """A buffer on one branch speeds up the *other* branch."""
+    tree = RoutingTree.with_source(driver=Driver(500.0))
+    fork = tree.add_internal(0, 10.0, fF(2.0), buffer_position=False)
+    fast_sink = tree.add_sink(fork, 5.0, fF(1.0), capacitance=fF(2.0),
+                              required_arrival=ps(1000.0))
+    heavy = tree.add_internal(fork, 5.0, fF(1.0))
+    tree.add_sink(heavy, 200.0, fF(50.0), capacitance=fF(40.0),
+                  required_arrival=ps(1000.0))
+    buf = BufferType("B", 100.0, fF(1.0), ps(5.0))
+
+    before = evaluate_assignment(tree).sink_delays[fast_sink]
+    after = evaluate_assignment(tree, {heavy: buf}).sink_delays[fast_sink]
+    assert after < before
+
+
+def test_evaluate_slack_shorthand(chain, buffer_type):
+    assert evaluate_slack(chain, {1: buffer_type}) == pytest.approx(
+        evaluate_assignment(chain, {1: buffer_type}).slack
+    )
+
+
+def test_explicit_driver_overrides_tree(chain, buffer_type):
+    weak = evaluate_slack(chain, driver=Driver(10_000.0))
+    strong = evaluate_slack(chain, driver=Driver(1.0))
+    assert strong > weak
+
+
+def test_str_report(chain):
+    text = str(evaluate_assignment(chain))
+    assert "slack" in text and "ps" in text

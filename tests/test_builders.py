@@ -1,0 +1,160 @@
+"""Net-builder tests."""
+
+import pytest
+
+from repro import (
+    Driver,
+    balanced_tree_net,
+    caterpillar_net,
+    random_tree_net,
+    star_net,
+    two_pin_net,
+)
+from repro.errors import TreeError
+from repro.units import TSMC180_WIRE_CAP_PER_UM, TSMC180_WIRE_RES_PER_UM, fF, ps
+
+
+class TestTwoPin:
+    def test_segment_count(self):
+        net = two_pin_net(length=1000.0, num_segments=10)
+        assert net.num_buffer_positions == 9
+        assert net.num_sinks == 1
+
+    def test_single_segment_has_no_positions(self):
+        net = two_pin_net(length=1000.0, num_segments=1)
+        assert net.num_buffer_positions == 0
+
+    def test_total_parasitics_match_length(self):
+        net = two_pin_net(length=2500.0, num_segments=7)
+        assert net.total_wire_capacitance() == pytest.approx(
+            2500.0 * TSMC180_WIRE_CAP_PER_UM
+        )
+        total_r = sum(net.edge_to(i).resistance for i in range(1, net.num_nodes))
+        assert total_r == pytest.approx(2500.0 * TSMC180_WIRE_RES_PER_UM)
+
+    def test_is_a_path(self):
+        net = two_pin_net(length=1000.0, num_segments=5)
+        assert net.depth() == 5
+        assert all(len(net.children_of(i)) <= 1 for i in range(net.num_nodes))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TreeError):
+            two_pin_net(length=0.0)
+        with pytest.raises(TreeError):
+            two_pin_net(length=10.0, num_segments=0)
+
+    def test_sink_electrical_data(self):
+        net = two_pin_net(
+            length=100.0, sink_capacitance=fF(7.0), required_arrival=ps(42.0)
+        )
+        sink = net.sinks()[0]
+        assert sink.capacitance == fF(7.0)
+        assert sink.required_arrival == ps(42.0)
+
+
+class TestStar:
+    def test_shape(self):
+        net = star_net(5, arm_length=100.0)
+        assert net.num_sinks == 5
+        assert net.depth() == 1
+        assert net.num_buffer_positions == 0
+
+    def test_rejects_zero_sinks(self):
+        with pytest.raises(TreeError):
+            star_net(0, arm_length=10.0)
+
+    def test_rat_window_randomized(self):
+        net = star_net(20, arm_length=10.0, required_arrival=(ps(10.0), ps(90.0)), seed=1)
+        rats = [s.required_arrival for s in net.sinks()]
+        assert min(rats) >= ps(10.0) and max(rats) <= ps(90.0)
+        assert len(set(rats)) > 1
+
+
+class TestCaterpillar:
+    def test_counts(self):
+        net = caterpillar_net(6)
+        assert net.num_sinks == 6
+        assert net.num_buffer_positions == 6  # one tap per sink
+
+    def test_validates(self):
+        caterpillar_net(1).validate()
+        caterpillar_net(10).validate()
+
+    def test_rejects_zero(self):
+        with pytest.raises(TreeError):
+            caterpillar_net(0)
+
+
+class TestBalanced:
+    def test_sink_count(self):
+        net = balanced_tree_net(depth=3, branching=2)
+        assert net.num_sinks == 8
+        net = balanced_tree_net(depth=2, branching=3)
+        assert net.num_sinks == 9
+
+    def test_depth_zero_is_single_wire(self):
+        net = balanced_tree_net(depth=0)
+        assert net.num_sinks == 1 and net.num_buffer_positions == 0
+
+    def test_internal_count(self):
+        net = balanced_tree_net(depth=3, branching=2)
+        assert net.num_buffer_positions == 2 + 4 + 8
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TreeError):
+            balanced_tree_net(depth=-1)
+        with pytest.raises(TreeError):
+            balanced_tree_net(depth=2, branching=0)
+
+
+class TestRandomTree:
+    def test_reproducible(self):
+        a = random_tree_net(25, seed=3)
+        b = random_tree_net(25, seed=3)
+        assert a.num_nodes == b.num_nodes
+        assert [n.capacitance for n in a.sinks()] == [n.capacitance for n in b.sinks()]
+
+    def test_different_seeds_differ(self):
+        a = random_tree_net(25, seed=3)
+        b = random_tree_net(25, seed=4)
+        caps_a = [n.capacitance for n in a.sinks()]
+        caps_b = [n.capacitance for n in b.sinks()]
+        assert caps_a != caps_b
+
+    def test_sink_count(self):
+        assert random_tree_net(40, seed=0).num_sinks == 40
+
+    def test_sink_caps_in_paper_range(self):
+        net = random_tree_net(40, seed=0)
+        for sink in net.sinks():
+            assert fF(2.0) <= sink.capacitance <= fF(41.0)
+
+    def test_steiner_positions_flag(self):
+        with_pos = random_tree_net(10, seed=0, steiner_buffer_positions=True)
+        without = random_tree_net(10, seed=0, steiner_buffer_positions=False)
+        assert with_pos.num_buffer_positions > 0
+        assert without.num_buffer_positions == 0
+
+    def test_driver_attached(self):
+        net = random_tree_net(5, seed=0, driver=Driver(123.0))
+        assert net.driver.resistance == 123.0
+
+    def test_single_sink(self):
+        net = random_tree_net(1, seed=0)
+        assert net.num_sinks == 1
+        net.validate()
+
+    def test_rejects_zero_sinks(self):
+        with pytest.raises(TreeError):
+            random_tree_net(0, seed=0)
+
+    def test_edge_parasitics_proportional_to_length(self):
+        net = random_tree_net(15, seed=2)
+        for node_id in range(1, net.num_nodes):
+            edge = net.edge_to(node_id)
+            assert edge.resistance == pytest.approx(
+                edge.length * TSMC180_WIRE_RES_PER_UM
+            )
+            assert edge.capacitance == pytest.approx(
+                edge.length * TSMC180_WIRE_CAP_PER_UM
+            )

@@ -1,0 +1,114 @@
+"""CLI (``python -m repro``) tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_and_buffer_round_trip(tmp_path, capsys):
+    net_path = tmp_path / "net.json"
+    lib_path = tmp_path / "lib.json"
+    out_path = tmp_path / "solution.json"
+
+    assert main([
+        "generate", "--net", str(net_path), "--sinks", "12",
+        "--positions", "80", "--library", str(lib_path),
+        "--library-size", "4",
+    ]) == 0
+    generated = capsys.readouterr().out
+    assert "wrote net" in generated and "wrote library" in generated
+    assert net_path.exists() and lib_path.exists()
+
+    assert main([
+        "buffer", "--net", str(net_path), "--library", str(lib_path),
+        "--algorithm", "fast", "--output", str(out_path),
+    ]) == 0
+    report = capsys.readouterr().out
+    assert "== solution ==" in report
+    assert "optimized slack" in report
+
+    payload = json.loads(out_path.read_text())
+    assert payload["algorithm"] == "fast"
+    assert isinstance(payload["assignment"], dict)
+    assert "slack_seconds" in payload
+
+
+def test_buffer_lillis_agrees_with_fast(tmp_path, capsys):
+    net_path = tmp_path / "net.json"
+    lib_path = tmp_path / "lib.json"
+    main(["generate", "--net", str(net_path), "--sinks", "8",
+          "--positions", "50", "--library", str(lib_path),
+          "--library-size", "3"])
+    capsys.readouterr()
+
+    slacks = {}
+    for algorithm in ("fast", "lillis"):
+        out_path = tmp_path / f"{algorithm}.json"
+        main(["buffer", "--net", str(net_path), "--library", str(lib_path),
+              "--algorithm", algorithm, "--output", str(out_path)])
+        capsys.readouterr()
+        slacks[algorithm] = json.loads(out_path.read_text())["slack_seconds"]
+    assert slacks["fast"] == pytest.approx(slacks["lillis"], abs=1e-16)
+
+
+def test_paper_pseudocode_flag(tmp_path, capsys):
+    net_path = tmp_path / "net.json"
+    lib_path = tmp_path / "lib.json"
+    main(["generate", "--net", str(net_path), "--sinks", "5",
+          "--positions", "30", "--library", str(lib_path),
+          "--library-size", "2"])
+    capsys.readouterr()
+    assert main(["buffer", "--net", str(net_path), "--library", str(lib_path),
+                 "--paper-pseudocode"]) == 0
+    assert "fast-destructive" in capsys.readouterr().out
+
+
+def test_paper_pseudocode_requires_fast(tmp_path, capsys):
+    net_path = tmp_path / "net.json"
+    lib_path = tmp_path / "lib.json"
+    main(["generate", "--net", str(net_path), "--sinks", "5",
+          "--positions", "30", "--library", str(lib_path),
+          "--library-size", "2"])
+    capsys.readouterr()
+    assert main(["buffer", "--net", str(net_path), "--library", str(lib_path),
+                 "--algorithm", "lillis", "--paper-pseudocode"]) == 2
+
+
+def test_show_tree(tmp_path, capsys):
+    net_path = tmp_path / "net.json"
+    lib_path = tmp_path / "lib.json"
+    main(["generate", "--net", str(net_path), "--sinks", "4",
+          "--positions", "20", "--library", str(lib_path),
+          "--library-size", "2"])
+    capsys.readouterr()
+    main(["buffer", "--net", str(net_path), "--library", str(lib_path),
+          "--show-tree"])
+    assert "sink" in capsys.readouterr().out
+
+
+def test_info(tmp_path, capsys):
+    net_path = tmp_path / "net.json"
+    main(["generate", "--net", str(net_path), "--sinks", "6",
+          "--positions", "40"])
+    capsys.readouterr()
+    assert main(["info", "--net", str(net_path)]) == 0
+    assert "sinks (m):" in capsys.readouterr().out
+
+
+def test_generate_nothing_is_an_error(capsys):
+    assert main(["generate"]) == 2
+    assert "nothing to do" in capsys.readouterr().err
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0
+    assert "buffer insertion" in proc.stdout

@@ -1,0 +1,105 @@
+"""H-tree and Prim-Steiner builder tests."""
+
+import pytest
+
+from repro import (
+    Driver,
+    elmore_delays,
+    h_tree_net,
+    insert_buffers,
+    paper_library,
+    prim_steiner_net,
+)
+from repro.errors import TreeError
+from repro.units import fF, ps
+
+
+class TestHTree:
+    @pytest.mark.parametrize("levels,expected", [(1, 4), (2, 16), (3, 64)])
+    def test_sink_count(self, levels, expected):
+        assert h_tree_net(levels).num_sinks == expected
+
+    def test_validation(self):
+        with pytest.raises(TreeError):
+            h_tree_net(0)
+        with pytest.raises(TreeError):
+            h_tree_net(2, span=-1.0)
+
+    def test_perfect_symmetry_unbuffered(self):
+        net = h_tree_net(2, driver=Driver(200.0))
+        delays = list(elmore_delays(net).values())
+        assert all(d == pytest.approx(delays[0], rel=1e-9) for d in delays)
+
+    def test_symmetry_survives_buffering(self):
+        """Optimal buffering of a symmetric net keeps sinks symmetric
+        (equal worst slack across all four quadrants)."""
+        net = h_tree_net(2, span=6000.0, sink_capacitance=fF(12.0),
+                         required_arrival=ps(1000.0), driver=Driver(250.0))
+        result = insert_buffers(net, paper_library(4))
+        report = result.verify(net)
+        slacks = list(report.sink_slacks.values())
+        assert min(slacks) == pytest.approx(report.slack)
+        # The critical slack is shared by many sinks in a symmetric net.
+        critical = sum(
+            1 for s in slacks if s == pytest.approx(report.slack, rel=1e-9)
+        )
+        assert critical >= 4
+
+    def test_buffering_improves_deep_htree(self):
+        from repro import unbuffered_slack
+
+        net = h_tree_net(3, span=12_000.0, required_arrival=ps(2000.0),
+                         driver=Driver(250.0))
+        result = insert_buffers(net, paper_library(4))
+        assert result.slack > unbuffered_slack(net) + ps(10.0)
+
+    def test_all_internal_are_buffer_positions(self):
+        net = h_tree_net(2)
+        from repro.tree.node import NodeKind
+
+        internals = [n for n in net.nodes() if n.kind is NodeKind.INTERNAL]
+        assert internals
+        assert all(n.is_buffer_position for n in internals)
+
+
+class TestPrimSteiner:
+    def test_reproducible(self):
+        a = prim_steiner_net(30, seed=1)
+        b = prim_steiner_net(30, seed=1)
+        assert a.num_nodes == b.num_nodes
+        assert [n.capacitance for n in a.sinks()] == [
+            n.capacitance for n in b.sinks()
+        ]
+
+    def test_sink_count(self):
+        assert prim_steiner_net(25, seed=2).num_sinks == 25
+
+    def test_single_sink(self):
+        net = prim_steiner_net(1, seed=3)
+        net.validate()
+        assert net.num_sinks == 1
+
+    def test_rejects_zero_sinks(self):
+        with pytest.raises(TreeError):
+            prim_steiner_net(0, seed=0)
+
+    def test_has_bend_buffer_positions(self):
+        net = prim_steiner_net(40, seed=4)
+        assert net.num_buffer_positions > 0
+
+    def test_wirelength_reasonable(self):
+        """Prim attachment should not exceed per-pin star wirelength."""
+        net = prim_steiner_net(40, seed=5, die_size=1000.0)
+        star_bound = 40 * 2000.0  # every pin routed from the source corner
+        assert 0 < net.total_wire_length() < star_bound
+
+    def test_algorithms_agree_on_steiner_topology(self):
+        from conftest import SLACK_ATOL
+
+        net = prim_steiner_net(25, seed=6, required_arrival=ps(1500.0),
+                               driver=Driver(200.0))
+        library = paper_library(4)
+        fast = insert_buffers(net, library)
+        lillis = insert_buffers(net, library, algorithm="lillis")
+        assert fast.slack == pytest.approx(lillis.slack, abs=SLACK_ATOL)
+        assert fast.verify(net).slack == pytest.approx(fast.slack, rel=1e-12)

@@ -1,0 +1,60 @@
+"""Library-clustering (Alpert et al. baseline) tests."""
+
+import pytest
+
+from repro import cluster_library, paper_library, uniform_random_library
+from repro.errors import LibraryError
+
+
+def test_cluster_reduces_to_target_size():
+    lib = paper_library(32)
+    for target in (1, 4, 8, 16):
+        assert cluster_library(lib, target, seed=0).size == target
+
+
+def test_cluster_returns_subset_of_original_cells():
+    lib = paper_library(32)
+    reduced = cluster_library(lib, 8, seed=0)
+    names = {b.name for b in lib}
+    assert all(b.name in names for b in reduced)
+
+
+def test_cluster_full_size_is_identity_set():
+    lib = paper_library(8)
+    reduced = cluster_library(lib, 8, seed=0)
+    assert {b.name for b in reduced} == {b.name for b in lib}
+
+
+def test_cluster_deterministic_per_seed():
+    lib = uniform_random_library(40, seed=5)
+    a = cluster_library(lib, 6, seed=1)
+    b = cluster_library(lib, 6, seed=1)
+    assert {x.name for x in a} == {x.name for x in b}
+
+
+def test_cluster_target_validation():
+    lib = paper_library(8)
+    with pytest.raises(LibraryError):
+        cluster_library(lib, 0)
+    with pytest.raises(LibraryError):
+        cluster_library(lib, 9)
+
+
+def test_cluster_spreads_over_strength_ladder():
+    # Representatives of a 64-ladder at target 4 should span a wide
+    # resistance range, not collapse into one corner.
+    lib = paper_library(64)
+    reduced = cluster_library(lib, 4, seed=0)
+    r_lo, r_hi = reduced.resistance_range()
+    assert r_hi / r_lo > 4.0
+
+
+def test_cluster_handles_duplicate_parameter_points():
+    # Many identical cells must not crash k-means++ (zero weights).
+    from repro import BufferLibrary, BufferType
+    from repro.units import fF, ps
+
+    cells = [BufferType(f"b{i}", 1000.0, fF(5.0), ps(30.0)) for i in range(6)]
+    cells.append(BufferType("odd", 300.0, fF(15.0), ps(33.0)))
+    reduced = cluster_library(BufferLibrary(cells), 2, seed=0)
+    assert reduced.size == 2

@@ -1,0 +1,146 @@
+"""Cost-bounded extension tests: frontier shape and oracle agreement."""
+
+import pytest
+
+from conftest import SLACK_ATOL, random_small_tree
+
+from repro import (
+    Driver,
+    evaluate_slack,
+    insert_buffers,
+    paper_library,
+    two_pin_net,
+    uniform_random_library,
+    unbuffered_slack,
+)
+from repro.cost import minimize_cost, slack_cost_frontier
+from repro.errors import AlgorithmError, InfeasibleError
+from repro.units import fF, ps
+
+
+@pytest.fixture
+def net():
+    return two_pin_net(length=7000.0, sink_capacitance=fF(20.0),
+                       required_arrival=ps(900.0), driver=Driver(250.0),
+                       num_segments=14)
+
+
+def test_frontier_monotone(net):
+    frontier = slack_cost_frontier(net, paper_library(4))
+    costs = [p.cost for p in frontier]
+    slacks = [p.slack for p in frontier]
+    assert costs == sorted(costs)
+    assert slacks == sorted(slacks)
+    assert len(set(costs)) == len(costs)
+
+
+def test_frontier_starts_unbuffered_and_ends_optimal(net):
+    library = paper_library(4)
+    frontier = slack_cost_frontier(net, library)
+    assert frontier[0].cost == 0
+    assert frontier[0].slack == pytest.approx(unbuffered_slack(net))
+    optimum = insert_buffers(net, library)
+    assert frontier[-1].slack == pytest.approx(optimum.slack, abs=SLACK_ATOL)
+
+
+def test_frontier_points_all_verified(net):
+    library = paper_library(4)
+    for point in slack_cost_frontier(net, library):
+        measured = evaluate_slack(net, point.assignment)
+        assert measured == pytest.approx(point.slack, rel=1e-12)
+        assert len(point.assignment) >= 0
+        assert point.num_buffers == len(point.assignment)
+
+
+def test_frontier_cost_counts_buffers_by_default(net):
+    for point in slack_cost_frontier(net, paper_library(4)):
+        assert point.cost == point.num_buffers
+
+
+def test_custom_cost_function(net):
+    library = paper_library(4)
+    frontier = slack_cost_frontier(
+        net, library, cost_fn=lambda b: 2
+    )
+    assert all(p.cost % 2 == 0 for p in frontier)
+
+
+def test_cost_fn_validation(net):
+    with pytest.raises(AlgorithmError):
+        slack_cost_frontier(net, paper_library(2), cost_fn=lambda b: 0.5)
+    with pytest.raises(AlgorithmError):
+        slack_cost_frontier(net, paper_library(2), cost_fn=lambda b: -1)
+
+
+def test_minimize_cost_returns_cheapest_meeting_target(net):
+    library = paper_library(4)
+    frontier = slack_cost_frontier(net, library)
+    assert len(frontier) >= 2
+    target = frontier[1].slack  # exactly achievable at cost of point 1
+    result = minimize_cost(net, library, slack_target=target)
+    assert result.cost == frontier[1].cost
+    assert result.slack >= target
+
+
+def test_minimize_cost_zero_target_prefers_no_buffers(net):
+    library = paper_library(4)
+    base = unbuffered_slack(net)
+    result = minimize_cost(net, library, slack_target=base - ps(1.0))
+    assert result.cost == 0
+    assert result.assignment == {}
+
+
+def test_minimize_cost_infeasible(net):
+    with pytest.raises(InfeasibleError):
+        minimize_cost(net, paper_library(4), slack_target=1.0)  # one second!
+
+
+def test_max_cost_truncates_frontier(net):
+    library = paper_library(4)
+    full = slack_cost_frontier(net, library)
+    capped = slack_cost_frontier(net, library, max_cost=1)
+    assert all(p.cost <= 1 for p in capped)
+    assert capped[0].slack == pytest.approx(full[0].slack)
+
+
+def test_frontier_matches_bruteforce_per_cost_on_tiny_instance():
+    """For each buffer count k, the frontier's slack at cost <= k must
+    equal the best brute-force assignment using <= k buffers."""
+    import itertools
+
+    net = two_pin_net(length=3000.0, sink_capacitance=fF(20.0),
+                      required_arrival=ps(900.0), driver=Driver(200.0),
+                      num_segments=5)
+    library = paper_library(2)
+    positions = [n.node_id for n in net.buffer_positions()]
+
+    best_by_count = {}
+    choices = [None] + list(library.buffers)
+    for combo in itertools.product(choices, repeat=len(positions)):
+        assignment = {
+            pos: buf for pos, buf in zip(positions, combo) if buf is not None
+        }
+        slack = evaluate_slack(net, assignment)
+        k = len(assignment)
+        if k not in best_by_count or slack > best_by_count[k]:
+            best_by_count[k] = slack
+
+    frontier = slack_cost_frontier(net, library)
+    for point in frontier:
+        expected = max(
+            slack for k, slack in best_by_count.items() if k <= point.cost
+        )
+        assert point.slack == pytest.approx(expected, rel=1e-12)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_frontier_on_random_trees_consistent_with_unconstrained(seed):
+    tree = random_small_tree(seed)
+    library = uniform_random_library(3, seed=seed + 99)
+    frontier = slack_cost_frontier(tree, library)
+    optimum = insert_buffers(tree, library)
+    assert frontier[-1].slack == pytest.approx(optimum.slack, abs=SLACK_ATOL)
+    for point in frontier:
+        assert evaluate_slack(tree, point.assignment) == pytest.approx(
+            point.slack, rel=1e-12
+        )

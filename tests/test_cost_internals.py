@@ -1,0 +1,80 @@
+"""Unit tests for the cost DP's cross-level pruning internals."""
+
+import pytest
+
+from conftest import make_candidates, qc
+
+from repro.cost.min_cost import _prune_across_levels
+
+
+def levels_from(points_by_cost):
+    return {
+        cost: make_candidates(points) for cost, points in points_by_cost.items()
+    }
+
+
+def test_cheaper_dominator_kills_expensive_candidate():
+    levels = levels_from({
+        0: [(5.0, 2.0)],
+        1: [(4.0, 3.0)],  # worse q, higher c than the free candidate
+    })
+    pruned = _prune_across_levels(levels)
+    assert 1 not in pruned
+    assert qc(pruned[0]) == [(5.0, 2.0)]
+
+
+def test_expensive_survivor_with_better_q():
+    levels = levels_from({
+        0: [(5.0, 2.0)],
+        1: [(7.0, 2.5)],  # more slack: must survive despite higher c
+    })
+    pruned = _prune_across_levels(levels)
+    assert qc(pruned[1]) == [(7.0, 2.5)]
+
+
+def test_expensive_survivor_with_lower_c():
+    levels = levels_from({
+        0: [(5.0, 2.0)],
+        1: [(4.0, 1.0)],  # less slack but lighter: survives
+    })
+    pruned = _prune_across_levels(levels)
+    assert qc(pruned[1]) == [(4.0, 1.0)]
+
+
+def test_domination_accumulates_across_levels():
+    """Level 2 candidates must be checked against levels 0 *and* 1."""
+    levels = levels_from({
+        0: [(5.0, 2.0)],
+        1: [(8.0, 4.0)],
+        2: [(7.0, 5.0)],  # dominated by level 1, not by level 0
+    })
+    pruned = _prune_across_levels(levels)
+    assert 2 not in pruned
+    assert 0 in pruned and 1 in pruned
+
+
+def test_equal_point_at_higher_cost_pruned():
+    levels = levels_from({
+        0: [(5.0, 2.0)],
+        3: [(5.0, 2.0)],  # identical but costs more: useless
+    })
+    pruned = _prune_across_levels(levels)
+    assert 3 not in pruned
+
+
+def test_empty_levels_dropped():
+    levels = levels_from({0: [(5.0, 2.0)]})
+    levels[1] = []
+    pruned = _prune_across_levels(levels)
+    assert 1 not in pruned
+
+
+def test_within_level_lists_preserved_in_order():
+    levels = levels_from({
+        0: [(1.0, 1.0), (3.0, 4.0)],
+        1: [(2.0, 0.5), (4.0, 5.0)],
+    })
+    pruned = _prune_across_levels(levels)
+    assert qc(pruned[0]) == [(1.0, 1.0), (3.0, 4.0)]
+    # (2.0, 0.5) beats level 0 on c; (4.0, 5.0) beats it on q.
+    assert qc(pruned[1]) == [(2.0, 0.5), (4.0, 5.0)]

@@ -1,0 +1,98 @@
+"""The paper's literal (destructive) Convexpruning versus the default.
+
+DESIGN.md documents why pruning the *live* candidate list — exactly as
+the paper's pseudocode does — is safe on 2-pin nets but can lose
+optimality across branch merges: ``min(Q_l, Q_r)`` is not an affine map
+of the (C, Q) plane, so an interior point of one branch's hull can
+become a hull vertex of the merged list.  These tests pin both halves of
+that claim.
+"""
+
+import random
+
+import pytest
+
+from conftest import SLACK_ATOL, random_small_tree
+
+from repro import (
+    BufferLibrary,
+    BufferType,
+    Driver,
+    RoutingTree,
+    insert_buffers,
+    paper_library,
+    two_pin_net,
+    uniform_random_library,
+)
+from repro.units import fF, ps
+
+
+@pytest.mark.parametrize("segments", [4, 12, 40])
+@pytest.mark.parametrize("lib_size", [1, 3, 8])
+def test_exact_on_two_pin_nets(segments, lib_size):
+    """On path nets there are no merges: destructive mode is optimal."""
+    net = two_pin_net(length=9000.0, sink_capacitance=fF(15.0),
+                      required_arrival=ps(1200.0), driver=Driver(250.0),
+                      num_segments=segments)
+    library = paper_library(lib_size)
+    exact = insert_buffers(net, library)
+    paper_mode = insert_buffers(net, library, destructive_pruning=True)
+    assert paper_mode.slack == pytest.approx(exact.slack, abs=SLACK_ATOL)
+
+
+def test_never_better_than_exact_on_trees():
+    for seed in range(15):
+        tree = random_small_tree(seed)
+        library = uniform_random_library(4, seed=seed)
+        exact = insert_buffers(tree, library)
+        paper_mode = insert_buffers(tree, library, destructive_pruning=True)
+        assert paper_mode.slack <= exact.slack + SLACK_ATOL
+
+
+def _counterexample_instance():
+    """The pinned instance (found by randomized search, seed 681825964)
+    on which destructive pruning is strictly suboptimal."""
+    rng = random.Random(681825964)
+    library = BufferLibrary(
+        [
+            BufferType("A", rng.uniform(200, 5000), fF(rng.uniform(1, 20)),
+                       ps(rng.uniform(20, 40))),
+            BufferType("B", rng.uniform(200, 5000), fF(rng.uniform(1, 20)),
+                       ps(rng.uniform(20, 40))),
+            BufferType("C", rng.uniform(200, 5000), fF(rng.uniform(1, 20)),
+                       ps(rng.uniform(20, 40))),
+        ]
+    )
+    tree = RoutingTree.with_source(driver=Driver(rng.uniform(100, 1000)))
+    a = tree.add_internal(0, rng.uniform(10, 400), fF(rng.uniform(5, 50)))
+    b = tree.add_internal(a, rng.uniform(10, 400), fF(rng.uniform(5, 50)))
+    for _ in range(2):
+        c = tree.add_internal(b, rng.uniform(10, 400), fF(rng.uniform(5, 50)))
+        d = tree.add_internal(c, rng.uniform(10, 400), fF(rng.uniform(5, 50)))
+        tree.add_sink(d, rng.uniform(10, 400), fF(rng.uniform(5, 50)),
+                      fF(rng.uniform(2, 41)), ps(rng.uniform(0, 1000)))
+    tree.validate()
+    return tree, library
+
+
+def test_pinned_counterexample_shows_strict_gap():
+    """Destructive pruning loses measurable slack on this instance."""
+    tree, library = _counterexample_instance()
+    exact = insert_buffers(tree, library)
+    paper_mode = insert_buffers(tree, library, destructive_pruning=True)
+    assert paper_mode.slack < exact.slack - ps(1.0)
+
+
+def test_counterexample_verified_by_oracle():
+    """Both modes report honest slacks — the gap is real, not a DP bug."""
+    tree, library = _counterexample_instance()
+    for mode in (False, True):
+        result = insert_buffers(tree, library, destructive_pruning=mode)
+        assert result.verify(tree).slack == pytest.approx(result.slack, rel=1e-12)
+
+
+def test_algorithm_name_distinguishes_modes(line_net, small_library):
+    default = insert_buffers(line_net, small_library)
+    paper_mode = insert_buffers(line_net, small_library, destructive_pruning=True)
+    assert default.stats.algorithm == "fast"
+    assert paper_mode.stats.algorithm == "fast-destructive"

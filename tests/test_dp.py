@@ -1,0 +1,108 @@
+"""Dynamic-program engine tests (shared machinery)."""
+
+import pytest
+
+from repro import (
+    BufferLibrary,
+    BufferType,
+    Driver,
+    RoutingTree,
+    insert_buffers,
+    two_pin_net,
+)
+from repro.core.dp import build_plans
+from repro.errors import AlgorithmError
+from repro.units import fF, ps
+
+
+def test_invalid_tree_rejected(paper_lib8):
+    tree = RoutingTree.with_source()  # no sinks
+    with pytest.raises(AlgorithmError):
+        insert_buffers(tree, paper_lib8)
+
+
+def test_single_sink_no_positions(paper_lib8):
+    tree = RoutingTree.with_source(driver=Driver(100.0))
+    tree.add_sink(0, 10.0, fF(2.0), capacitance=fF(3.0), required_arrival=ps(100.0))
+    result = insert_buffers(tree, paper_lib8)
+    assert result.num_buffers == 0
+    assert result.slack == pytest.approx(result.verify(tree).slack)
+
+
+def test_no_driver_means_best_q(small_library):
+    tree = two_pin_net(length=1000.0, num_segments=4, required_arrival=ps(100.0))
+    assert tree.driver is None
+    result = insert_buffers(tree, small_library)
+    report = result.verify(tree)
+    assert result.slack == pytest.approx(report.slack)
+
+
+def test_stats_populated(line_net, small_library):
+    result = insert_buffers(line_net, small_library)
+    stats = result.stats
+    assert stats.algorithm == "fast"
+    assert stats.num_buffer_positions == line_net.num_buffer_positions
+    assert stats.library_size == 3
+    assert stats.root_candidates >= 1
+    assert stats.peak_list_length >= stats.root_candidates
+    assert stats.candidates_generated > 0
+    assert stats.runtime_seconds >= 0.0
+
+
+def test_driver_override_changes_slack(line_net, small_library):
+    weak = insert_buffers(line_net, small_library, driver=Driver(5000.0))
+    strong = insert_buffers(line_net, small_library, driver=Driver(10.0))
+    assert strong.slack > weak.slack
+
+
+def test_build_plans_shares_full_library_orders(paper_lib8):
+    tree = two_pin_net(length=1000.0, num_segments=4)
+    plans = build_plans(tree, paper_lib8)
+    ids = {id(plan.by_resistance_desc) for plan in plans.values()}
+    assert len(ids) == 1  # shared tuples, per-node ids
+
+
+def test_build_plans_respects_restrictions(paper_lib8):
+    tree = RoutingTree.with_source()
+    only_first = paper_lib8[0].name
+    v1 = tree.add_internal(0, 1.0, fF(1.0), allowed_buffers=[only_first])
+    v2 = tree.add_internal(v1, 1.0, fF(1.0), allowed_buffers=[])
+    tree.add_sink(v2, 1.0, fF(1.0), capacitance=fF(2.0), required_arrival=0.0)
+    plans = build_plans(tree, paper_lib8)
+    assert len(plans[v1]) == 1
+    assert v2 not in plans  # empty allowed set: not a usable position
+
+
+def test_allowed_buffers_respected_in_solution(small_library):
+    tree = RoutingTree.with_source(driver=Driver(500.0))
+    v = tree.add_internal(0, 300.0, fF(40.0), allowed_buffers=["weak"])
+    tree.add_sink(v, 300.0, fF(40.0), capacitance=fF(30.0),
+                  required_arrival=ps(500.0))
+    result = insert_buffers(tree, small_library)
+    for buffer in result.assignment.values():
+        assert buffer.name == "weak"
+
+
+def test_multi_branch_merge_three_children(small_library):
+    tree = RoutingTree.with_source(driver=Driver(300.0))
+    hub = tree.add_internal(0, 50.0, fF(10.0))
+    for i in range(3):
+        leg = tree.add_internal(hub, 30.0, fF(5.0))
+        tree.add_sink(leg, 20.0, fF(3.0), capacitance=fF(10.0),
+                      required_arrival=ps(200.0 + 100.0 * i))
+    result = insert_buffers(tree, small_library)
+    assert result.slack == pytest.approx(result.verify(tree).slack)
+
+
+def test_deep_chain_no_recursion_error(small_library):
+    tree = two_pin_net(length=50_000.0, num_segments=3000,
+                       required_arrival=ps(5000.0), driver=Driver(200.0))
+    result = insert_buffers(tree, small_library)
+    assert result.num_buffers > 0
+
+
+def test_candidate_counts_bounded_by_theory(line_net, paper_lib8):
+    """Section 2: at most b*n + 1 nonredundant candidates anywhere."""
+    result = insert_buffers(line_net, paper_lib8)
+    bound = paper_lib8.size * line_net.num_buffer_positions + 1
+    assert result.stats.peak_list_length <= bound

@@ -1,0 +1,101 @@
+"""Elmore-delay analysis tests, including hand-computed references."""
+
+import pytest
+
+from repro import Driver, RoutingTree, star_net, two_pin_net, unbuffered_slack
+from repro.errors import TimingError
+from repro.timing.elmore import downstream_capacitance, elmore_delays
+from repro.units import fF, ps
+
+
+def test_single_wire_hand_computed():
+    # source --(R=100, C=10fF)--> sink(5fF), ideal driver.
+    tree = RoutingTree.with_source()
+    sink = tree.add_sink(0, 100.0, fF(10.0), capacitance=fF(5.0), required_arrival=0.0)
+    delays = elmore_delays(tree)
+    assert delays[sink] == pytest.approx(100.0 * (fF(5.0) + fF(5.0)))
+
+
+def test_driver_adds_its_delay():
+    tree = RoutingTree.with_source(driver=Driver(resistance=50.0, intrinsic_delay=ps(3.0)))
+    sink = tree.add_sink(0, 100.0, fF(10.0), capacitance=fF(5.0), required_arrival=0.0)
+    delays = elmore_delays(tree)
+    # Driver sees wire + sink cap = 15 fF.
+    expected = ps(3.0) + 50.0 * fF(15.0) + 100.0 * (fF(5.0) + fF(5.0))
+    assert delays[sink] == pytest.approx(expected)
+
+
+def test_two_segment_chain_hand_computed():
+    # src --(R1,C1)--> v --(R2,C2)--> sink(CL)
+    tree = RoutingTree.with_source()
+    v = tree.add_internal(0, 10.0, fF(2.0))
+    sink = tree.add_sink(v, 20.0, fF(4.0), capacitance=fF(6.0), required_arrival=0.0)
+    delays = elmore_delays(tree)
+    downstream_v = fF(4.0) + fF(6.0)  # second wire + load
+    expected = 10.0 * (fF(1.0) + downstream_v) + 20.0 * (fF(2.0) + fF(6.0))
+    assert delays[sink] == pytest.approx(expected)
+
+
+def test_branch_delays_independent_loads():
+    # Two sinks with different loads under one branch point.
+    tree = RoutingTree.with_source()
+    v = tree.add_internal(0, 10.0, fF(2.0), buffer_position=False)
+    light = tree.add_sink(v, 5.0, fF(1.0), capacitance=fF(1.0), required_arrival=0.0)
+    heavy = tree.add_sink(v, 5.0, fF(1.0), capacitance=fF(30.0), required_arrival=0.0)
+    delays = elmore_delays(tree)
+    # Shared trunk delay is equal; the heavy sink adds its own load term.
+    assert delays[heavy] > delays[light]
+    diff = 5.0 * (fF(30.0) - fF(1.0))
+    assert delays[heavy] - delays[light] == pytest.approx(diff)
+
+
+def test_downstream_capacitance_totals():
+    tree = RoutingTree.with_source()
+    v = tree.add_internal(0, 10.0, fF(2.0))
+    tree.add_sink(v, 5.0, fF(1.0), capacitance=fF(3.0), required_arrival=0.0)
+    tree.add_sink(v, 5.0, fF(1.0), capacitance=fF(4.0), required_arrival=0.0)
+    caps = downstream_capacitance(tree)
+    assert caps[v] == pytest.approx(fF(1.0 + 3.0 + 1.0 + 4.0))
+    assert caps[0] == pytest.approx(caps[v] + fF(2.0))
+
+
+def test_unbuffered_slack_is_worst_sink():
+    tree = RoutingTree.with_source()
+    v = tree.add_internal(0, 10.0, fF(2.0), buffer_position=False)
+    tree.add_sink(v, 5.0, fF(1.0), capacitance=fF(3.0), required_arrival=ps(100.0))
+    tree.add_sink(v, 5.0, fF(1.0), capacitance=fF(3.0), required_arrival=ps(10.0))
+    delays = elmore_delays(tree)
+    slacks = [
+        tree.node(s.node_id).required_arrival - d for s, d in
+        zip(tree.sinks(), delays.values())
+    ]
+    assert unbuffered_slack(tree) == pytest.approx(min(slacks))
+
+
+def test_star_delays_symmetric():
+    net = star_net(4, arm_length=100.0)
+    delays = list(elmore_delays(net).values())
+    assert all(d == pytest.approx(delays[0]) for d in delays)
+
+
+def test_longer_line_has_larger_delay():
+    short = two_pin_net(length=1000.0, num_segments=4)
+    long = two_pin_net(length=2000.0, num_segments=4)
+    assert max(elmore_delays(long).values()) > max(elmore_delays(short).values())
+
+
+def test_quadratic_growth_in_length():
+    # Unbuffered line delay grows ~quadratically: d(2L) ~ 4 d(L) for
+    # wire-dominated lines (the reason buffers help at all).
+    base = two_pin_net(length=5000.0, num_segments=1, sink_capacitance=fF(0.0))
+    double = two_pin_net(length=10000.0, num_segments=1, sink_capacitance=fF(0.0))
+    d1 = max(elmore_delays(base).values())
+    d2 = max(elmore_delays(double).values())
+    assert d2 == pytest.approx(4.0 * d1, rel=1e-9)
+
+
+def test_explicit_driver_argument_overrides_tree_driver():
+    tree = two_pin_net(length=100.0, driver=Driver(1000.0))
+    with_tree_driver = max(elmore_delays(tree).values())
+    with_override = max(elmore_delays(tree, driver=Driver(0.0)).values())
+    assert with_override < with_tree_driver

@@ -1,0 +1,38 @@
+"""Exception-hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "TreeError",
+        "TreeStructureError",
+        "NodeNotFoundError",
+        "LibraryError",
+        "TimingError",
+        "AlgorithmError",
+        "InfeasibleError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError), name
+
+
+def test_node_not_found_is_a_key_error():
+    # So dict-style callers can catch KeyError if they prefer.
+    assert issubclass(errors.NodeNotFoundError, KeyError)
+
+
+def test_node_not_found_records_id():
+    exc = errors.NodeNotFoundError(42)
+    assert exc.node_id == 42
+    assert "42" in str(exc)
+
+
+def test_infeasible_is_algorithm_error():
+    assert issubclass(errors.InfeasibleError, errors.AlgorithmError)
+
+
+def test_catching_base_class_catches_subclass():
+    with pytest.raises(errors.ReproError):
+        raise errors.TreeStructureError("boom")

@@ -1,0 +1,87 @@
+"""Experiment-harness tests (tiny scales so the suite stays quick)."""
+
+import pytest
+
+from repro.experiments import (
+    FIG3_LIBRARY_SIZES,
+    FIG4_POSITION_COUNTS,
+    TABLE1_LIBRARY_SIZES,
+    TABLE1_NETS,
+    NetSpec,
+    build_net,
+    format_figure,
+    format_table1,
+    run_fig3,
+    run_fig4,
+    run_table1,
+    time_algorithm,
+)
+from repro.library.generators import paper_library
+
+TINY = NetSpec(name="tiny", paper_sinks=337, sinks=8, target_positions=60)
+
+
+def test_specs_mirror_paper():
+    assert [s.paper_sinks for s in TABLE1_NETS] == [337, 1944, 2676]
+    assert TABLE1_LIBRARY_SIZES == (8, 16, 32, 64)
+    assert 8 in FIG3_LIBRARY_SIZES and 64 in FIG3_LIBRARY_SIZES
+    assert len(FIG4_POSITION_COUNTS) >= 4
+
+
+def test_build_net_deterministic_and_close_to_target():
+    a = build_net(TINY)
+    b = build_net(TINY)
+    assert a is b  # cached
+    assert a.num_sinks == 8
+    assert abs(a.num_buffer_positions - 60) <= 12
+
+
+def test_spec_scale():
+    scaled = TINY.scale(2.0)
+    assert scaled.target_positions == 120
+    assert scaled.sinks == TINY.sinks
+
+
+def test_time_algorithm_repeats_validation():
+    tree = build_net(TINY)
+    with pytest.raises(ValueError):
+        time_algorithm(tree, paper_library(2), "fast", repeats=0)
+
+
+def test_time_algorithm_measures(line_net=None):
+    tree = build_net(TINY)
+    run = time_algorithm(tree, paper_library(2), "fast", repeats=2)
+    assert run.seconds > 0.0
+    assert run.num_positions == tree.num_buffer_positions
+    assert run.library_size == 2
+
+
+def test_run_table1_rows_and_format():
+    rows = run_table1(nets=[TINY], library_sizes=(2, 4))
+    assert len(rows) == 2
+    assert rows[0].net == "tiny"
+    assert rows[0].speedup > 0.0
+    text = format_table1(rows)
+    assert "tiny" in text and "speedup" in text
+
+
+def test_run_fig3_series_and_format():
+    series = run_fig3(spec=TINY, library_sizes=(2, 4, 8))
+    assert [p.x for p in series.points] == [2, 4, 8]
+    assert series.points[0].lillis_normalized == pytest.approx(1.0)
+    assert series.points[0].fast_normalized == pytest.approx(1.0)
+    text = format_figure(series)
+    assert "Figure 3" in text and "slope" in text
+
+
+def test_run_fig4_series():
+    series = run_fig4(spec=TINY, position_counts=(30, 60), library_size=2)
+    xs = [p.x for p in series.points]
+    assert xs == sorted(xs)
+    assert series.parameter == "n"
+
+
+def test_slopes_computable():
+    series = run_fig3(spec=TINY, library_sizes=(2, 4, 8))
+    lillis_slope, fast_slope = series.slopes()
+    assert lillis_slope == pytest.approx(lillis_slope)  # not NaN

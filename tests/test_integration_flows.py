@@ -1,0 +1,149 @@
+"""End-to-end integration flows chaining several subsystems."""
+
+import json
+
+import pytest
+
+from conftest import SLACK_ATOL
+
+from repro import (
+    Driver,
+    evaluate_assignment,
+    insert_buffers,
+    insert_buffers_with_inverters,
+    mixed_paper_library,
+    paper_library,
+    prim_steiner_net,
+    random_tree_net,
+    segment_tree,
+    unbuffered_slack,
+)
+from repro.cost import minimize_cost
+from repro.library.clustering import cluster_library
+from repro.report import full_report
+from repro.timing.slack_map import compute_slack_map
+from repro.tree.blockages import Blockage, apply_blockages
+from repro.tree.io import (
+    library_from_dict,
+    library_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.tree.spef import read_spef, write_spef
+from repro.units import fF, ps
+
+
+def test_flow_generate_segment_block_optimize_report():
+    """The realistic flow: place, segment, apply macros, optimize,
+    verify, report."""
+    base = random_tree_net(20, seed=77,
+                           required_arrival=(ps(400.0), ps(1500.0)),
+                           driver=Driver(220.0))
+    segmented = segment_tree(base, 300.0)
+    macro = Blockage(2000.0, 2000.0, 6000.0, 6000.0, name="sram")
+    restricted, removed = apply_blockages(segmented, [macro])
+    assert removed > 0
+
+    library = paper_library(8)
+    result = insert_buffers(restricted, library)
+    assert result.slack >= unbuffered_slack(restricted) - SLACK_ATOL
+
+    report = evaluate_assignment(restricted, result.assignment)
+    assert report.slack == pytest.approx(result.slack, rel=1e-12)
+
+    slack_map = compute_slack_map(restricted, result.assignment)
+    assert slack_map.worst_slack == pytest.approx(result.slack, rel=1e-12)
+
+    text = full_report(restricted, result)
+    assert "== solution ==" in text
+
+
+def test_flow_spef_exchange_preserves_optimum(tmp_path):
+    """Export to SPEF, re-import, and get the same optimization."""
+    net = prim_steiner_net(15, seed=3, required_arrival=ps(1200.0),
+                           driver=Driver(250.0))
+    library = paper_library(4)
+    original = insert_buffers(net, library)
+
+    spef_path = tmp_path / "net.spef"
+    write_spef(net, spef_path)
+    reloaded = read_spef(spef_path)
+    round_tripped = insert_buffers(reloaded, library)
+    assert round_tripped.slack == pytest.approx(original.slack,
+                                                abs=SLACK_ATOL)
+
+
+def test_flow_json_library_and_net_exchange(tmp_path):
+    net = random_tree_net(10, seed=9, required_arrival=ps(900.0),
+                          driver=Driver(150.0))
+    library = mixed_paper_library(6, jitter=0.05, seed=1)
+
+    net_doc = json.dumps(tree_to_dict(net))
+    lib_doc = json.dumps(library_to_dict(library))
+    net2 = tree_from_dict(json.loads(net_doc))
+    library2 = library_from_dict(json.loads(lib_doc))
+    assert library2 == library
+
+    a = insert_buffers_with_inverters(net, library)
+    b = insert_buffers_with_inverters(net2, library2)
+    assert a.slack == pytest.approx(b.slack, abs=SLACK_ATOL)
+
+
+def test_flow_cluster_then_budget():
+    """The pre-2005 flow: shrink the library, then trade slack for cost."""
+    net = segment_tree(
+        random_tree_net(12, seed=21, required_arrival=(ps(500.0), ps(1200.0)),
+                        driver=Driver(200.0)),
+        400.0,
+    )
+    full = paper_library(32, jitter=0.05, seed=5)
+    reduced = cluster_library(full, 8, seed=0)
+
+    best_full = insert_buffers(net, full)
+    best_reduced = insert_buffers(net, reduced)
+    assert best_reduced.slack <= best_full.slack + SLACK_ATOL
+
+    # Budgeted: reach 90% of the reduced-library optimum as cheaply as
+    # possible, then confirm the budget solution re-measures.
+    base = unbuffered_slack(net)
+    target = base + 0.9 * (best_reduced.slack - base)
+    budgeted = minimize_cost(net, reduced, slack_target=target)
+    assert budgeted.cost <= best_reduced.num_buffers
+    assert evaluate_assignment(net, budgeted.assignment).slack == pytest.approx(
+        budgeted.slack, rel=1e-12
+    )
+
+
+def test_flow_paper_pseudocode_on_chain_equals_default():
+    """2-pin flow where the paper-literal mode is exact: segment a long
+    wire, run both modes, expect identical slacks and assignments."""
+    from repro import two_pin_net
+
+    net = two_pin_net(length=20_000.0, sink_capacitance=fF(15.0),
+                      required_arrival=ps(3000.0), driver=Driver(200.0),
+                      num_segments=60)
+    library = paper_library(16)
+    default = insert_buffers(net, library)
+    paper_mode = insert_buffers(net, library, destructive_pruning=True)
+    assert paper_mode.slack == pytest.approx(default.slack, abs=SLACK_ATOL)
+    assert paper_mode.assignment.keys() == default.assignment.keys()
+
+
+def test_flow_mixed_polarity_industrial_like():
+    net = segment_tree(
+        random_tree_net(16, seed=31, required_arrival=(ps(500.0), ps(1500.0)),
+                        driver=Driver(220.0)),
+        500.0,
+    )
+    # Flip some sinks to negative deterministically.
+    for i, sink in enumerate(net.sinks()):
+        if i % 3 == 0:
+            sink.polarity = -1
+    library = mixed_paper_library(10, inverter_fraction=0.4, jitter=0.03,
+                                  seed=2)
+    result = insert_buffers_with_inverters(net, library)
+    from repro import verify_polarities
+
+    assert verify_polarities(net, result.assignment)
+    report = evaluate_assignment(net, result.assignment)
+    assert report.slack == pytest.approx(result.slack, rel=1e-12)

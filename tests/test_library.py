@@ -1,0 +1,115 @@
+"""BufferLibrary container tests."""
+
+import pytest
+
+from repro import BufferLibrary, BufferType
+from repro.errors import LibraryError
+from repro.units import fF, ps
+
+
+def bt(name, r, c, k=ps(30.0)):
+    return BufferType(name, r, c, k)
+
+
+@pytest.fixture
+def library():
+    return BufferLibrary(
+        [
+            bt("a", 1000.0, fF(5.0)),
+            bt("b", 4000.0, fF(1.0)),
+            bt("c", 250.0, fF(20.0)),
+        ]
+    )
+
+
+def test_size_and_len(library):
+    assert library.size == 3
+    assert len(library) == 3
+
+
+def test_empty_library_rejected():
+    with pytest.raises(LibraryError):
+        BufferLibrary([])
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(LibraryError) as excinfo:
+        BufferLibrary([bt("x", 1.0, 0.0), bt("x", 2.0, 0.0)])
+    assert "x" in str(excinfo.value)
+
+
+def test_by_resistance_desc_order(library):
+    rs = [b.driving_resistance for b in library.by_resistance_desc]
+    assert rs == sorted(rs, reverse=True)
+
+
+def test_by_capacitance_asc_order(library):
+    cs = [b.input_capacitance for b in library.by_capacitance_asc]
+    assert cs == sorted(cs)
+
+
+def test_resistance_ties_break_by_capacitance():
+    lib = BufferLibrary([bt("hi_c", 1000.0, fF(9.0)), bt("lo_c", 1000.0, fF(2.0))])
+    assert [b.name for b in lib.by_resistance_desc] == ["lo_c", "hi_c"]
+
+
+def test_get_by_name(library):
+    assert library.get("b").driving_resistance == 4000.0
+
+
+def test_get_unknown_raises(library):
+    with pytest.raises(LibraryError):
+        library.get("zzz")
+
+
+def test_subset(library):
+    sub = library.subset(["c", "a"])
+    assert sub.size == 2
+    assert {b.name for b in sub} == {"a", "c"}
+
+
+def test_iteration_preserves_construction_order(library):
+    assert [b.name for b in library] == ["a", "b", "c"]
+
+
+def test_indexing(library):
+    assert library[1].name == "b"
+
+
+def test_contains(library):
+    assert library.get("a") in library
+
+
+def test_equality_and_hash(library):
+    clone = BufferLibrary(library.buffers)
+    assert clone == library
+    assert hash(clone) == hash(library)
+    assert BufferLibrary([bt("a", 1000.0, fF(5.0))]) != library
+
+
+def test_without_dominated_drops_strictly_worse():
+    lib = BufferLibrary(
+        [
+            bt("good", 500.0, fF(2.0), ps(25.0)),
+            bt("bad", 600.0, fF(3.0), ps(30.0)),  # worse on all axes
+            bt("tradeoff", 300.0, fF(10.0), ps(25.0)),
+        ]
+    )
+    kept = lib.without_dominated()
+    assert {b.name for b in kept} == {"good", "tradeoff"}
+
+
+def test_without_dominated_keeps_one_of_exact_ties():
+    lib = BufferLibrary([bt("first", 500.0, fF(2.0)), bt("second", 500.0, fF(2.0))])
+    kept = lib.without_dominated()
+    assert [b.name for b in kept] == ["first"]
+
+
+def test_ranges(library):
+    assert library.resistance_range() == (250.0, 4000.0)
+    lo, hi = library.capacitance_range()
+    assert lo == fF(1.0) and hi == fF(20.0)
+
+
+def test_repr_round_trippable_shape(library):
+    assert "BufferLibrary" in repr(library)

@@ -1,0 +1,103 @@
+"""Synthetic-library generator tests."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.generators import (
+    PAPER_CAPACITANCE_RANGE,
+    PAPER_INTRINSIC_RANGE,
+    PAPER_RESISTANCE_RANGE,
+    geometric_library,
+    paper_library,
+    uniform_random_library,
+)
+
+
+@pytest.mark.parametrize("size", [1, 2, 8, 16, 32, 64])
+def test_paper_library_sizes(size):
+    assert paper_library(size).size == size
+
+
+def test_paper_library_spans_paper_ranges():
+    lib = paper_library(64)
+    r_lo, r_hi = lib.resistance_range()
+    assert r_lo == pytest.approx(PAPER_RESISTANCE_RANGE[0])
+    assert r_hi == pytest.approx(PAPER_RESISTANCE_RANGE[1])
+    c_lo, c_hi = lib.capacitance_range()
+    assert c_lo == pytest.approx(PAPER_CAPACITANCE_RANGE[0])
+    assert c_hi == pytest.approx(PAPER_CAPACITANCE_RANGE[1])
+
+
+def test_paper_library_intrinsic_in_range():
+    for buf in paper_library(32):
+        assert (
+            PAPER_INTRINSIC_RANGE[0] <= buf.intrinsic_delay <= PAPER_INTRINSIC_RANGE[1]
+        )
+
+
+def test_paper_library_r_c_anticorrelated():
+    # Strength ladder: as R falls, C rises; so no buffer dominates another.
+    lib = paper_library(16)
+    assert lib.without_dominated().size == 16
+
+
+def test_paper_library_rejects_bad_size():
+    with pytest.raises(LibraryError):
+        paper_library(0)
+
+
+def test_paper_library_jitter_reproducible():
+    a = paper_library(8, jitter=0.05, seed=1)
+    b = paper_library(8, jitter=0.05, seed=1)
+    c = paper_library(8, jitter=0.05, seed=2)
+    assert a == b
+    assert a != c
+
+
+def test_paper_library_jitter_validation():
+    with pytest.raises(LibraryError):
+        paper_library(8, jitter=1.5)
+    with pytest.raises(LibraryError):
+        paper_library(8, jitter=-0.1)
+
+
+def test_paper_library_cost_grows_with_strength():
+    lib = paper_library(8)
+    by_strength = sorted(lib, key=lambda b: -b.driving_resistance)
+    costs = [b.cost for b in by_strength]
+    assert costs == sorted(costs)
+
+
+def test_geometric_library_custom_ranges():
+    lib = geometric_library(4, resistance_range=(100.0, 400.0))
+    lo, hi = lib.resistance_range()
+    assert lo == pytest.approx(100.0) and hi == pytest.approx(400.0)
+
+
+def test_geometric_library_rejects_bad_range():
+    with pytest.raises(LibraryError):
+        geometric_library(4, resistance_range=(400.0, 100.0))
+    with pytest.raises(LibraryError):
+        geometric_library(4, capacitance_range=(0.0, 1.0))
+
+
+def test_geometric_library_single_buffer():
+    lib = geometric_library(1)
+    assert lib.size == 1
+
+
+def test_uniform_random_library_reproducible():
+    assert uniform_random_library(16, seed=7) == uniform_random_library(16, seed=7)
+    assert uniform_random_library(16, seed=7) != uniform_random_library(16, seed=8)
+
+
+def test_uniform_random_library_within_ranges():
+    lib = uniform_random_library(50, seed=3)
+    r_lo, r_hi = lib.resistance_range()
+    assert r_lo >= PAPER_RESISTANCE_RANGE[0]
+    assert r_hi <= PAPER_RESISTANCE_RANGE[1]
+
+
+def test_uniform_random_library_rejects_bad_size():
+    with pytest.raises(LibraryError):
+        uniform_random_library(0, seed=1)

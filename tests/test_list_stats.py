@@ -1,0 +1,50 @@
+"""Candidate-list statistics tests."""
+
+import pytest
+
+from repro import Driver, paper_library, two_pin_net
+from repro.experiments import collect_list_stats, list_growth_by_positions
+from repro.units import fF, ps
+
+
+def line(segments):
+    return two_pin_net(length=20_000.0, sink_capacitance=fF(20.0),
+                       required_arrival=ps(3000.0), driver=Driver(200.0),
+                       num_segments=segments)
+
+
+def test_basic_stats_shape():
+    stats = collect_list_stats(line(200), paper_library(8))
+    assert stats.samples == 199
+    assert 1 <= stats.median <= stats.p90 <= stats.maximum
+    assert stats.mean <= stats.maximum
+    assert stats.maximum <= stats.theoretical_bound
+
+
+def test_hull_never_longer_than_list():
+    stats = collect_list_stats(line(200), paper_library(8))
+    assert stats.hull_mean <= stats.mean
+
+
+def test_lists_grow_with_n():
+    """The shape argument in EXPERIMENTS.md: mean k rises with n, which
+    is what widens the Lillis-vs-fast gap at paper scale."""
+    library = paper_library(16)
+    growth = list_growth_by_positions(
+        lambda n: line(n), (100, 400, 1600), library
+    )
+    means = [stats.mean for _, stats in growth]
+    assert means == sorted(means)
+    assert means[-1] > 2.0 * means[0]
+
+
+def test_no_positions_instance():
+    net = two_pin_net(length=100.0, num_segments=1)
+    stats = collect_list_stats(net, paper_library(2))
+    assert stats.samples == 0
+    assert stats.maximum == 0
+
+
+def test_str_mentions_key_numbers():
+    text = str(collect_list_stats(line(100), paper_library(4)))
+    assert "mean" in text and "max" in text and "bound" in text

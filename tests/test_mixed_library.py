@@ -1,0 +1,57 @@
+"""mixed_paper_library generator tests."""
+
+import pytest
+
+from repro import mixed_paper_library
+from repro.errors import LibraryError
+
+
+def test_inverter_fraction_counts():
+    for size, fraction, expected in [(8, 0.5, 4), (10, 0.2, 2), (6, 1.0, 6),
+                                     (6, 0.0, 0)]:
+        library = mixed_paper_library(size, inverter_fraction=fraction)
+        inverters = sum(1 for b in library if b.inverting)
+        assert inverters == expected, (size, fraction)
+
+
+def test_fraction_validation():
+    with pytest.raises(LibraryError):
+        mixed_paper_library(8, inverter_fraction=1.5)
+    with pytest.raises(LibraryError):
+        mixed_paper_library(8, inverter_fraction=-0.1)
+
+
+def test_inverters_spread_across_ladder():
+    library = mixed_paper_library(16, inverter_fraction=0.25)
+    inverter_rs = [b.driving_resistance for b in library if b.inverting]
+    r_lo, r_hi = library.resistance_range()
+    # Not all inverters bunched at one end of the strength range.
+    assert min(inverter_rs) < (r_lo * r_hi) ** 0.5 < max(inverter_rs)
+
+
+def test_inverters_electrically_favourable():
+    """An inverter is one stage: slightly better R and K than the
+    equally-positioned buffer would be."""
+    plain = mixed_paper_library(8, inverter_fraction=0.0)
+    mixed = mixed_paper_library(8, inverter_fraction=0.5)
+    for base, cell in zip(plain, mixed):
+        if cell.inverting:
+            assert cell.driving_resistance < base.driving_resistance
+            assert cell.intrinsic_delay < base.intrinsic_delay
+
+
+def test_names_unique_and_typed():
+    library = mixed_paper_library(12, inverter_fraction=0.5)
+    names = [b.name for b in library]
+    assert len(set(names)) == 12
+    for cell in library:
+        if cell.inverting:
+            assert cell.name.startswith("INV_")
+        else:
+            assert cell.name.startswith("BUF_")
+
+
+def test_jitter_reproducible():
+    a = mixed_paper_library(8, jitter=0.05, seed=3)
+    b = mixed_paper_library(8, jitter=0.05, seed=3)
+    assert a == b

@@ -1,0 +1,68 @@
+"""Node and Driver model tests."""
+
+import math
+
+import pytest
+
+from repro.errors import TreeError
+from repro.tree.node import Driver, Node, NodeKind
+from repro.units import fF, ps
+
+
+def test_driver_delay_linear():
+    drv = Driver(resistance=500.0, intrinsic_delay=ps(10.0))
+    assert math.isclose(drv.delay(fF(20.0)), ps(10.0) + 500.0 * fF(20.0))
+
+
+def test_driver_zero_resistance_allowed():
+    assert Driver(resistance=0.0).delay(fF(5.0)) == 0.0
+
+
+def test_driver_rejects_negative():
+    with pytest.raises(TreeError):
+        Driver(resistance=-1.0)
+    with pytest.raises(TreeError):
+        Driver(resistance=1.0, intrinsic_delay=-1.0)
+
+
+def test_sink_node_fields():
+    node = Node(1, NodeKind.SINK, capacitance=fF(5.0), required_arrival=ps(100.0))
+    assert node.is_sink and not node.is_source
+
+
+def test_sink_cannot_be_buffer_position():
+    with pytest.raises(TreeError):
+        Node(1, NodeKind.SINK, capacitance=fF(5.0), is_buffer_position=True)
+
+
+def test_source_cannot_be_buffer_position():
+    with pytest.raises(TreeError):
+        Node(0, NodeKind.SOURCE, is_buffer_position=True)
+
+
+def test_sink_negative_capacitance_rejected():
+    with pytest.raises(TreeError):
+        Node(1, NodeKind.SINK, capacitance=-fF(1.0))
+
+
+def test_allowed_buffers_requires_buffer_position():
+    with pytest.raises(TreeError):
+        Node(2, NodeKind.INTERNAL, is_buffer_position=False,
+             allowed_buffers=frozenset({"x"}))
+
+
+def test_permits_with_restriction():
+    node = Node(2, NodeKind.INTERNAL, is_buffer_position=True,
+                allowed_buffers=frozenset({"a", "b"}))
+    assert node.permits("a")
+    assert not node.permits("c")
+
+
+def test_permits_unrestricted():
+    node = Node(2, NodeKind.INTERNAL, is_buffer_position=True)
+    assert node.permits("anything")
+
+
+def test_non_buffer_position_permits_nothing():
+    node = Node(2, NodeKind.INTERNAL, is_buffer_position=False)
+    assert not node.permits("a")

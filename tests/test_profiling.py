@@ -1,0 +1,80 @@
+"""DP operation-profiling tests."""
+
+import pytest
+
+from repro import Driver, paper_library, two_pin_net
+from repro.errors import AlgorithmError
+from repro.experiments import profile_operations
+from repro.units import fF, ps
+
+
+@pytest.fixture
+def net():
+    return two_pin_net(length=20_000.0, sink_capacitance=fF(20.0),
+                       required_arrival=ps(3000.0), driver=Driver(200.0),
+                       num_segments=600)
+
+
+def test_counts_match_structure(net):
+    profile = profile_operations(net, paper_library(4))
+    assert profile.wire_calls == net.num_nodes - 1       # one per edge
+    assert profile.merge_calls == 0                       # a path net
+    assert profile.buffer_calls == net.num_buffer_positions
+
+
+def test_fractions_sum_to_one(net):
+    profile = profile_operations(net, paper_library(4))
+    measured = (profile.wire_seconds + profile.merge_seconds +
+                profile.buffer_seconds)
+    assert measured > 0.0
+    assert measured <= profile.total_seconds
+    assert 0.0 <= profile.buffer_fraction <= 1.0
+
+
+def test_unknown_algorithm(net):
+    with pytest.raises(AlgorithmError):
+        profile_operations(net, paper_library(2), algorithm="magic")
+
+
+def test_buffer_fraction_higher_for_lillis_at_large_b(net):
+    """The baseline's add-buffer share dwarfs the fast algorithm's —
+    the very imbalance the paper's Section 3 removes."""
+    library = paper_library(32)
+    lillis = profile_operations(net, library, algorithm="lillis")
+    fast = profile_operations(net, library, algorithm="fast")
+    assert lillis.buffer_fraction > fast.buffer_fraction
+
+
+def test_buffer_fraction_grows_with_b_for_lillis(net):
+    """The baseline's add-buffer share rises steeply with b (its O(b k)
+    inner loop), while the fast algorithm's stays comparatively flat —
+    the imbalance behind the paper's Figure 3."""
+    lillis_fractions = []
+    fast_fractions = []
+    for size in (2, 8, 32):
+        library = paper_library(size)
+        lillis_fractions.append(
+            profile_operations(net, library, algorithm="lillis").buffer_fraction
+        )
+        fast_fractions.append(
+            profile_operations(net, library, algorithm="fast").buffer_fraction
+        )
+    assert lillis_fractions == sorted(lillis_fractions)
+    lillis_growth = lillis_fractions[-1] - lillis_fractions[0]
+    fast_growth = fast_fractions[-1] - fast_fractions[0]
+    assert lillis_growth > fast_growth
+
+
+def test_merges_counted_on_branchy_net():
+    from repro import balanced_tree_net
+
+    net = balanced_tree_net(3, required_arrival=ps(500.0), driver=Driver(200.0))
+    profile = profile_operations(net, paper_library(2))
+    # Branching vertices: the root plus levels 1 and 2 (1 + 2 + 4); the
+    # level-3 internals feed a single sink each, so they merge nothing.
+    assert profile.merge_calls == 7
+
+
+def test_str_output(net):
+    text = str(profile_operations(net, paper_library(2)))
+    assert "wire" in text and "buffer" in text and "%" in text

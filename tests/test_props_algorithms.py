@@ -1,0 +1,110 @@
+"""End-to-end property tests: random instances, full algorithm stack."""
+
+import random
+
+from hypothesis import given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from conftest import SLACK_ATOL
+
+from repro import (
+    Driver,
+    RoutingTree,
+    insert_buffers,
+    uniform_random_library,
+    unbuffered_slack,
+)
+from repro.units import fF, ps
+
+
+def build_random_instance(seed, max_nodes):
+    """A random valid tree grown by attaching to random internal nodes."""
+    rng = random.Random(seed)
+    tree = RoutingTree.with_source(driver=Driver(rng.uniform(50.0, 2000.0)))
+    attachable = [tree.root_id]
+    internals = []
+    for _ in range(rng.randrange(1, max_nodes)):
+        parent = rng.choice(attachable)
+        node = tree.add_internal(
+            parent,
+            rng.uniform(0.0, 500.0),
+            fF(rng.uniform(0.0, 80.0)),
+            buffer_position=rng.random() < 0.8,
+        )
+        attachable.append(node)
+        internals.append(node)
+    # Terminate every childless internal with a sink; add a few extras.
+    for node in [tree.root_id] + internals:
+        if not tree.children_of(node) or (node == tree.root_id and rng.random() < 0.3):
+            tree.add_sink(
+                node,
+                rng.uniform(0.0, 500.0),
+                fF(rng.uniform(0.0, 80.0)),
+                capacitance=fF(rng.uniform(1.0, 41.0)),
+                required_arrival=ps(rng.uniform(-500.0, 1500.0)),
+            )
+    tree.validate()
+    return tree
+
+
+instance_seeds = st.integers(min_value=0, max_value=10_000)
+library_seeds = st.integers(min_value=0, max_value=10_000)
+library_sizes = st.integers(min_value=1, max_value=6)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance_seeds, library_seeds, library_sizes)
+def test_fast_equals_lillis_everywhere(instance_seed, library_seed, size):
+    tree = build_random_instance(instance_seed, max_nodes=10)
+    library = uniform_random_library(size, seed=library_seed)
+    fast = insert_buffers(tree, library, algorithm="fast")
+    lillis = insert_buffers(tree, library, algorithm="lillis")
+    assert abs(fast.slack - lillis.slack) <= SLACK_ATOL
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance_seeds, library_seeds)
+def test_reported_slack_always_verifiable(instance_seed, library_seed):
+    """The reconstructed assignment re-measures to the predicted slack —
+    the DP never reports a slack it cannot realize."""
+    tree = build_random_instance(instance_seed, max_nodes=12)
+    library = uniform_random_library(4, seed=library_seed)
+    result = insert_buffers(tree, library)
+    measured = result.verify(tree).slack
+    scale = max(1.0, abs(result.slack))
+    assert abs(measured - result.slack) <= 1e-9 * scale
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance_seeds, library_seeds)
+def test_buffering_never_worse_than_unbuffered(instance_seed, library_seed):
+    tree = build_random_instance(instance_seed, max_nodes=10)
+    library = uniform_random_library(3, seed=library_seed)
+    result = insert_buffers(tree, library)
+    assert result.slack >= unbuffered_slack(tree) - SLACK_ATOL
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance_seeds, library_seeds)
+def test_destructive_mode_never_beats_exact(instance_seed, library_seed):
+    tree = build_random_instance(instance_seed, max_nodes=10)
+    library = uniform_random_library(4, seed=library_seed)
+    exact = insert_buffers(tree, library)
+    paper_mode = insert_buffers(tree, library, destructive_pruning=True)
+    assert paper_mode.slack <= exact.slack + SLACK_ATOL
+    # And what it reports is still honestly realizable.
+    measured = paper_mode.verify(tree).slack
+    scale = max(1.0, abs(paper_mode.slack))
+    assert abs(measured - paper_mode.slack) <= 1e-9 * scale
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance_seeds, library_seeds)
+def test_assignment_only_uses_buffer_positions(instance_seed, library_seed):
+    tree = build_random_instance(instance_seed, max_nodes=12)
+    library = uniform_random_library(3, seed=library_seed)
+    result = insert_buffers(tree, library)
+    for node_id, buffer in result.assignment.items():
+        node = tree.node(node_id)
+        assert node.is_buffer_position
+        assert node.permits(buffer.name)

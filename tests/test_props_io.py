@@ -1,0 +1,60 @@
+"""Property tests: serialization round trips preserve the problem."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import SLACK_ATOL, random_small_tree
+
+from repro import insert_buffers, uniform_random_library, unbuffered_slack
+from repro.tree.io import (
+    library_from_dict,
+    library_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.tree.spef import read_spef, write_spef
+
+seeds = st.integers(min_value=0, max_value=5_000)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds)
+def test_json_round_trip_preserves_problem(seed):
+    tree = random_small_tree(seed)
+    copy = tree_from_dict(tree_to_dict(tree))
+    assert copy.num_nodes == tree.num_nodes
+    assert abs(unbuffered_slack(copy) - unbuffered_slack(tree)) <= SLACK_ATOL
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, seeds)
+def test_json_round_trip_preserves_optimum(tree_seed, lib_seed):
+    tree = random_small_tree(tree_seed)
+    library = uniform_random_library(3, seed=lib_seed)
+    copy = tree_from_dict(tree_to_dict(tree))
+    library_copy = library_from_dict(library_to_dict(library))
+    assert library_copy == library
+    a = insert_buffers(tree, library)
+    b = insert_buffers(copy, library_copy)
+    assert abs(a.slack - b.slack) <= SLACK_ATOL
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, seeds)
+def test_spef_round_trip_preserves_optimum(tree_seed, lib_seed):
+    import tempfile
+    from pathlib import Path
+
+    tree = random_small_tree(tree_seed)
+    library = uniform_random_library(3, seed=lib_seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "net.spef"
+        write_spef(tree, path)
+        copy = read_spef(path)
+    assert copy.num_buffer_positions == tree.num_buffer_positions
+    a = insert_buffers(tree, library)
+    b = insert_buffers(copy, library)
+    assert abs(a.slack - b.slack) <= SLACK_ATOL

@@ -1,0 +1,166 @@
+"""Property-based tests for wire, merge and buffer operations.
+
+Two kinds of strategies are used deliberately:
+
+* *float* strategies for invariant properties (nonredundancy, transform
+  formulas), which are robust to rounding; and
+* *integer-grid* strategies for exact-equality properties (the Theorem 1
+  equivalence of the two add-buffer operations), where every product and
+  difference is exact in float64, so ties are decided identically by
+  both implementations rather than by last-ULP noise.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_candidates, qc
+
+from repro.core.buffer_ops import (
+    BufferPlan,
+    generate_fast,
+    generate_lillis,
+    insert_candidates,
+)
+from repro.core.merge import merge_branches
+from repro.core.pruning import is_nonredundant, prune_dominated
+from repro.core.wire_ops import add_wire
+from repro.library.buffer_type import BufferType
+
+float_points = st.lists(
+    st.tuples(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+grid_points = st.lists(
+    st.tuples(
+        st.integers(min_value=-500, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+wires = st.tuples(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+
+grid_buffers = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=100),   # R
+        st.integers(min_value=0, max_value=50),    # C
+        st.integers(min_value=0, max_value=10),    # K
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def nonredundant(raw):
+    return prune_dominated(
+        make_candidates(sorted(((float(q), float(c)) for q, c in raw),
+                               key=lambda p: (p[1], p[0])))
+    )
+
+
+def make_plan(specs):
+    return BufferPlan(
+        0,
+        [
+            BufferType(f"b{i}", float(r), float(c), float(k))
+            for i, (r, c, k) in enumerate(specs)
+        ],
+    )
+
+
+@given(float_points, wires)
+def test_add_wire_keeps_invariant(raw, wire):
+    resistance, capacitance = wire
+    out = add_wire(nonredundant(raw), resistance, capacitance)
+    assert is_nonredundant(out)
+
+
+@given(float_points, wires)
+def test_add_wire_transform_values(raw, wire):
+    resistance, capacitance = wire
+    cands = nonredundant(raw)
+    before = [(c.q, c.c) for c in cands]
+    out = add_wire(cands, resistance, capacitance)
+    expected = {
+        (q - resistance * (capacitance / 2.0 + c), c + capacitance)
+        for q, c in before
+    }
+    assert all((c.q, c.c) in expected for c in out)
+
+
+@given(grid_points, grid_points)
+def test_merge_closure_properties(raw_left, raw_right):
+    """merge == the nonredundant closure of all pairwise combinations:
+    (a) output nonredundant, (b) every output point is an achievable
+    pairing, (c) every pairing is dominated by some output point."""
+    left, right = nonredundant(raw_left), nonredundant(raw_right)
+    merged = merge_branches(list(left), list(right))
+    assert is_nonredundant(merged)
+
+    achievable = {
+        (min(a.q, b.q), a.c + b.c) for a, b in itertools.product(left, right)
+    }
+    assert all((m.q, m.c) in achievable for m in merged)
+    for q, c in achievable:
+        assert any(m.q >= q and m.c <= c for m in merged), (q, c)
+
+
+@given(grid_points, grid_buffers)
+@settings(max_examples=200)
+def test_generate_fast_equals_lillis(raw, specs):
+    """The paper's Theorem 1 as a property: the hull walk produces the
+    same buffered candidates as the exhaustive scan (exact integer
+    arithmetic, so ties included)."""
+    cands = nonredundant(raw)
+    plan = make_plan(specs)
+    assert qc(generate_lillis(cands, plan)) == qc(generate_fast(cands, plan))
+
+
+@given(grid_points, grid_buffers)
+def test_generate_beta_values_match_definition(raw, specs):
+    """Every emitted beta equals max(q - K - R c) for its buffer type,
+    and betas for omitted buffer types are dominated by emitted ones."""
+    cands = nonredundant(raw)
+    plan = make_plan(specs)
+    out = generate_fast(cands, plan)
+    best = {
+        buf.name: max(c.q - buf.intrinsic_delay - buf.driving_resistance * c.c
+                      for c in cands)
+        for buf in plan.by_resistance_desc
+    }
+    emitted = {c.decision.buffer.name: c for c in out}
+    for buf in plan.by_resistance_desc:
+        if buf.name in emitted:
+            assert emitted[buf.name].q == best[buf.name]
+            assert emitted[buf.name].c == buf.input_capacitance
+        else:
+            assert any(
+                c.q >= best[buf.name] and c.c <= buf.input_capacitance
+                for c in out
+            ), buf.name
+
+
+@given(grid_points, grid_buffers)
+def test_generated_candidates_sorted_nonredundant(raw, specs):
+    out = generate_fast(nonredundant(raw), make_plan(specs))
+    assert is_nonredundant(out)
+
+
+@given(grid_points, grid_points)
+def test_insert_candidates_is_union_nonredundant(raw_base, raw_new):
+    base, new = nonredundant(raw_base), nonredundant(raw_new)
+    merged = insert_candidates(list(base), list(new))
+    assert is_nonredundant(merged)
+    for candidate in itertools.chain(base, new):
+        assert any(k.dominates(candidate) for k in merged)

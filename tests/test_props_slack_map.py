@@ -1,0 +1,55 @@
+"""Property tests for the slack-map analysis."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import random_small_tree
+
+from repro import evaluate_assignment, insert_buffers, uniform_random_library
+from repro.timing.slack_map import compute_slack_map
+
+seeds = st.integers(min_value=0, max_value=5_000)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, seeds)
+def test_slack_map_consistent_with_report(tree_seed, lib_seed):
+    tree = random_small_tree(tree_seed)
+    library = uniform_random_library(3, seed=lib_seed)
+    result = insert_buffers(tree, library)
+    slack_map = compute_slack_map(tree, result.assignment)
+    report = evaluate_assignment(tree, result.assignment)
+
+    scale = max(1.0, abs(report.slack))
+    # Worst slack agrees with the oracle.
+    assert abs(slack_map.worst_slack - report.slack) <= 1e-9 * scale
+    # Sink slacks agree individually.
+    for sink_id, slack in report.sink_slacks.items():
+        assert abs(slack_map.slack[sink_id] - slack) <= 1e-9 * scale
+    # No node is slacker than the worst sink... the other way around:
+    # every node's slack is at least the worst slack.
+    for slack in slack_map.slack.values():
+        assert slack >= slack_map.worst_slack - 1e-12 * scale
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, seeds)
+def test_critical_path_is_root_to_critical_sink(tree_seed, lib_seed):
+    tree = random_small_tree(tree_seed)
+    library = uniform_random_library(2, seed=lib_seed)
+    result = insert_buffers(tree, library)
+    slack_map = compute_slack_map(tree, result.assignment)
+    report = evaluate_assignment(tree, result.assignment)
+
+    path = slack_map.critical_path(tree, tolerance=1e-9)
+    assert path[0] == tree.root_id
+    # Ties between equally critical sinks are legal: the path must end
+    # at *a* sink whose slack equals the worst slack.
+    end = tree.node(path[-1])
+    assert end.is_sink
+    scale = max(1.0, abs(report.slack))
+    assert abs(report.sink_slacks[path[-1]] - report.slack) <= 1e-9 * scale
+    for parent, child in zip(path, path[1:]):
+        assert child in tree.children_of(parent)

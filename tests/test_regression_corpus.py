@@ -1,0 +1,99 @@
+"""Pinned regression corpus: exact golden slacks on fixed instances.
+
+These instances and their optimal slacks were computed at authoring
+time with both algorithms agreeing and the timing oracle confirming.
+Any future change to the candidate algebra, the pruning rules or the
+timing model that shifts a ninth significant digit here is a
+regression, not noise: every computation involved is deterministic
+float arithmetic on fixed inputs.
+"""
+
+import pytest
+
+from repro import (
+    Driver,
+    caterpillar_net,
+    h_tree_net,
+    insert_buffers,
+    paper_library,
+    prim_steiner_net,
+    random_tree_net,
+    segment_tree,
+    two_pin_net,
+    unbuffered_slack,
+)
+from repro.units import fF, ps
+
+
+def _random15():
+    return segment_tree(
+        random_tree_net(15, seed=101,
+                        required_arrival=(ps(300.0), ps(1200.0)),
+                        driver=Driver(250.0)),
+        400.0,
+    )
+
+
+def _caterpillar10():
+    return caterpillar_net(10, required_arrival=(ps(100.0), ps(900.0)),
+                           driver=Driver(300.0), seed=7)
+
+
+def _htree2():
+    return h_tree_net(2, span=6000.0, sink_capacitance=fF(12.0),
+                      required_arrival=ps(1000.0), driver=Driver(250.0))
+
+
+def _prim20():
+    return prim_steiner_net(20, seed=55, required_arrival=ps(1500.0),
+                            driver=Driver(200.0))
+
+
+def _line24():
+    return two_pin_net(length=12_000.0, sink_capacitance=fF(25.0),
+                       required_arrival=ps(1500.0), driver=Driver(250.0),
+                       num_segments=24)
+
+
+#: (case, builder, b, unbuffered slack, optimal slack, buffer count)
+CORPUS = [
+    ("random15", _random15, 8, -8.18546876724227e-09,
+     -7.24986910701664e-10, 36),
+    ("caterpillar10", _caterpillar10, 8, -1.9360043246412093e-11,
+     -8.212043246412125e-12, 2),
+    ("htree2", _htree2, 4, -1.2620431249999997e-10,
+     5.261216875000002e-10, 6),
+    ("prim20", _prim20, 8, -3.364717377555913e-09,
+     3.056407205143744e-10, 15),
+    ("line24", _line24, 16, 4.71253999999999e-10,
+     9.116419999999985e-10, 3),
+]
+
+IDS = [case[0] for case in CORPUS]
+
+
+@pytest.mark.parametrize("name,builder,b,base,golden,buffers", CORPUS, ids=IDS)
+def test_unbuffered_slack_golden(name, builder, b, base, golden, buffers):
+    assert unbuffered_slack(builder()) == pytest.approx(base, rel=1e-9)
+
+
+@pytest.mark.parametrize("name,builder,b,base,golden,buffers", CORPUS, ids=IDS)
+def test_optimal_slack_golden(name, builder, b, base, golden, buffers):
+    tree = builder()
+    result = insert_buffers(tree, paper_library(b))
+    assert result.slack == pytest.approx(golden, rel=1e-9)
+    assert result.num_buffers == buffers
+
+
+@pytest.mark.parametrize("name,builder,b,base,golden,buffers", CORPUS, ids=IDS)
+def test_lillis_matches_golden(name, builder, b, base, golden, buffers):
+    tree = builder()
+    result = insert_buffers(tree, paper_library(b), algorithm="lillis")
+    assert result.slack == pytest.approx(golden, rel=1e-9)
+
+
+@pytest.mark.parametrize("name,builder,b,base,golden,buffers", CORPUS, ids=IDS)
+def test_golden_verifiable_by_oracle(name, builder, b, base, golden, buffers):
+    tree = builder()
+    result = insert_buffers(tree, paper_library(b))
+    assert result.verify(tree).slack == pytest.approx(result.slack, rel=1e-12)

@@ -1,0 +1,85 @@
+"""Report-formatting tests."""
+
+import pytest
+
+from repro import Driver, evaluate_assignment, insert_buffers, two_pin_net
+from repro.report import (
+    describe_net,
+    describe_result,
+    full_report,
+    render_tree,
+    sink_slack_table,
+)
+from repro.units import fF, ps
+
+
+@pytest.fixture
+def solved(small_library):
+    net = two_pin_net(length=6000.0, sink_capacitance=fF(20.0),
+                      required_arrival=ps(900.0), driver=Driver(200.0),
+                      num_segments=8)
+    return net, insert_buffers(net, small_library)
+
+
+def test_describe_net_mentions_counts(solved):
+    net, _ = solved
+    text = describe_net(net)
+    assert str(net.num_sinks) in text
+    assert str(net.num_buffer_positions) in text
+    assert "driver" in text
+
+
+def test_describe_net_flags_negative_sinks():
+    from repro import RoutingTree
+
+    net = RoutingTree.with_source()
+    net.add_sink(0, 1.0, fF(1.0), capacitance=fF(2.0), required_arrival=0.0,
+                 polarity=-1)
+    assert "negative-polarity" in describe_net(net)
+
+
+def test_describe_result_shows_improvement(solved):
+    net, result = solved
+    text = describe_result(net, result)
+    assert "unbuffered slack" in text
+    assert "improvement" in text
+    assert "usage by type" in text
+
+
+def test_sink_slack_table_sorted_and_limited(solved):
+    net, result = solved
+    report = evaluate_assignment(net, result.assignment)
+    text = sink_slack_table(report, net, limit=5)
+    assert "slack (ps)" in text
+
+
+def test_render_tree_marks_buffers(solved):
+    net, result = solved
+    text = render_tree(net, result)
+    names = {b.name for b in result.assignment.values()}
+    assert any(name in text for name in names)
+    assert "sink" in text
+
+
+def test_render_tree_truncates():
+    net = two_pin_net(length=10_000.0, num_segments=500)
+    text = render_tree(net, max_nodes=20)
+    assert "truncated" in text
+
+
+def test_render_tree_marks_inverted_sinks():
+    from repro import RoutingTree
+
+    net = RoutingTree.with_source()
+    net.add_sink(0, 1.0, fF(1.0), capacitance=fF(2.0), required_arrival=0.0,
+                 polarity=-1)
+    from repro import BufferLibrary, BufferType, insert_buffers_with_inverters
+
+    assert "(inverted)" in render_tree(net)
+
+
+def test_full_report_sections(solved):
+    net, result = solved
+    text = full_report(net, result)
+    for section in ("== net ==", "== solution ==", "== critical sinks =="):
+        assert section in text

@@ -1,0 +1,140 @@
+"""RoutingTree structure, traversal and validation tests."""
+
+import pytest
+
+from repro import Driver, RoutingTree
+from repro.errors import NodeNotFoundError, TreeError, TreeStructureError
+from repro.units import fF, ps
+
+
+def simple_tree():
+    """source -> v1 -> {sink2, v3 -> sink4}"""
+    tree = RoutingTree.with_source(driver=Driver(100.0))
+    v1 = tree.add_internal(tree.root_id, 10.0, fF(5.0))
+    tree.add_sink(v1, 20.0, fF(4.0), capacitance=fF(3.0), required_arrival=ps(100.0))
+    v3 = tree.add_internal(v1, 5.0, fF(2.0), buffer_position=False)
+    tree.add_sink(v3, 1.0, fF(1.0), capacitance=fF(2.0), required_arrival=ps(50.0))
+    return tree
+
+
+def test_ids_sequential_and_root_zero():
+    tree = simple_tree()
+    assert tree.root_id == 0
+    assert sorted(n.node_id for n in tree.nodes()) == [0, 1, 2, 3, 4]
+
+
+def test_counts():
+    tree = simple_tree()
+    assert tree.num_nodes == 5
+    assert tree.num_sinks == 2
+    assert tree.num_buffer_positions == 1  # v3 is a pure Steiner point
+
+
+def test_edge_accessors():
+    tree = simple_tree()
+    edge = tree.edge_to(1)
+    assert edge.parent == 0 and edge.child == 1
+    assert edge.resistance == 10.0 and edge.capacitance == fF(5.0)
+
+
+def test_parent_and_children():
+    tree = simple_tree()
+    assert tree.parent_of(0) is None
+    assert tree.parent_of(3) == 1
+    assert tuple(tree.children_of(1)) == (2, 3)
+
+
+def test_postorder_children_before_parents():
+    tree = simple_tree()
+    order = tree.postorder()
+    position = {node: i for i, node in enumerate(order)}
+    for node_id in order:
+        for child in tree.children_of(node_id):
+            assert position[child] < position[node_id]
+    assert order[-1] == tree.root_id
+    assert len(order) == tree.num_nodes
+
+
+def test_preorder_parents_before_children():
+    tree = simple_tree()
+    order = tree.preorder()
+    position = {node: i for i, node in enumerate(order)}
+    for node_id in order:
+        parent = tree.parent_of(node_id)
+        if parent is not None:
+            assert position[parent] < position[node_id]
+    assert order[0] == tree.root_id
+
+
+def test_depth():
+    assert simple_tree().depth() == 3
+
+
+def test_path_to_root():
+    tree = simple_tree()
+    assert tree.path_to_root(4) == [4, 3, 1, 0]
+
+
+def test_total_wire_capacitance():
+    tree = simple_tree()
+    assert tree.total_wire_capacitance() == pytest.approx(fF(5.0 + 4.0 + 2.0 + 1.0))
+
+
+def test_validate_accepts_good_tree():
+    simple_tree().validate()
+
+
+def test_cannot_attach_under_sink():
+    tree = simple_tree()
+    with pytest.raises(TreeStructureError):
+        tree.add_sink(2, 1.0, 0.0, capacitance=0.0, required_arrival=0.0)
+
+
+def test_cannot_attach_under_missing_parent():
+    tree = simple_tree()
+    with pytest.raises(NodeNotFoundError):
+        tree.add_internal(99, 1.0, 0.0)
+
+
+def test_validate_rejects_internal_leaf():
+    tree = RoutingTree.with_source()
+    tree.add_internal(tree.root_id, 1.0, 0.0)
+    with pytest.raises(TreeStructureError):
+        tree.validate()
+
+
+def test_validate_rejects_sinkless_tree():
+    tree = RoutingTree.with_source()
+    with pytest.raises(TreeStructureError):
+        tree.validate()
+
+
+def test_negative_edge_parasitics_rejected():
+    tree = RoutingTree.with_source()
+    with pytest.raises(TreeError):
+        tree.add_internal(tree.root_id, -1.0, 0.0)
+
+
+def test_node_lookup_missing_raises():
+    tree = simple_tree()
+    with pytest.raises(NodeNotFoundError):
+        tree.node(99)
+    with pytest.raises(NodeNotFoundError):
+        tree.edge_to(0)  # root has no incoming edge
+
+
+def test_sinks_and_buffer_positions_listing():
+    tree = simple_tree()
+    assert [n.node_id for n in tree.sinks()] == [2, 4]
+    assert [n.node_id for n in tree.buffer_positions()] == [1]
+
+
+def test_allowed_buffers_stored_frozen():
+    tree = RoutingTree.with_source()
+    v = tree.add_internal(tree.root_id, 1.0, 0.0, allowed_buffers=["a", "b"])
+    assert tree.node(v).allowed_buffers == frozenset({"a", "b"})
+
+
+def test_repr_mentions_counts():
+    text = repr(simple_tree())
+    assert "sinks=2" in text

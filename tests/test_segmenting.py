@@ -1,0 +1,143 @@
+"""Wire-segmenting tests: buffer positions appear, electricals preserved."""
+
+import pytest
+
+from repro import (
+    Driver,
+    elmore_delays,
+    random_tree_net,
+    segment_tree,
+    two_pin_net,
+)
+from repro.errors import TreeError
+from repro.tree.segmenting import (
+    max_segment_length_for_positions,
+    segment_to_position_count,
+)
+from repro.units import fF, ps
+
+
+@pytest.fixture
+def net():
+    return random_tree_net(
+        12, seed=9, required_arrival=ps(500.0), driver=Driver(200.0)
+    )
+
+
+def test_segmenting_increases_positions(net):
+    segmented = segment_tree(net, 100.0)
+    assert segmented.num_buffer_positions > net.num_buffer_positions
+
+
+def test_segmenting_preserves_sink_count_and_data(net):
+    segmented = segment_tree(net, 100.0)
+    assert segmented.num_sinks == net.num_sinks
+    original = sorted((s.capacitance, s.required_arrival) for s in net.sinks())
+    copied = sorted((s.capacitance, s.required_arrival) for s in segmented.sinks())
+    assert original == copied
+
+
+def test_segmenting_preserves_total_parasitics(net):
+    segmented = segment_tree(net, 50.0)
+    assert segmented.total_wire_capacitance() == pytest.approx(
+        net.total_wire_capacitance()
+    )
+    assert segmented.total_wire_length() == pytest.approx(net.total_wire_length())
+
+
+def test_segmenting_preserves_unbuffered_elmore_delays(net):
+    """Equal pi-segmentation leaves the Elmore delay exactly unchanged.
+
+    For a wire (R, C) split into k equal pi-segments the summed delay
+    telescopes back to ``R*C/2 + R*C_down`` — so segmenting must be
+    timing-neutral for the unbuffered net.
+    """
+    base = {s.name: d for s, d in zip(net.sinks(), elmore_delays(net).values())}
+    segmented = segment_tree(net, 25.0)
+    seg = {s.name: d for s, d in zip(segmented.sinks(), elmore_delays(segmented).values())}
+    for name, delay in base.items():
+        assert seg[name] == pytest.approx(delay, rel=1e-9)
+
+
+def test_infinite_length_is_a_copy(net):
+    copy = segment_tree(net, float("inf"))
+    assert copy.num_nodes == net.num_nodes
+    assert copy.num_buffer_positions == net.num_buffer_positions
+
+
+def test_zero_length_edges_never_split():
+    tree = two_pin_net(length=100.0, num_segments=1)
+    # Edge length metadata is 100; segmenting at 10 splits into 10.
+    segmented = segment_tree(tree, 10.0)
+    assert segmented.num_buffer_positions == 9
+
+
+def test_rejects_non_positive_length(net):
+    with pytest.raises(TreeError):
+        segment_tree(net, 0.0)
+
+
+def test_buffer_positions_flag_false_makes_steiner_points(net):
+    segmented = segment_tree(net, 100.0, buffer_positions=False)
+    assert segmented.num_buffer_positions == net.num_buffer_positions
+
+
+def test_max_segment_length_estimate(net):
+    length = max_segment_length_for_positions(net, 200)
+    segmented = segment_tree(net, length)
+    # The estimate is within a factor ~2 by construction.
+    assert 100 <= segmented.num_buffer_positions <= 400
+
+
+def test_segment_to_position_count_hits_tolerance(net):
+    segmented = segment_to_position_count(net, 300, tolerance=0.05)
+    assert abs(segmented.num_buffer_positions - 300) <= 0.10 * 300
+
+
+def test_max_segment_length_validation(net):
+    with pytest.raises(TreeError):
+        max_segment_length_for_positions(net, 0)
+
+
+def _tree_without_length_metadata():
+    from repro import RoutingTree
+
+    tree = RoutingTree.with_source()
+    tree.add_sink(0, 5.0, fF(2.0), capacitance=fF(1.0), required_arrival=0.0)
+    return tree
+
+
+def test_segmenting_requires_length_metadata():
+    with pytest.raises(TreeError):
+        max_segment_length_for_positions(_tree_without_length_metadata(), 10)
+
+
+def test_driver_preserved(net):
+    assert segment_tree(net, 100.0).driver.resistance == 200.0
+
+
+def test_segmenting_interpolates_positions():
+    """New intermediate vertices get straight-line placements so
+    geometric post-processing (blockages) still applies."""
+    from repro import RoutingTree
+
+    tree = RoutingTree.with_source()
+    v = tree.add_internal(0, 1.0, fF(10.0), length=0.0, position=(0.0, 0.0))
+    tree.add_sink(v, 10.0, fF(10.0), capacitance=fF(5.0), required_arrival=0.0,
+                  length=1000.0, position=(1000.0, 0.0))
+    segmented = segment_tree(tree, 250.0)
+    placed = [n.position for n in segmented.buffer_positions()
+              if n.position is not None]
+    xs = sorted(p[0] for p in placed)
+    # v itself sits at x = 0; the three new vertices interpolate evenly.
+    assert xs == pytest.approx([0.0, 250.0, 500.0, 750.0])
+
+
+def test_segmenting_leaves_position_none_without_endpoints():
+    from repro import RoutingTree
+
+    tree = RoutingTree.with_source()
+    tree.add_sink(0, 10.0, fF(10.0), capacitance=fF(5.0), required_arrival=0.0,
+                  length=1000.0)  # no positions anywhere
+    segmented = segment_tree(tree, 250.0)
+    assert all(n.position is None for n in segmented.buffer_positions())

@@ -1,0 +1,88 @@
+"""Per-node slack-map tests."""
+
+import pytest
+
+from repro import (
+    Driver,
+    evaluate_assignment,
+    insert_buffers,
+    paper_library,
+    random_tree_net,
+    two_pin_net,
+)
+from repro.timing.slack_map import compute_slack_map
+from repro.units import fF, ps
+
+
+@pytest.fixture
+def solved():
+    net = random_tree_net(12, seed=6, required_arrival=(ps(300.0), ps(1200.0)),
+                          driver=Driver(250.0))
+    result = insert_buffers(net, paper_library(4))
+    return net, result
+
+
+def test_worst_slack_matches_timing_report(solved):
+    net, result = solved
+    slack_map = compute_slack_map(net, result.assignment)
+    report = evaluate_assignment(net, result.assignment)
+    assert slack_map.worst_slack == pytest.approx(report.slack, rel=1e-12)
+
+
+def test_sink_arrivals_match_report(solved):
+    net, result = solved
+    slack_map = compute_slack_map(net, result.assignment)
+    report = evaluate_assignment(net, result.assignment)
+    for sink_id, delay in report.sink_delays.items():
+        assert slack_map.arrival[sink_id] == pytest.approx(delay, rel=1e-12)
+
+
+def test_all_slacks_at_least_worst(solved):
+    net, result = solved
+    slack_map = compute_slack_map(net, result.assignment)
+    for node_id, slack in slack_map.slack.items():
+        assert slack >= slack_map.worst_slack - 1e-15
+
+
+def test_root_slack_equals_worst(solved):
+    net, result = solved
+    slack_map = compute_slack_map(net, result.assignment)
+    assert slack_map.slack[net.root_id] == pytest.approx(
+        slack_map.worst_slack, rel=1e-12
+    )
+
+
+def test_critical_path_ends_at_critical_sink(solved):
+    net, result = solved
+    slack_map = compute_slack_map(net, result.assignment)
+    report = evaluate_assignment(net, result.assignment)
+    path = slack_map.critical_path(net)
+    assert path[0] == net.root_id
+    assert path[-1] == report.critical_sink
+    # The path is connected root-to-sink.
+    for parent, child in zip(path, path[1:]):
+        assert child in net.children_of(parent)
+
+
+def test_unbuffered_map_on_line():
+    net = two_pin_net(length=5000.0, sink_capacitance=fF(20.0),
+                      required_arrival=ps(800.0), driver=Driver(200.0),
+                      num_segments=6)
+    slack_map = compute_slack_map(net)
+    # A path net: every node is critical.
+    path = slack_map.critical_path(net)
+    assert len(path) == net.num_nodes
+    from repro import unbuffered_slack
+
+    assert slack_map.worst_slack == pytest.approx(unbuffered_slack(net))
+
+
+def test_buffer_changes_downstream_required_times():
+    net = two_pin_net(length=5000.0, sink_capacitance=fF(20.0),
+                      required_arrival=ps(800.0), driver=Driver(200.0),
+                      num_segments=6)
+    library = paper_library(4)
+    result = insert_buffers(net, library)
+    before = compute_slack_map(net)
+    after = compute_slack_map(net, result.assignment)
+    assert after.worst_slack > before.worst_slack

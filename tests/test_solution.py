@@ -1,0 +1,38 @@
+"""BufferingResult / DPStats object tests."""
+
+import pytest
+
+from repro import insert_buffers
+
+
+def test_result_immutable(line_net, small_library):
+    result = insert_buffers(line_net, small_library)
+    with pytest.raises(AttributeError):
+        result.slack = 0.0
+
+
+def test_buffer_counts_by_type_sums(line_net, small_library):
+    result = insert_buffers(line_net, small_library)
+    counts = result.buffer_counts_by_type()
+    assert sum(counts.values()) == result.num_buffers
+    for name in counts:
+        assert name in {b.name for b in small_library}
+
+
+def test_driver_load_matches_oracle(line_net, small_library):
+    result = insert_buffers(line_net, small_library)
+    report = result.verify(line_net)
+    assert report.driver_load == pytest.approx(result.driver_load, rel=1e-12)
+
+
+def test_stats_runtime_nonnegative(line_net, small_library):
+    result = insert_buffers(line_net, small_library)
+    assert result.stats.runtime_seconds >= 0.0
+
+
+def test_verify_accepts_driver_override(line_net, small_library):
+    from repro import Driver
+
+    result = insert_buffers(line_net, small_library, driver=Driver(123.0))
+    report = result.verify(line_net, driver=Driver(123.0))
+    assert report.slack == pytest.approx(result.slack, rel=1e-12)

@@ -1,0 +1,138 @@
+"""SPEF-subset writer/reader tests."""
+
+import pytest
+
+from conftest import SLACK_ATOL
+
+from repro import (
+    Driver,
+    insert_buffers,
+    paper_library,
+    random_tree_net,
+    two_pin_net,
+    unbuffered_slack,
+)
+from repro.errors import TreeError
+from repro.tree.spef import read_spef, write_spef
+from repro.units import fF, ps
+
+
+@pytest.fixture
+def net():
+    return random_tree_net(10, seed=12, required_arrival=(ps(200.0), ps(900.0)),
+                           driver=Driver(300.0))
+
+
+def test_round_trip_counts(tmp_path, net):
+    path = tmp_path / "net.spef"
+    write_spef(net, path)
+    copy = read_spef(path)
+    assert copy.num_nodes == net.num_nodes
+    assert copy.num_sinks == net.num_sinks
+    assert copy.num_buffer_positions == net.num_buffer_positions
+
+
+def test_round_trip_unbuffered_timing(tmp_path, net):
+    path = tmp_path / "net.spef"
+    write_spef(net, path)
+    copy = read_spef(path)
+    assert unbuffered_slack(copy) == pytest.approx(
+        unbuffered_slack(net), rel=1e-12
+    )
+
+
+def test_round_trip_optimal_slack(tmp_path, net):
+    path = tmp_path / "net.spef"
+    write_spef(net, path)
+    copy = read_spef(path)
+    library = paper_library(4)
+    assert insert_buffers(copy, library).slack == pytest.approx(
+        insert_buffers(net, library).slack, abs=SLACK_ATOL
+    )
+
+
+def test_round_trip_driver_and_rats(tmp_path, net):
+    path = tmp_path / "net.spef"
+    write_spef(net, path)
+    copy = read_spef(path)
+    assert copy.driver == net.driver
+    original = sorted(s.required_arrival for s in net.sinks())
+    restored = sorted(s.required_arrival for s in copy.sinks())
+    assert restored == pytest.approx(original)
+
+
+def test_round_trip_polarity(tmp_path):
+    from repro import RoutingTree
+
+    net = RoutingTree.with_source(driver=Driver(100.0))
+    v = net.add_internal(0, 10.0, fF(3.0))
+    net.add_sink(v, 10.0, fF(3.0), capacitance=fF(5.0),
+                 required_arrival=ps(100.0), polarity=-1, name="neg")
+    path = tmp_path / "net.spef"
+    write_spef(net, path)
+    copy = read_spef(path)
+    assert copy.sinks()[0].polarity == -1
+
+
+def test_steiner_vs_insertable_preserved(tmp_path):
+    from repro import RoutingTree
+
+    net = RoutingTree.with_source()
+    steiner = net.add_internal(0, 10.0, fF(3.0), buffer_position=False)
+    pos = net.add_internal(steiner, 10.0, fF(3.0), buffer_position=True)
+    net.add_sink(pos, 10.0, fF(3.0), capacitance=fF(5.0), required_arrival=0.0)
+    path = tmp_path / "net.spef"
+    write_spef(net, path)
+    copy = read_spef(path)
+    assert copy.num_buffer_positions == 1
+
+
+def test_file_is_standardish_spef(tmp_path, net):
+    path = tmp_path / "net.spef"
+    write_spef(net, path)
+    text = path.read_text()
+    for token in ("*SPEF", "*D_NET", "*CONN", "*CAP", "*RES", "*END"):
+        assert token in text
+    assert "*P driver O" in text
+
+
+def test_reader_rejects_unknown_directive(tmp_path):
+    path = tmp_path / "bad.spef"
+    path.write_text("*SPEF \"x\"\n*MAGIC 1\n")
+    with pytest.raises(TreeError):
+        read_spef(path)
+
+
+def test_reader_rejects_empty(tmp_path):
+    path = tmp_path / "empty.spef"
+    path.write_text("*SPEF \"x\"\n")
+    with pytest.raises(TreeError):
+        read_spef(path)
+
+
+def test_reader_rejects_double_driver(tmp_path):
+    path = tmp_path / "cycle.spef"
+    path.write_text("\n".join([
+        '*SPEF "x"',
+        "*D_NET net0 1.0",
+        "*CONN",
+        "*P driver O",
+        "*I sinkA I *L 1e-15",
+        "*RES",
+        "1 driver sinkA 10.0",
+        "2 driver sinkA 10.0",
+        "*END",
+    ]))
+    with pytest.raises(TreeError):
+        read_spef(path)
+
+
+def test_two_pin_round_trip(tmp_path):
+    net = two_pin_net(length=2000.0, sink_capacitance=fF(7.0),
+                      required_arrival=ps(300.0), driver=Driver(150.0),
+                      num_segments=4)
+    path = tmp_path / "line.spef"
+    write_spef(net, path)
+    copy = read_spef(path)
+    assert copy.num_buffer_positions == 3
+    assert unbuffered_slack(copy) == pytest.approx(unbuffered_slack(net))

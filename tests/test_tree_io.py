@@ -1,0 +1,114 @@
+"""JSON serialization round-trip tests."""
+
+import pytest
+
+from repro import (
+    Driver,
+    evaluate_slack,
+    insert_buffers,
+    load_tree,
+    paper_library,
+    random_tree_net,
+    save_tree,
+    two_pin_net,
+)
+from repro.errors import TreeError
+from repro.tree.io import (
+    library_from_dict,
+    library_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.units import fF, ps
+
+
+@pytest.fixture
+def net():
+    return random_tree_net(
+        10, seed=4, required_arrival=(ps(100.0), ps(900.0)), driver=Driver(300.0)
+    )
+
+
+def test_round_trip_preserves_counts(net):
+    copy = tree_from_dict(tree_to_dict(net))
+    assert copy.num_nodes == net.num_nodes
+    assert copy.num_sinks == net.num_sinks
+    assert copy.num_buffer_positions == net.num_buffer_positions
+
+
+def test_round_trip_preserves_driver(net):
+    copy = tree_from_dict(tree_to_dict(net))
+    assert copy.driver == net.driver
+
+
+def test_round_trip_preserves_optimal_slack(net):
+    # The strongest invariant: the reloaded instance is the same problem.
+    library = paper_library(4)
+    copy = tree_from_dict(tree_to_dict(net))
+    original = insert_buffers(net, library)
+    reloaded = insert_buffers(copy, library)
+    assert reloaded.slack == pytest.approx(original.slack, abs=1e-18)
+
+
+def test_round_trip_preserves_allowed_buffers():
+    from repro import RoutingTree
+
+    tree = RoutingTree.with_source()
+    tree.add_internal(0, 1.0, fF(1.0), allowed_buffers=["a", "b"])
+    tree.add_sink(1, 1.0, fF(1.0), capacitance=fF(2.0), required_arrival=0.0)
+    copy = tree_from_dict(tree_to_dict(tree))
+    assert copy.node(1).allowed_buffers == frozenset({"a", "b"})
+
+
+def test_file_round_trip(tmp_path, net):
+    path = tmp_path / "net.json"
+    save_tree(net, path)
+    copy = load_tree(path)
+    assert copy.num_nodes == net.num_nodes
+    assert evaluate_slack(copy) == pytest.approx(evaluate_slack(net), abs=1e-18)
+
+
+def test_rejects_unknown_version(net):
+    data = tree_to_dict(net)
+    data["format_version"] = 99
+    with pytest.raises(TreeError):
+        tree_from_dict(data)
+
+
+def test_rejects_missing_source():
+    with pytest.raises(TreeError):
+        tree_from_dict({"format_version": 1, "nodes": []})
+
+
+def test_rejects_orphan_node(net):
+    data = tree_to_dict(net)
+    del data["nodes"][1]["edge"]
+    with pytest.raises(TreeError):
+        tree_from_dict(data)
+
+
+def test_rejects_unknown_kind(net):
+    data = tree_to_dict(net)
+    data["nodes"][1]["kind"] = "mystery"
+    with pytest.raises(TreeError):
+        tree_from_dict(data)
+
+
+def test_positions_preserved():
+    net = two_pin_net(length=100.0, num_segments=2)
+    copy = tree_from_dict(tree_to_dict(net))
+    assert copy.node(1).position == (50.0, 0.0)
+
+
+def test_library_round_trip():
+    library = paper_library(8)
+    copy = library_from_dict(library_to_dict(library))
+    assert copy == library
+
+
+def test_library_version_check():
+    library = paper_library(2)
+    data = library_to_dict(library)
+    data["format_version"] = 0
+    with pytest.raises(TreeError):
+        library_from_dict(data)

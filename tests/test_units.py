@@ -1,0 +1,40 @@
+"""Unit-helper sanity tests."""
+
+import math
+
+from repro import units
+
+
+def test_femto_farad_round_trip():
+    assert math.isclose(units.to_fF(units.fF(23.0)), 23.0)
+
+
+def test_pico_second_round_trip():
+    assert math.isclose(units.to_ps(units.ps(36.4)), 36.4)
+
+
+def test_ns_is_thousand_ps():
+    assert math.isclose(units.ns(1.0), units.ps(1000.0))
+
+
+def test_pf_is_thousand_ff():
+    assert math.isclose(units.pF(1.0), units.fF(1000.0))
+
+
+def test_kohm():
+    assert units.kohm(7.0) == 7000.0
+
+
+def test_ohm_identity():
+    assert units.ohm(180.0) == 180.0
+
+
+def test_tsmc180_constants_match_paper():
+    # Section 4: 0.076 ohm/um and 0.118 fF/um.
+    assert units.TSMC180_WIRE_RES_PER_UM == 0.076
+    assert math.isclose(units.to_fF(units.TSMC180_WIRE_CAP_PER_UM), 0.118)
+
+
+def test_elmore_unit_consistency():
+    # ohms times farads is seconds: a 1 kohm driver into 1 pF is 1 ns.
+    assert math.isclose(units.kohm(1.0) * units.pF(1.0), units.ns(1.0))

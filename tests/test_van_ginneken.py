@@ -1,0 +1,76 @@
+"""Classic single-type algorithm tests."""
+
+import pytest
+
+from repro import (
+    BufferLibrary,
+    Driver,
+    insert_buffers,
+    insert_buffers_van_ginneken,
+    two_pin_net,
+    unbuffered_slack,
+)
+from repro.errors import AlgorithmError
+from repro.units import fF, ps
+
+
+def test_accepts_buffer_type(line_net, single_buffer):
+    result = insert_buffers_van_ginneken(line_net, single_buffer)
+    assert result.stats.algorithm == "van_ginneken"
+    assert result.stats.library_size == 1
+
+
+def test_accepts_singleton_library(line_net, single_buffer):
+    result = insert_buffers_van_ginneken(line_net, BufferLibrary([single_buffer]))
+    assert result.stats.algorithm == "van_ginneken"
+
+
+def test_rejects_multi_type_library(line_net, small_library):
+    with pytest.raises(AlgorithmError):
+        insert_buffers_van_ginneken(line_net, small_library)
+
+
+def test_matches_fast_and_lillis_with_b1(line_net, single_buffer):
+    library = BufferLibrary([single_buffer])
+    vg = insert_buffers_van_ginneken(line_net, single_buffer)
+    fast = insert_buffers(line_net, library, algorithm="fast")
+    lillis = insert_buffers(line_net, library, algorithm="lillis")
+    assert vg.slack == pytest.approx(fast.slack, abs=1e-18)
+    assert vg.slack == pytest.approx(lillis.slack, abs=1e-18)
+    assert vg.assignment.keys() == fast.assignment.keys()
+
+
+def _repeater():
+    """A strong repeater for which long-line insertion clearly pays."""
+    from repro import BufferType
+
+    return BufferType("rep", driving_resistance=120.0,
+                      input_capacitance=fF(8.0), intrinsic_delay=ps(30.0))
+
+
+def test_improves_long_line():
+    net = two_pin_net(length=10_000.0, sink_capacitance=fF(15.0),
+                      required_arrival=ps(2000.0), driver=Driver(300.0),
+                      num_segments=40)
+    result = insert_buffers_van_ginneken(net, _repeater())
+    assert result.slack > unbuffered_slack(net) + ps(10.0)
+    assert result.num_buffers >= 1
+
+
+def test_equal_spacing_on_uniform_line():
+    """On a uniform line the optimal repeaters are near-evenly spaced —
+    the textbook sanity check for van Ginneken implementations."""
+    segments = 60
+    net = two_pin_net(length=30_000.0, sink_capacitance=fF(5.0),
+                      required_arrival=ps(5000.0), driver=Driver(300.0),
+                      num_segments=segments)
+    result = insert_buffers_van_ginneken(net, _repeater())
+    positions = sorted(result.assignment)
+    assert len(positions) >= 2
+    gaps = [b - a for a, b in zip(positions, positions[1:])]
+    assert max(gaps) - min(gaps) <= 2  # node ids are consecutive line order
+
+
+def test_verifies_against_oracle(line_net, single_buffer):
+    result = insert_buffers_van_ginneken(line_net, single_buffer)
+    assert result.verify(line_net).slack == pytest.approx(result.slack, abs=1e-18)
