@@ -28,12 +28,15 @@ SPEC = scaled(FIGURE_NET)
 
 @pytest.mark.parametrize("size", FIG3_LIBRARY_SIZES)
 @pytest.mark.parametrize("algorithm", ["lillis", "fast"])
-def test_fig3_point(benchmark, size, algorithm):
+@pytest.mark.parametrize("backend", ["object", "soa"])
+def test_fig3_point(benchmark, size, algorithm, backend):
     tree = build_net(SPEC)
     library = paper_library(size, jitter=0.03, seed=size)
     benchmark.extra_info.update(library_size=size,
-                                positions=tree.num_buffer_positions)
-    run_once(benchmark, insert_buffers, tree, library, algorithm=algorithm)
+                                positions=tree.num_buffer_positions,
+                                backend=backend)
+    run_once(benchmark, insert_buffers, tree, library, algorithm=algorithm,
+             backend=backend)
 
 
 def test_fig3_claims(benchmark):

@@ -29,12 +29,15 @@ LIBRARY_SIZE = 32
 
 @pytest.mark.parametrize("positions", FIG4_POSITION_COUNTS)
 @pytest.mark.parametrize("algorithm", ["lillis", "fast"])
-def test_fig4_point(benchmark, positions, algorithm):
+@pytest.mark.parametrize("backend", ["object", "soa"])
+def test_fig4_point(benchmark, positions, algorithm, backend):
     tree = build_net(SPEC, positions_override=positions)
     library = paper_library(LIBRARY_SIZE, jitter=0.03, seed=LIBRARY_SIZE)
     benchmark.extra_info.update(positions=tree.num_buffer_positions,
-                                library_size=LIBRARY_SIZE)
-    run_once(benchmark, insert_buffers, tree, library, algorithm=algorithm)
+                                library_size=LIBRARY_SIZE,
+                                backend=backend)
+    run_once(benchmark, insert_buffers, tree, library, algorithm=algorithm,
+             backend=backend)
 
 
 def test_fig4_claims(benchmark):

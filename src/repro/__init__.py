@@ -25,12 +25,20 @@ Quickstart::
 from repro.core import (
     BufferingResult,
     DPStats,
+    InsertionAlgorithm,
+    algorithm_names,
+    available_algorithms,
+    get_algorithm,
     insert_buffers,
     insert_buffers_brute_force,
     insert_buffers_fast,
     insert_buffers_lillis,
     insert_buffers_van_ginneken,
     insert_buffers_with_inverters,
+    register_algorithm,
+    register_store_backend,
+    solve_many,
+    store_backend_names,
     verify_polarities,
 )
 from repro.library import (
@@ -71,6 +79,14 @@ __all__ = [
     # core
     "BufferingResult",
     "DPStats",
+    "InsertionAlgorithm",
+    "register_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "available_algorithms",
+    "register_store_backend",
+    "store_backend_names",
+    "solve_many",
     "insert_buffers",
     "insert_buffers_fast",
     "insert_buffers_lillis",

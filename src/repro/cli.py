@@ -1,17 +1,25 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the workflow a user needs without writing code:
+Four subcommands cover the workflow a user needs without writing code:
 
 * ``generate`` — synthesize a net and/or a buffer library to JSON;
 * ``buffer``   — run an insertion algorithm on saved net + library and
   print the report (optionally saving the assignment);
+* ``batch``    — buffer many saved nets in one run, optionally across
+  worker processes (``--jobs``);
 * ``info``     — describe a saved net.
+
+Algorithms and candidate-store backends are enumerated from their
+registries (:mod:`repro.core.registry`, :mod:`repro.core.stores`), so a
+plugin registered before :func:`main` runs is selectable by name.
 
 Example session::
 
     python -m repro generate --net net.json --sinks 50 --positions 400 \\
                              --library lib.json --library-size 16
     python -m repro buffer --net net.json --library lib.json --algorithm fast
+    python -m repro batch --nets a.json b.json c.json --library lib.json \\
+                          --jobs 4
     python -m repro info --net net.json
 """
 
@@ -20,10 +28,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.api import ALGORITHMS, insert_buffers
+from repro.core.api import insert_buffers
+from repro.core.batch import solve_many
+from repro.core.registry import algorithm_names, available_algorithms
+from repro.core.stores import store_backend_names
 from repro.library.generators import paper_library
 from repro.report import describe_net, full_report, render_tree
 from repro.tree.builders import random_tree_net
@@ -35,7 +47,15 @@ from repro.tree.io import (
 )
 from repro.tree.node import Driver
 from repro.tree.segmenting import segment_to_position_count
-from repro.units import ps
+from repro.units import ps, to_ps
+
+
+def _algorithm_help() -> str:
+    parts = [
+        f"{name}: {algo.complexity}"
+        for name, algo in available_algorithms().items()
+    ]
+    return "insertion algorithm (" + "; ".join(parts) + ")"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,7 +81,11 @@ def _build_parser() -> argparse.ArgumentParser:
     buf = sub.add_parser("buffer", help="run buffer insertion")
     buf.add_argument("--net", type=Path, required=True)
     buf.add_argument("--library", type=Path, required=True)
-    buf.add_argument("--algorithm", choices=ALGORITHMS, default="fast")
+    buf.add_argument("--algorithm", choices=algorithm_names(), default="fast",
+                     help=_algorithm_help())
+    buf.add_argument("--backend", choices=store_backend_names(),
+                     default="object",
+                     help="candidate-store backend (default: object)")
     buf.add_argument("--paper-pseudocode", action="store_true",
                      help="use the paper's destructive Convexpruning "
                           "(exact on 2-pin nets only)")
@@ -69,6 +93,21 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the buffer assignment JSON here")
     buf.add_argument("--show-tree", action="store_true",
                      help="print an ASCII sketch with buffer markers")
+
+    batch = sub.add_parser(
+        "batch", help="buffer many nets in one run (multi-process capable)")
+    batch.add_argument("--nets", type=Path, nargs="+", required=True,
+                       metavar="NET", help="net JSON files to buffer")
+    batch.add_argument("--library", type=Path, required=True)
+    batch.add_argument("--algorithm", choices=algorithm_names(),
+                       default="fast", help=_algorithm_help())
+    batch.add_argument("--backend", choices=store_backend_names(),
+                       default="object",
+                       help="candidate-store backend (default: object)")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = one per CPU; default 1)")
+    batch.add_argument("--output", type=Path,
+                       help="write per-net results JSON here")
 
     info = sub.add_parser("info", help="describe a saved net")
     info.add_argument("--net", type=Path, required=True)
@@ -109,7 +148,8 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         options["destructive_pruning"] = True
-    result = insert_buffers(tree, library, algorithm=args.algorithm, **options)
+    result = insert_buffers(tree, library, algorithm=args.algorithm,
+                            backend=args.backend, **options)
     print(full_report(tree, result))
     if args.show_tree:
         print()
@@ -118,6 +158,7 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
         payload = {
             "slack_seconds": result.slack,
             "algorithm": result.stats.algorithm,
+            "backend": result.stats.backend,
             "assignment": {
                 str(node_id): buffer.name
                 for node_id, buffer in sorted(result.assignment.items())
@@ -125,6 +166,53 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
         }
         args.output.write_text(json.dumps(payload, indent=2))
         print(f"\nwrote assignment -> {args.output}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.jobs < 0:
+        print(f"batch: --jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+    library = library_from_dict(json.loads(args.library.read_text()))
+    trees = [load_tree(path) for path in args.nets]
+    jobs = args.jobs if args.jobs > 0 else None
+    started = time.perf_counter()
+    results = solve_many(trees, library, algorithm=args.algorithm,
+                         jobs=jobs, backend=args.backend)
+    elapsed = time.perf_counter() - started
+
+    header = f"{'net':<28}{'n':>7}{'slack (ps)':>13}{'buffers':>9}"
+    print(header)
+    print("-" * len(header))
+    for path, tree, result in zip(args.nets, trees, results):
+        print(f"{path.name:<28}{tree.num_buffer_positions:>7}"
+              f"{to_ps(result.slack):>13.1f}{result.num_buffers:>9}")
+    rate = len(trees) / elapsed if elapsed > 0 else float("inf")
+    print(f"\n{len(trees)} nets in {elapsed:.3f}s "
+          f"({rate:.1f} nets/s, algorithm={args.algorithm}, "
+          f"backend={args.backend}, jobs={args.jobs if args.jobs > 0 else 'auto'})")
+
+    if args.output is not None:
+        payload = {
+            "algorithm": args.algorithm,
+            "backend": args.backend,
+            "jobs": args.jobs,
+            "elapsed_seconds": elapsed,
+            "results": [
+                {
+                    "net": str(path),
+                    "slack_seconds": result.slack,
+                    "num_buffers": result.num_buffers,
+                    "assignment": {
+                        str(node_id): buffer.name
+                        for node_id, buffer in sorted(result.assignment.items())
+                    },
+                }
+                for path, result in zip(args.nets, results)
+            ],
+        }
+        args.output.write_text(json.dumps(payload, indent=2))
+        print(f"wrote results -> {args.output}")
     return 0
 
 
@@ -141,6 +229,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_generate(args)
     if args.command == "buffer":
         return _cmd_buffer(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "info":
         return _cmd_info(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -19,12 +19,26 @@ All three run the same bottom-up dynamic program
 from repro.core.candidate import Candidate, SinkDecision, BufferDecision, MergeDecision
 from repro.core.pruning import prune_dominated, convex_prune, is_nonredundant, is_convex
 from repro.core.solution import BufferingResult, DPStats
+from repro.core.registry import (
+    InsertionAlgorithm,
+    algorithm_names,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.core.stores import (
+    get_store_backend,
+    register_store_backend,
+    store_backend_names,
+)
 from repro.core.api import insert_buffers
-from repro.core.van_ginneken import insert_buffers_van_ginneken
-from repro.core.lillis import insert_buffers_lillis
 from repro.core.fast import insert_buffers_fast
+from repro.core.lillis import insert_buffers_lillis
+from repro.core.van_ginneken import insert_buffers_van_ginneken
 from repro.core.brute_force import insert_buffers_brute_force
 from repro.core.polarity import insert_buffers_with_inverters, verify_polarities
+from repro.core.batch import solve_many
 
 __all__ = [
     "Candidate",
@@ -37,6 +51,15 @@ __all__ = [
     "is_convex",
     "BufferingResult",
     "DPStats",
+    "InsertionAlgorithm",
+    "register_algorithm",
+    "unregister_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "available_algorithms",
+    "register_store_backend",
+    "get_store_backend",
+    "store_backend_names",
     "insert_buffers",
     "insert_buffers_van_ginneken",
     "insert_buffers_lillis",
@@ -44,4 +67,5 @@ __all__ = [
     "insert_buffers_brute_force",
     "insert_buffers_with_inverters",
     "verify_polarities",
+    "solve_many",
 ]

@@ -1,20 +1,29 @@
-"""The library's front door: :func:`insert_buffers`."""
+"""The library's front door: :func:`insert_buffers`.
+
+Dispatch is a registry lookup (:mod:`repro.core.registry`): the
+``algorithm`` argument names a registered :class:`InsertionAlgorithm`
+strategy, and the ``backend`` argument names a registered candidate
+store (:mod:`repro.core.stores`).  Third-party algorithms and backends
+therefore plug in without touching this module.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.core.fast import insert_buffers_fast
-from repro.core.lillis import insert_buffers_lillis
+from repro.core.registry import algorithm_names, get_algorithm
 from repro.core.solution import BufferingResult
-from repro.core.van_ginneken import insert_buffers_van_ginneken
-from repro.errors import AlgorithmError
 from repro.library.library import BufferLibrary
 from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
 
-#: Algorithms selectable by name.
-ALGORITHMS = ("fast", "lillis", "van_ginneken")
+
+def __getattr__(name: str) -> Tuple[str, ...]:
+    # Kept for backward compatibility: the historical constant tuple is
+    # now a live view of the registry.
+    if name == "ALGORITHMS":
+        return algorithm_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def insert_buffers(
@@ -22,11 +31,13 @@ def insert_buffers(
     library: BufferLibrary,
     algorithm: str = "fast",
     driver: Optional[Driver] = None,
+    backend: str = "object",
     **options,
 ) -> BufferingResult:
     """Maximize slack by optimal buffer insertion.
 
-    This is the public entry point.  ``algorithm`` selects:
+    This is the public entry point.  ``algorithm`` selects a registered
+    strategy; the built-ins are:
 
     * ``"fast"`` (default) — the paper's O(b n^2) algorithm.  Accepts
       ``destructive_pruning=True`` to run the literal DATE-2005
@@ -36,33 +47,29 @@ def insert_buffers(
 
     All algorithms return the same optimal slack; they differ in running
     time only (that difference being the paper's entire point).
+    ``backend`` selects how candidate lists are stored and operated on:
+    ``"object"`` (Candidate objects, the default) or ``"soa"``
+    (structure-of-arrays over NumPy); both produce bit-identical
+    results.
 
     Args:
         tree: A validated routing tree.
         library: The buffer library.
-        algorithm: One of :data:`ALGORITHMS`.
+        algorithm: A registered algorithm name
+            (:func:`repro.core.registry.algorithm_names`).
         driver: Source driver; defaults to ``tree.driver``; ``None``
             means an ideal driver.
+        backend: A registered candidate-store backend name
+            (:func:`repro.core.stores.store_backend_names`).
         **options: Algorithm-specific flags.
 
     Returns:
         A :class:`~repro.core.solution.BufferingResult`.
 
     Raises:
-        AlgorithmError: Unknown algorithm name or invalid options.
+        AlgorithmError: Unknown algorithm or backend name, or invalid
+            options.
     """
-    if algorithm == "fast":
-        return insert_buffers_fast(tree, library, driver=driver, **options)
-    if algorithm == "lillis":
-        if options:
-            raise AlgorithmError(f"unknown options for 'lillis': {sorted(options)}")
-        return insert_buffers_lillis(tree, library, driver=driver)
-    if algorithm == "van_ginneken":
-        if options:
-            raise AlgorithmError(
-                f"unknown options for 'van_ginneken': {sorted(options)}"
-            )
-        return insert_buffers_van_ginneken(tree, library, driver=driver)
-    raise AlgorithmError(
-        f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
-    )
+    strategy = get_algorithm(algorithm)
+    strategy.validate_options(options)
+    return strategy.run(tree, library, driver=driver, backend=backend, **options)

@@ -1,0 +1,181 @@
+"""Batched multi-net solving: :func:`solve_many`.
+
+The paper optimizes one net at a time; a production flow buffers every
+net of a design.  This module treats many-instance throughput as a
+first-class workload: :func:`solve_many` fans a corpus of routing trees
+over worker processes, each worker holding the buffer library — and the
+one-off sorted :class:`~repro.core.buffer_ops.BufferPlan` derived from
+it (see :func:`repro.core.dp._full_library_plan`) — resident, so per-net
+task payloads are just the tree.
+
+Results come back in input order and are identical to a serial loop
+(asserted by ``tests/test_batch.py``); ``jobs=1`` *is* a serial loop,
+with no multiprocessing import cost at all.
+
+:func:`parallel_map` is the underlying generic helper, reused by the
+experiment harness to parallelize Table 1 / figure sweep cells.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.core.solution import BufferingResult
+from repro.library.library import BufferLibrary
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+# Per-worker-process solve context, installed by the pool initializer so
+# the library (and its cached full-library BufferPlan) ships once per
+# worker instead of once per net.
+_WORKER_CONTEXT: Optional[dict] = None
+
+
+def _init_worker(
+    library: BufferLibrary,
+    algorithm: str,
+    driver: Optional[Driver],
+    backend: str,
+    options: dict,
+) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = {
+        "library": library,
+        "algorithm": algorithm,
+        "driver": driver,
+        "backend": backend,
+        "options": options,
+    }
+
+
+def _solve_one(tree: RoutingTree) -> BufferingResult:
+    from repro.core.api import insert_buffers
+
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker used before initialization"
+    return insert_buffers(
+        tree,
+        context["library"],
+        algorithm=context["algorithm"],
+        driver=context["driver"],
+        backend=context["backend"],
+        **context["options"],
+    )
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    import os
+
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (or None for cpu_count), got {jobs}")
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
+) -> List[_R]:
+    """``[fn(x) for x in items]``, optionally over worker processes.
+
+    Args:
+        fn: A picklable (module-level) callable.
+        items: Work items (picklable when ``jobs > 1``).
+        jobs: Worker process count; ``1`` (default) runs serially in
+            this process, ``None`` uses ``os.cpu_count()``.
+        chunksize: Items per task sent to a worker; defaults to an even
+            split in ~4 waves per worker.
+        initializer, initargs: Per-worker-process setup hook (multi-
+            process runs only; the serial path never calls it, so ``fn``
+            must not depend on it when ``jobs == 1``).
+
+    Returns:
+        Results in input order.
+    """
+    jobs = _resolve_jobs(jobs)
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    import multiprocessing
+
+    if chunksize is None:
+        chunksize = max(1, len(items) // (jobs * 4))
+    with multiprocessing.Pool(
+        processes=jobs, initializer=initializer, initargs=initargs
+    ) as pool:
+        return pool.map(fn, items, chunksize=chunksize)
+
+
+def solve_many(
+    trees: Sequence[RoutingTree],
+    library: BufferLibrary,
+    algorithm: str = "fast",
+    jobs: Optional[int] = 1,
+    driver: Optional[Driver] = None,
+    backend: str = "object",
+    chunksize: Optional[int] = None,
+    **options,
+) -> List[BufferingResult]:
+    """Buffer every net in ``trees``, optionally across processes.
+
+    Args:
+        trees: The routing trees to solve (each uses its own
+            ``tree.driver`` unless ``driver`` overrides all of them).
+        library: The buffer library, shared by every solve.
+        algorithm: Registered algorithm name.
+        jobs: Worker processes: ``1`` (default) solves serially in this
+            process; ``None`` uses ``os.cpu_count()``.
+        driver: Optional driver override applied to every net.
+        backend: Candidate-store backend name.
+        chunksize: Nets per worker task (``jobs > 1`` only).
+        **options: Algorithm-specific flags (e.g.
+            ``destructive_pruning=True`` for ``"fast"``).
+
+    Returns:
+        One :class:`BufferingResult` per tree, in input order —
+        identical to ``[insert_buffers(t, library, ...) for t in trees]``.
+
+    Raises:
+        AlgorithmError: Unknown algorithm/backend or invalid options.
+        ValueError: ``jobs < 1``.
+    """
+    jobs = _resolve_jobs(jobs)
+    trees = list(trees)
+
+    # Fail fast (and in the parent process) on bad names/options.
+    from repro.core.registry import get_algorithm
+    from repro.core.stores import get_store_backend
+
+    get_algorithm(algorithm).validate_options(options)
+    get_store_backend(backend)
+
+    if jobs == 1 or len(trees) <= 1:
+        from repro.core.api import insert_buffers
+
+        return [
+            insert_buffers(
+                tree, library, algorithm=algorithm, driver=driver,
+                backend=backend, **options,
+            )
+            for tree in trees
+        ]
+
+    # jobs > 1 and len(trees) > 1 here, so parallel_map always takes its
+    # multi-process path and the initializer is guaranteed to run.
+    return parallel_map(
+        _solve_one,
+        trees,
+        jobs=jobs,
+        chunksize=chunksize,
+        initializer=_init_worker,
+        initargs=(library, algorithm, driver, backend, options),
+    )

@@ -64,6 +64,22 @@ class BufferPlan:
             )
         )
 
+    @classmethod
+    def shared_view(cls, node_id: int, full_plan: "BufferPlan") -> "BufferPlan":
+        """A per-node plan sharing ``full_plan``'s precomputed orders.
+
+        Nodes that allow the whole library need identical sort orders;
+        only the ``node_id`` recorded in decisions differs.  This view
+        reuses ``full_plan``'s tuples instead of re-sorting (the paper's
+        one-off ``O(b log b)`` cost stays one-off), without re-running
+        ``__init__``.
+        """
+        plan = cls.__new__(cls)
+        plan.node_id = node_id
+        plan.by_resistance_desc = full_plan.by_resistance_desc
+        plan.cap_order = full_plan.cap_order
+        return plan
+
     def __len__(self) -> int:
         return len(self.by_resistance_desc)
 

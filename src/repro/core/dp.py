@@ -12,11 +12,20 @@ are exactly the paper's:
 At the root the driver turns the list into a single slack number, and
 the winning candidate's decision DAG is expanded into an explicit
 :class:`~repro.core.solution.BufferingResult`.
+
+The *representation* of the candidate lists is pluggable too
+(:mod:`repro.core.stores`): with the default ``backend="object"`` the
+engine operates on bare ``CandidateList`` objects exactly as the seed
+code did — including the legacy list-level ``add_buffer`` /
+``add_wire`` / ``merge`` callables used by the instrumentation modules —
+while any other backend runs through the :class:`CandidateStore`
+protocol, with ``add_buffer`` receiving the store.
 """
 
 from __future__ import annotations
 
 import time
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional
 
 from repro.core.buffer_ops import BufferPlan
@@ -33,30 +42,38 @@ from repro.library.library import BufferLibrary
 from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
 
-#: Signature of an add-buffer operation: takes the node's current
-#: candidate list and its :class:`BufferPlan`, returns the new full list
-#: (old and new candidates, nonredundant, sorted).
+#: Signature of an add-buffer operation under the object backend: takes
+#: the node's current candidate list and its :class:`BufferPlan`,
+#: returns the new full list (old and new candidates, nonredundant,
+#: sorted).  Under any other backend the first argument is the node's
+#: :class:`~repro.core.stores.base.CandidateStore` instead.
 AddBufferOp = Callable[[CandidateList, BufferPlan], CandidateList]
+
+
+@lru_cache(maxsize=64)
+def _full_library_plan(buffers) -> BufferPlan:
+    """The whole-library :class:`BufferPlan`, cached per buffer tuple.
+
+    Sharing across solves matters for the batch engine and the sweep
+    experiments, which solve many nets against one library: each worker
+    process sorts the library once, not once per net.
+    """
+    return BufferPlan(-1, buffers)
 
 
 def build_plans(tree: RoutingTree, library: BufferLibrary) -> Dict[int, BufferPlan]:
     """Precompute a :class:`BufferPlan` per buffer position.
 
-    Nodes that allow the whole library share one plan object; restricted
-    nodes get a plan for their subset.  This mirrors the paper's one-off
-    ``O(b log b)`` library sort outside the main loop.
+    Nodes that allow the whole library share one plan's sort orders via
+    :meth:`BufferPlan.shared_view`; restricted nodes get a plan for
+    their subset.  This mirrors the paper's one-off ``O(b log b)``
+    library sort outside the main loop.
     """
-    full_plan = BufferPlan(-1, library.buffers)
+    full_plan = _full_library_plan(library.buffers)
     plans: Dict[int, BufferPlan] = {}
     for node in tree.buffer_positions():
         if node.allowed_buffers is None:
-            # Share the full-library orders; only the node id differs and
-            # the id inside the plan is used for decision records, so a
-            # per-node shallow plan is built from the shared tuples.
-            plan = BufferPlan.__new__(BufferPlan)
-            plan.node_id = node.node_id
-            plan.by_resistance_desc = full_plan.by_resistance_desc
-            plan.cap_order = full_plan.cap_order
+            plan = BufferPlan.shared_view(node.node_id, full_plan)
         else:
             allowed = [b for b in library.buffers if b.name in node.allowed_buffers]
             if not allowed:
@@ -74,29 +91,30 @@ def run_dynamic_program(
     driver: Optional[Driver] = None,
     add_wire: Optional[Callable[[CandidateList, float, float], CandidateList]] = None,
     merge: Optional[Callable[[CandidateList, CandidateList], CandidateList]] = None,
+    backend: str = "object",
 ) -> BufferingResult:
     """Run the bottom-up DP and return the optimal buffering.
 
     Args:
         tree: A validated routing tree.
         library: The buffer library (defines ``b``).
-        add_buffer: The pluggable add-buffer operation.
+        add_buffer: The pluggable add-buffer operation.  Operates on
+            ``CandidateList`` under ``backend="object"`` and on the
+            node's :class:`CandidateStore` under any other backend.
         algorithm: Name recorded in the result.
         driver: Source driver; defaults to ``tree.driver``; ``None``
             means an ideal driver (slack is simply the best ``q``).
-        add_wire, merge: Overrides for the other two operations (used by
-            instrumentation and the cost extension); default to the
-            standard ones.
+        add_wire, merge: List-level overrides for the other two
+            operations (used by instrumentation and the cost extension);
+            default to the standard ones.  Object backend only.
+        backend: Candidate-store backend name
+            (:func:`repro.core.stores.store_backend_names`).
 
     Raises:
-        AlgorithmError: If the tree fails validation.
+        AlgorithmError: If the tree fails validation, the backend is
+            unknown, or list-level overrides are combined with a
+            non-object backend.
     """
-    from repro.core.merge import merge_branches as default_merge
-    from repro.core.wire_ops import add_wire as default_add_wire
-
-    add_wire = add_wire if add_wire is not None else default_add_wire
-    merge = merge if merge is not None else default_merge
-
     try:
         tree.validate()
     except Exception as exc:
@@ -104,34 +122,54 @@ def run_dynamic_program(
 
     driver = driver if driver is not None else tree.driver
     plans = build_plans(tree, library)
+
+    if backend == "object":
+        from repro.core.merge import merge_branches as default_merge
+        from repro.core.wire_ops import add_wire as default_add_wire
+
+        wire_op = add_wire if add_wire is not None else default_add_wire
+        merge_op = merge if merge is not None else default_merge
+
+        def sink_op(node_id: int, q: float, c: float) -> CandidateList:
+            return [Candidate(q=q, c=c, decision=SinkDecision(node_id))]
+
+        best_op = best_candidate_for_driver
+    else:
+        from repro.core.stores import get_store_backend
+
+        if add_wire is not None or merge is not None:
+            raise AlgorithmError(
+                "list-level add_wire/merge overrides require backend='object'; "
+                f"got backend={backend!r}"
+            )
+        factory = get_store_backend(backend)()
+        sink_op = factory.sink
+        wire_op = lambda store, r, c: store.add_wire(r, c)  # noqa: E731
+        merge_op = lambda left, right: left.merge(right)  # noqa: E731
+        best_op = lambda store, resistance: store.best_for_driver(resistance)  # noqa: E731
+
     started = time.perf_counter()
 
-    lists: Dict[int, CandidateList] = {}
+    lists: Dict[int, object] = {}
     peak_length = 0
     candidates_generated = 0
 
     for node_id in tree.postorder():
         node = tree.node(node_id)
         if node.is_sink:
-            current: CandidateList = [
-                Candidate(
-                    q=node.required_arrival,
-                    c=node.capacitance,
-                    decision=SinkDecision(node_id),
-                )
-            ]
+            current = sink_op(node_id, node.required_arrival, node.capacitance)
             candidates_generated += 1
         else:
-            branch_lists: List[CandidateList] = []
+            branch_lists: List[object] = []
             for child in tree.children_of(node_id):
                 edge = tree.edge_to(child)
                 child_list = lists.pop(child)
                 branch_lists.append(
-                    add_wire(child_list, edge.resistance, edge.capacitance)
+                    wire_op(child_list, edge.resistance, edge.capacitance)
                 )
             current = branch_lists[0]
             for other in branch_lists[1:]:
-                current = merge(current, other)
+                current = merge_op(current, other)
                 candidates_generated += len(current)
             plan = plans.get(node_id)
             if plan is not None:
@@ -145,7 +183,7 @@ def run_dynamic_program(
 
     root_list = lists[tree.root_id]
     resistance = driver.resistance if driver is not None else 0.0
-    best = best_candidate_for_driver(root_list, resistance)
+    best = best_op(root_list, resistance)
     assert best is not None  # a validated tree always yields candidates
     slack = best.q - (driver.delay(best.c) if driver is not None else 0.0)
 
@@ -158,6 +196,7 @@ def run_dynamic_program(
         peak_list_length=peak_length,
         candidates_generated=candidates_generated,
         runtime_seconds=elapsed,
+        backend=backend,
     )
     return BufferingResult(
         slack=slack,

@@ -24,6 +24,7 @@ from repro.core.buffer_ops import BufferPlan, generate_fast, insert_candidates
 from repro.core.candidate import CandidateList
 from repro.core.dp import run_dynamic_program
 from repro.core.pruning import convex_prune
+from repro.core.registry import InsertionAlgorithm, register_algorithm
 from repro.core.solution import BufferingResult
 from repro.library.library import BufferLibrary
 from repro.tree.node import Driver
@@ -46,11 +47,60 @@ def _add_buffer_destructive(
     return insert_candidates(hull, new_candidates)
 
 
+def _store_add_buffer_keep_all(store, plan: BufferPlan):
+    hull = store.convex_hull()
+    return store.insert(store.generate_hull(plan, hull=hull))
+
+
+def _store_add_buffer_destructive(store, plan: BufferPlan):
+    hull = store.convex_hull()
+    return hull.insert(store.generate_hull(plan, hull=hull))
+
+
+@register_algorithm("fast")
+class FastAlgorithm(InsertionAlgorithm):
+    """Convex pruning + monotone hull walk: the paper's contribution."""
+
+    complexity = "O(b n^2)"
+    summary = (
+        "Li & Shi (DATE 2005): convex-pruned hull walk makes the "
+        "add-buffer step O(k + b)"
+    )
+    options = frozenset({"destructive_pruning"})
+
+    def run(
+        self,
+        tree: RoutingTree,
+        library: BufferLibrary,
+        driver: Optional[Driver] = None,
+        backend: str = "object",
+        destructive_pruning: bool = False,
+    ) -> BufferingResult:
+        if backend == "object":
+            add_buffer = (
+                _add_buffer_destructive
+                if destructive_pruning
+                else _add_buffer_keep_all
+            )
+        else:
+            add_buffer = (
+                _store_add_buffer_destructive
+                if destructive_pruning
+                else _store_add_buffer_keep_all
+            )
+        name = "fast-destructive" if destructive_pruning else "fast"
+        return run_dynamic_program(
+            tree, library, add_buffer, algorithm=name, driver=driver,
+            backend=backend,
+        )
+
+
 def insert_buffers_fast(
     tree: RoutingTree,
     library: BufferLibrary,
     driver: Optional[Driver] = None,
     destructive_pruning: bool = False,
+    backend: str = "object",
 ) -> BufferingResult:
     """Optimal buffer insertion in O(b n^2) time (the paper's algorithm).
 
@@ -61,12 +111,12 @@ def insert_buffers_fast(
         destructive_pruning: Reproduce the paper's literal pseudocode
             (see module docstring); leave false for guaranteed optimality
             on multi-pin trees.
+        backend: Candidate-store backend (``"object"`` or ``"soa"``).
 
     Returns:
         The optimal :class:`BufferingResult`.
     """
-    add_buffer = (
-        _add_buffer_destructive if destructive_pruning else _add_buffer_keep_all
+    return FastAlgorithm().run(
+        tree, library, driver=driver, backend=backend,
+        destructive_pruning=destructive_pruning,
     )
-    name = "fast-destructive" if destructive_pruning else "fast"
-    return run_dynamic_program(tree, library, add_buffer, algorithm=name, driver=driver)

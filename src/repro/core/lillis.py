@@ -13,6 +13,7 @@ from typing import Optional
 from repro.core.buffer_ops import BufferPlan, generate_lillis, insert_candidates
 from repro.core.candidate import CandidateList
 from repro.core.dp import run_dynamic_program
+from repro.core.registry import InsertionAlgorithm, register_algorithm
 from repro.core.solution import BufferingResult
 from repro.library.library import BufferLibrary
 from repro.tree.node import Driver
@@ -24,10 +25,39 @@ def _add_buffer(candidates: CandidateList, plan: BufferPlan) -> CandidateList:
     return insert_candidates(candidates, new_candidates)
 
 
+def _store_add_buffer(store, plan: BufferPlan):
+    return store.insert(store.generate_scan(plan))
+
+
+@register_algorithm("lillis")
+class LillisAlgorithm(InsertionAlgorithm):
+    """Exhaustive per-type scans: the baseline the paper accelerates."""
+
+    complexity = "O(b^2 n^2)"
+    summary = (
+        "Lillis, Cheng & Lin (JSSC 1996): every buffer type scans the "
+        "whole candidate list"
+    )
+
+    def run(
+        self,
+        tree: RoutingTree,
+        library: BufferLibrary,
+        driver: Optional[Driver] = None,
+        backend: str = "object",
+    ) -> BufferingResult:
+        add_buffer = _add_buffer if backend == "object" else _store_add_buffer
+        return run_dynamic_program(
+            tree, library, add_buffer, algorithm="lillis", driver=driver,
+            backend=backend,
+        )
+
+
 def insert_buffers_lillis(
     tree: RoutingTree,
     library: BufferLibrary,
     driver: Optional[Driver] = None,
+    backend: str = "object",
 ) -> BufferingResult:
     """Optimal buffer insertion with the O(b^2 n^2) baseline algorithm.
 
@@ -35,11 +65,10 @@ def insert_buffers_lillis(
         tree: A validated routing tree.
         library: Buffer library of size ``b``.
         driver: Source driver (defaults to ``tree.driver``).
+        backend: Candidate-store backend (``"object"`` or ``"soa"``).
 
     Returns:
         The optimal :class:`BufferingResult`; its slack equals the fast
         algorithm's on every instance (both are exact).
     """
-    return run_dynamic_program(
-        tree, library, _add_buffer, algorithm="lillis", driver=driver
-    )
+    return LillisAlgorithm().run(tree, library, driver=driver, backend=backend)

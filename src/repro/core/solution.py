@@ -26,6 +26,8 @@ class DPStats:
         candidates_generated: Total candidates materialized, a
             machine-independent work proxy.
         runtime_seconds: Wall-clock time of the DP proper.
+        backend: Candidate-store backend the run used
+            (:func:`repro.core.stores.store_backend_names`).
     """
 
     algorithm: str
@@ -35,6 +37,7 @@ class DPStats:
     peak_list_length: int
     candidates_generated: int
     runtime_seconds: float
+    backend: str = "object"
 
 
 @dataclass(frozen=True)

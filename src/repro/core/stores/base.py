@@ -1,0 +1,92 @@
+"""The :class:`CandidateStore` protocol: pluggable candidate storage.
+
+Every insertion algorithm in :mod:`repro.core` manipulates, per subtree,
+the sorted nonredundant (Q, C) candidate list of paper Section 2.  The
+*representation* of that list is an implementation choice orthogonal to
+the algorithm: the seed code keeps a Python list of
+:class:`~repro.core.candidate.Candidate` objects; the structure-of-arrays
+backend (:mod:`repro.core.stores.soa`) keeps parallel ``q``/``c`` float
+arrays plus a decision index array.
+
+This module defines the two abstractions a backend must provide:
+
+* :class:`StoreFactory` — per-solve context (e.g. the SoA decision
+  arena) that mints sink stores;
+* :class:`CandidateStore` — one subtree's candidate list, exposing the
+  paper's operations (add-wire, merge, the two buffered-candidate
+  generators, convex pruning, sorted insertion) plus root evaluation.
+
+Invariants every store must preserve, matching the object backend:
+
+* candidates are sorted by strictly increasing ``c`` *and* strictly
+  increasing ``q`` after every returned operation;
+* numeric results are bit-identical to the object backend's: the same
+  IEEE-754 operations in the same order, and the same tie rules (ties in
+  ``q - R c`` resolve to minimum ``c``; equal-(q, c) ties keep the
+  earliest candidate).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, NamedTuple, Optional
+
+from repro.core.buffer_ops import BufferPlan
+from repro.core.candidate import Decision
+
+
+class BestCandidate(NamedTuple):
+    """The root candidate a driver picks: plain numbers plus provenance."""
+
+    q: float
+    c: float
+    decision: Decision
+
+
+class CandidateStore(ABC):
+    """One subtree's sorted nonredundant candidate list."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of candidates currently stored."""
+
+    @abstractmethod
+    def add_wire(self, resistance: float, capacitance: float) -> "CandidateStore":
+        """Propagate every candidate through a wire and re-prune."""
+
+    @abstractmethod
+    def merge(self, other: "CandidateStore") -> "CandidateStore":
+        """Join this list with a sibling branch list (two-pointer walk)."""
+
+    @abstractmethod
+    def convex_hull(self) -> "CandidateStore":
+        """The upper-left convex hull subsequence (paper Convexpruning)."""
+
+    @abstractmethod
+    def generate_scan(self, plan: BufferPlan) -> "CandidateStore":
+        """Buffered candidates by exhaustive scan: O(b k) (Lillis)."""
+
+    @abstractmethod
+    def generate_hull(
+        self, plan: BufferPlan, hull: Optional["CandidateStore"] = None
+    ) -> "CandidateStore":
+        """Buffered candidates by the monotone hull walk: O(k + b)."""
+
+    @abstractmethod
+    def insert(self, new: "CandidateStore") -> "CandidateStore":
+        """Sorted-merge new buffered candidates into this list (Thm. 2)."""
+
+    @abstractmethod
+    def best_for_driver(self, resistance: float) -> Optional[BestCandidate]:
+        """Min-c argmax of ``q - R c``, or ``None`` when empty."""
+
+
+class StoreFactory(ABC):
+    """Per-solve backend context; mints the leaf stores of the DP."""
+
+    #: Registry name of the backend (set by ``register_store_backend``).
+    backend: ClassVar[str] = ""
+
+    @abstractmethod
+    def sink(self, node_id: int, q: float, c: float) -> CandidateStore:
+        """The single base candidate of a sink node."""

@@ -1,0 +1,401 @@
+"""Structure-of-arrays candidate store (NumPy backend).
+
+Candidates live in parallel float64 arrays ``q`` and ``c`` plus an
+integer array ``d`` of indices into a per-solve *decision arena* (a
+plain list of :class:`~repro.core.candidate.Decision` nodes owned by the
+:class:`SoAStoreFactory`).  The hot loops of the dynamic program then
+become whole-array operations:
+
+* **add-wire** — two vectorized arithmetic passes plus a vectorized
+  dominance prune (no per-candidate Python at all);
+* **convex pruning** — simultaneous removal of locally-dominated points,
+  iterated to the fixed point (which is exactly the Graham-scan hull:
+  every removed point lies on/below a chord of surviving points, hence
+  off the strict hull, and the iteration stops only at a strictly
+  concave chain — the hull itself);
+* **merge** — the two-pointer branch walk expressed as two
+  ``searchsorted`` passes (one per binding side) plus one sort;
+* **sorted insertion** — a stable ``argsort`` over the concatenated
+  arrays plus the vectorized prune.
+
+Provenance objects are only materialized for candidates that survive
+pruning; since decisions never influence which candidates are kept, the
+resulting decision DAG — and therefore the reconstructed assignment —
+is identical to the object backend's.
+
+**Bit-identity.**  Every numeric result is produced by the same IEEE-754
+operations in the same order as the object backend (float64 throughout),
+and every tie rule matches: ``np.argmax`` returns the *first* maximizer,
+which is the object backend's "strict improvement only" scan; the stable
+insertion sort keeps old candidates ahead of new ones at equal ``c``,
+which is the object backend's ``<=`` merge.  The parity tests in
+``tests/test_soa_backend.py`` assert exact (``==``, not approx) slack
+and assignment equality on a randomized tree corpus.
+
+NumPy is an optional dependency: the module imports with ``numpy``
+absent, and :class:`SoAStoreFactory` raises a clear
+:class:`~repro.errors.AlgorithmError` at solve time instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+try:  # gated: the rest of the library must work without numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None  # type: ignore[assignment]
+
+from repro.core.buffer_ops import BufferPlan
+from repro.core.candidate import (
+    BufferDecision,
+    Decision,
+    MergeDecision,
+    SinkDecision,
+)
+from repro.core.stores.base import BestCandidate, CandidateStore, StoreFactory
+from repro.errors import AlgorithmError
+
+
+#: Below this many candidates the per-kernel launch overhead of the
+#: vectorized selection paths exceeds a plain scalar pass; the scalar
+#: twins implement the same selection rules (no arithmetic is involved,
+#: so the cutoff cannot affect results — only which identical-output
+#: code path computes them).
+_SCALAR_CUTOFF = 128
+
+#: Convex pruning cascades removals one neighbour layer per vectorized
+#: pass, so the scalar Graham scan (one O(k) pass) wins until lists are
+#: long enough that a whole-array pass costs essentially nothing per
+#: element.
+_VECTOR_HULL_CUTOFF = 2048
+
+
+def _nonredundant_indices_scalar(q, c):
+    """Scalar twin of :func:`_nonredundant_indices` for short arrays.
+
+    The same one-pass stack algorithm as
+    :func:`repro.core.pruning.prune_dominated`, tracking indices.
+    """
+    kept = []
+    q = q.tolist()
+    c = c.tolist()
+    for i in range(len(q)):
+        qi = q[i]
+        ci = c[i]
+        if kept and ci == c[kept[-1]] and qi > q[kept[-1]]:
+            kept.pop()
+        if not kept or qi > q[kept[-1]]:
+            kept.append(i)
+    return np.array(kept, dtype=np.intp)
+
+
+def _nonredundant_indices(q, c):
+    """Surviving indices of dominance pruning over c-sorted arrays.
+
+    Vectorized restatement of :func:`repro.core.pruning.prune_dominated`
+    (selection only — no arithmetic, so trivially bit-identical): within
+    each run of equal ``c`` keep the first maximum-``q`` candidate, then
+    keep the strict running maxima of ``q`` across runs.
+    """
+    n = len(q)
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if n <= _SCALAR_CUTOFF:
+        return _nonredundant_indices_scalar(q, c)
+    # Early exit: already strictly increasing in both coordinates (the
+    # common case after add-wire on a well-shaped list) — nothing to do.
+    if bool((np.diff(q) > 0.0).all()) and bool((np.diff(c) > 0.0).all()):
+        return np.arange(n, dtype=np.intp)
+    starts_mask = np.empty(n, dtype=bool)
+    starts_mask[0] = True
+    np.not_equal(c[1:], c[:-1], out=starts_mask[1:])
+    starts = np.flatnonzero(starts_mask)
+    group = np.cumsum(starts_mask) - 1
+    group_max = np.maximum.reduceat(q, starts)
+    at_max = q == group_max[group]
+    # First at-max index per group: its within-group running count is 1.
+    cumulative = np.cumsum(at_max)
+    before_group = np.concatenate(([0], cumulative))[starts]
+    winners = np.flatnonzero(at_max & (cumulative - before_group[group] == 1))
+    # Strict running-max filter across group winners.
+    winner_q = q[winners]
+    keep = np.empty(len(winners), dtype=bool)
+    keep[0] = True
+    np.greater(winner_q[1:], np.maximum.accumulate(winner_q)[:-1], out=keep[1:])
+    return winners[keep]
+
+
+def _hull_indices_scalar(q, c):
+    """Scalar Graham scan (the object backend's) tracking indices."""
+    q = q.tolist()
+    c = c.tolist()
+    hull = []
+    for i in range(len(q)):
+        qi = q[i]
+        ci = c[i]
+        while len(hull) >= 2:
+            j = hull[-1]
+            k = hull[-2]
+            if (q[j] - q[k]) * (ci - c[j]) <= (qi - q[j]) * (c[j] - c[k]):
+                hull.pop()
+            else:
+                break
+        hull.append(i)
+    return np.array(hull, dtype=np.intp)
+
+
+def _hull_indices(q, c):
+    """Indices forming the upper-left convex hull of a nonredundant list.
+
+    Simultaneously drops every point lying on/below the segment of its
+    current neighbours (paper Eq. 2) and repeats until none does.  Each
+    pass is a whole-array operation; the fixed point equals the
+    Graham-scan hull of :func:`repro.core.pruning.convex_prune`: every
+    dropped point lies on/below a chord of surviving points — hence off
+    the strict hull — and the iteration only stops at a strictly concave
+    chain, which is the hull itself.
+    """
+    if len(q) <= _VECTOR_HULL_CUTOFF:
+        return _hull_indices_scalar(q, c)
+    idx = np.arange(len(q), dtype=np.intp)
+    # Whole-array passes strip interior layers while the list is long;
+    # once it is short (or a pass finds nothing), the scalar scan
+    # finishes the job — removals cascade only one layer per pass, so
+    # iterating vectorized passes to the fixed point would cost
+    # O(depth * k) instead of the scan's O(k).
+    while len(idx) > _VECTOR_HULL_CUTOFF:
+        dq = np.diff(q[idx])
+        dc = np.diff(c[idx])
+        prunable = dq[:-1] * dc[1:] <= dq[1:] * dc[:-1]
+        if not prunable.any():
+            return idx
+        keep = np.empty(len(idx), dtype=bool)
+        keep[0] = True
+        keep[-1] = True
+        np.logical_not(prunable, out=keep[1:-1])
+        idx = idx[keep]
+    return idx[_hull_indices_scalar(q[idx], c[idx])]
+
+
+class SoAStore(CandidateStore):
+    """Candidates as parallel arrays: ``q``, ``c`` and decision index ``d``."""
+
+    __slots__ = ("q", "c", "d", "factory")
+
+    def __init__(self, q, c, d, factory: "SoAStoreFactory") -> None:
+        self.q = q
+        self.c = c
+        self.d = d
+        self.factory = factory
+
+    def __len__(self) -> int:
+        return len(self.q)
+
+    def _take(self, indices) -> "SoAStore":
+        return SoAStore(
+            self.q[indices], self.c[indices], self.d[indices], self.factory
+        )
+
+    def add_wire(self, resistance: float, capacitance: float) -> "SoAStore":
+        if resistance == 0.0 and capacitance == 0.0:
+            return self
+        half_wire = capacitance / 2.0
+        q = self.q - resistance * (half_wire + self.c)
+        c = self.c + capacitance
+        if resistance == 0.0:
+            # q dropped by the same constant everywhere: order intact.
+            return SoAStore(q, c, self.d, self.factory)
+        keep = _nonredundant_indices(q, c)
+        return SoAStore(q[keep], c[keep], self.d[keep], self.factory)
+
+    def merge(self, other: "CandidateStore") -> "SoAStore":
+        assert isinstance(other, SoAStore)
+        if len(self) == 0 or len(other) == 0:
+            return self if len(other) == 0 else other
+        lq, lc, ld = self.q, self.c, self.d
+        rq, rc, rd = other.q, other.c, other.d
+        # The two-pointer walk emits the pair (i, j) exactly when
+        # max(lq[i-1], rq[j-1]) < min(lq[i], rq[j]).  Split by binding
+        # side: left-binding pairs (lq[i] <= rq[j]) pair each i with the
+        # first j whose rq[j] >= lq[i]; right-binding pairs (strict, so
+        # cross-list q ties are not emitted twice) symmetrically.
+        left_partner = np.searchsorted(rq, lq, side="left")
+        left_valid = left_partner < len(rq)
+        right_partner = np.searchsorted(lq, rq, side="left")
+        right_valid = right_partner < len(lq)
+        right_valid &= lq[np.minimum(right_partner, len(lq) - 1)] != rq
+        pair_i = np.concatenate(
+            (np.flatnonzero(left_valid), right_partner[right_valid])
+        )
+        pair_j = np.concatenate(
+            (left_partner[left_valid], np.flatnonzero(right_valid))
+        )
+        pair_q = np.concatenate((lq[left_valid], rq[right_valid]))
+        # Emission order is increasing binding q (all values distinct:
+        # within-list q is strictly increasing, cross-list ties were
+        # routed to the left-binding side).
+        order = np.argsort(pair_q, kind="stable")
+        pair_i = pair_i[order]
+        pair_j = pair_j[order]
+        pair_q = pair_q[order]
+        pair_c = lc[pair_i] + rc[pair_j]
+        keep = _nonredundant_indices(pair_q, pair_c)
+        pair_i = pair_i[keep]
+        pair_j = pair_j[keep]
+        arena = self.factory.decisions
+        base = len(arena)
+        arena.extend(
+            MergeDecision(arena[ld[i]], arena[rd[j]])
+            for i, j in zip(pair_i, pair_j)
+        )
+        d = np.arange(base, base + len(pair_i), dtype=np.intp)
+        return SoAStore(pair_q[keep], pair_c[keep], d, self.factory)
+
+    def convex_hull(self) -> "SoAStore":
+        return self._take(_hull_indices(self.q, self.c))
+
+    def _best_under_load(self, resistance: float, limit: float):
+        """First argmax of ``q - R c`` over the ``c <= limit`` prefix.
+
+        Returns ``(index, value)`` or ``(-1, -inf)`` when nothing is
+        drivable — the vectorized twin of ``buffer_ops._scan_best``.
+        """
+        count = int(np.searchsorted(self.c, limit, side="right"))
+        if count == 0:
+            return -1, float("-inf")
+        values = self.q[:count] - resistance * self.c[:count]
+        index = int(np.argmax(values))
+        return index, values[index]
+
+    def _emit_betas(self, plan: BufferPlan, betas) -> "SoAStore":
+        """Prune per-type betas (in cap order) and allocate their decisions."""
+        ordered = [betas[i] for i in plan.cap_order if betas[i] is not None]
+        if not ordered:
+            return SoAStore(
+                np.empty(0), np.empty(0), np.empty(0, dtype=np.intp), self.factory
+            )
+        q = np.array([b[0] for b in ordered], dtype=np.float64)
+        c = np.array([b[1] for b in ordered], dtype=np.float64)
+        keep = _nonredundant_indices(q, c)
+        arena = self.factory.decisions
+        base = len(arena)
+        arena.extend(
+            BufferDecision(plan.node_id, ordered[i][2], arena[ordered[i][3]])
+            for i in keep.tolist()
+        )
+        d = np.arange(base, base + len(keep), dtype=np.intp)
+        return SoAStore(q[keep], c[keep], d, self.factory)
+
+    def generate_scan(self, plan: BufferPlan) -> "SoAStore":
+        if len(self) == 0:
+            return self
+        betas = [None] * len(plan.by_resistance_desc)
+        for index, buffer in enumerate(plan.by_resistance_desc):
+            limit = buffer.max_load if buffer.max_load is not None else float("inf")
+            best, value = self._best_under_load(buffer.driving_resistance, limit)
+            if best < 0:
+                continue
+            betas[index] = (
+                value - buffer.intrinsic_delay,
+                buffer.input_capacitance,
+                buffer,
+                self.d[best],
+            )
+        return self._emit_betas(plan, betas)
+
+    def generate_hull(
+        self, plan: BufferPlan, hull: Optional["CandidateStore"] = None
+    ) -> "SoAStore":
+        if len(self) == 0:
+            return self
+        if hull is None:
+            hull = self.convex_hull()
+        assert isinstance(hull, SoAStore)
+        # The O(k + b) walk touches single elements, where Python floats
+        # beat NumPy scalars by an order of magnitude; ``tolist`` keeps
+        # the exact float64 values.
+        hull_q = hull.q.tolist()
+        hull_c = hull.c.tolist()
+        hull_d = hull.d
+        betas = [None] * len(plan.by_resistance_desc)
+        pointer = 0
+        last = len(hull_q) - 1
+        for index, buffer in enumerate(plan.by_resistance_desc):
+            resistance = buffer.driving_resistance
+            if buffer.max_load is not None:
+                # Load-capped types cannot use the hull shortcut (the
+                # constrained optimum may be an interior point).
+                current, value = self._best_under_load(resistance, buffer.max_load)
+                if current < 0:
+                    continue
+                decision_index = self.d[current]
+            else:
+                value = hull_q[pointer] - resistance * hull_c[pointer]
+                while pointer < last:
+                    next_value = (
+                        hull_q[pointer + 1] - resistance * hull_c[pointer + 1]
+                    )
+                    if next_value <= value:
+                        break
+                    pointer += 1
+                    value = next_value
+                decision_index = hull_d[pointer]
+            betas[index] = (
+                value - buffer.intrinsic_delay,
+                buffer.input_capacitance,
+                buffer,
+                decision_index,
+            )
+        return self._emit_betas(plan, betas)
+
+    def insert(self, new: "CandidateStore") -> "SoAStore":
+        assert isinstance(new, SoAStore)
+        if len(new) == 0:
+            return self
+        if len(self) == 0:
+            return new._take(_nonredundant_indices(new.q, new.c))
+        q = np.concatenate((self.q, new.q))
+        c = np.concatenate((self.c, new.c))
+        d = np.concatenate((self.d, new.d))
+        # Stable sort on c == the object backend's `old.c <= new.c`
+        # two-pointer merge: equal-c ties keep old candidates first.
+        order = np.argsort(c, kind="stable")
+        q = q[order]
+        c = c[order]
+        d = d[order]
+        keep = _nonredundant_indices(q, c)
+        return SoAStore(q[keep], c[keep], d[keep], self.factory)
+
+    def best_for_driver(self, resistance: float) -> Optional[BestCandidate]:
+        if len(self) == 0:
+            return None
+        values = self.q - resistance * self.c
+        index = int(np.argmax(values))
+        return BestCandidate(
+            q=float(self.q[index]),
+            c=float(self.c[index]),
+            decision=self.factory.decisions[self.d[index]],
+        )
+
+
+class SoAStoreFactory(StoreFactory):
+    """Per-solve context: owns the decision arena shared by all stores."""
+
+    def __init__(self) -> None:
+        if np is None:
+            raise AlgorithmError(
+                "the 'soa' candidate-store backend requires numpy, which is "
+                "not installed; use backend='object' instead"
+            )
+        self.decisions: List[Decision] = []
+
+    def sink(self, node_id: int, q: float, c: float) -> SoAStore:
+        index = len(self.decisions)
+        self.decisions.append(SinkDecision(node_id))
+        return SoAStore(
+            np.array([q], dtype=np.float64),
+            np.array([c], dtype=np.float64),
+            np.array([index], dtype=np.intp),
+            self,
+        )

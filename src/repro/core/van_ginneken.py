@@ -9,9 +9,11 @@ must agree exactly.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Union
 
-from repro.core.lillis import insert_buffers_lillis
+from repro.core.lillis import LillisAlgorithm
+from repro.core.registry import InsertionAlgorithm, register_algorithm
 from repro.core.solution import BufferingResult
 from repro.errors import AlgorithmError
 from repro.library.buffer_type import BufferType
@@ -20,10 +22,46 @@ from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
 
 
+@register_algorithm("van_ginneken")
+class VanGinnekenAlgorithm(InsertionAlgorithm):
+    """Single-type special case; requires a library of size 1."""
+
+    complexity = "O(n^2)"
+    summary = (
+        "van Ginneken (ISCAS 1990): the classic single-buffer-type "
+        "algorithm (b = 1 only)"
+    )
+
+    def run(
+        self,
+        tree: RoutingTree,
+        library: BufferLibrary,
+        driver: Optional[Driver] = None,
+        backend: str = "object",
+    ) -> BufferingResult:
+        if library.size != 1:
+            raise AlgorithmError(
+                "van Ginneken's algorithm handles exactly one buffer type; "
+                f"got a library of size {library.size}"
+            )
+        result = LillisAlgorithm().run(
+            tree, library, driver=driver, backend=backend
+        )
+        # Re-label: with b = 1 the Lillis scan *is* van Ginneken's
+        # algorithm.
+        return BufferingResult(
+            slack=result.slack,
+            assignment=result.assignment,
+            driver_load=result.driver_load,
+            stats=replace(result.stats, algorithm="van_ginneken"),
+        )
+
+
 def insert_buffers_van_ginneken(
     tree: RoutingTree,
     buffer_type: Union[BufferType, BufferLibrary],
     driver: Optional[Driver] = None,
+    backend: str = "object",
 ) -> BufferingResult:
     """Optimal buffer insertion with a single buffer type, O(n^2).
 
@@ -31,6 +69,7 @@ def insert_buffers_van_ginneken(
         tree: A validated routing tree.
         buffer_type: The buffer type, or a library of size exactly 1.
         driver: Source driver (defaults to ``tree.driver``).
+        backend: Candidate-store backend (``"object"`` or ``"soa"``).
 
     Raises:
         AlgorithmError: If given a library with more than one type (use
@@ -38,29 +77,9 @@ def insert_buffers_van_ginneken(
             :func:`repro.core.fast.insert_buffers_fast` instead).
     """
     if isinstance(buffer_type, BufferLibrary):
-        if buffer_type.size != 1:
-            raise AlgorithmError(
-                "van Ginneken's algorithm handles exactly one buffer type; "
-                f"got a library of size {buffer_type.size}"
-            )
         library = buffer_type
     else:
         library = BufferLibrary([buffer_type])
-
-    result = insert_buffers_lillis(tree, library, driver=driver)
-    # Re-label: with b = 1 the Lillis scan *is* van Ginneken's algorithm.
-    stats = result.stats.__class__(
-        algorithm="van_ginneken",
-        num_buffer_positions=result.stats.num_buffer_positions,
-        library_size=result.stats.library_size,
-        root_candidates=result.stats.root_candidates,
-        peak_list_length=result.stats.peak_list_length,
-        candidates_generated=result.stats.candidates_generated,
-        runtime_seconds=result.stats.runtime_seconds,
-    )
-    return BufferingResult(
-        slack=result.slack,
-        assignment=result.assignment,
-        driver_load=result.driver_load,
-        stats=stats,
+    return VanGinnekenAlgorithm().run(
+        tree, library, driver=driver, backend=backend
     )

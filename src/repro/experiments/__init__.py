@@ -25,7 +25,12 @@ from repro.experiments.workloads import (
     FIGURE_NET,
     build_net,
 )
-from repro.experiments.runner import MeasuredRun, time_algorithm
+from repro.experiments.runner import (
+    MeasuredBatch,
+    MeasuredRun,
+    time_algorithm,
+    time_batch,
+)
 from repro.experiments.profiling import OperationProfile, profile_operations
 from repro.experiments.list_stats import (
     ListStats,
@@ -51,7 +56,9 @@ __all__ = [
     "FIGURE_NET",
     "build_net",
     "MeasuredRun",
+    "MeasuredBatch",
     "time_algorithm",
+    "time_batch",
     "OperationProfile",
     "profile_operations",
     "ListStats",

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.batch import parallel_map
 from repro.experiments.runner import time_algorithm
 from repro.experiments.workloads import (
     FIG3_LIBRARY_SIZES,
@@ -96,21 +97,31 @@ def _build_series(
     return FigureSeries(name=name, parameter=parameter, points=points)
 
 
+def _measure_fig3_point(cell) -> Tuple[int, float, float]:
+    """One b-axis point of Figure 3; module-level so it pickles."""
+    spec, size, repeats, seed = cell
+    tree = build_net(spec)
+    library = paper_library(size, jitter=0.03, seed=seed + size)
+    lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
+    fast = time_algorithm(tree, library, "fast", repeats=repeats)
+    return (size, lillis.seconds, fast.seconds)
+
+
 def run_fig3(
     spec: Optional[NetSpec] = None,
     library_sizes: Sequence[int] = FIG3_LIBRARY_SIZES,
     repeats: int = 1,
     seed: int = 0,
+    jobs: int = 1,
 ) -> FigureSeries:
-    """Figure 3: normalized running time versus library size ``b``."""
+    """Figure 3: normalized running time versus library size ``b``.
+
+    ``jobs > 1`` surveys the sweep across worker processes (points then
+    contend for the machine; keep ``jobs=1`` for clean absolute times).
+    """
     spec = spec if spec is not None else FIGURE_NET
-    tree = build_net(spec)
-    raw: List[Tuple[int, float, float]] = []
-    for size in library_sizes:
-        library = paper_library(size, jitter=0.03, seed=seed + size)
-        lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
-        fast = time_algorithm(tree, library, "fast", repeats=repeats)
-        raw.append((size, lillis.seconds, fast.seconds))
+    cells = [(spec, size, repeats, seed) for size in library_sizes]
+    raw = parallel_map(_measure_fig3_point, cells, jobs=jobs, chunksize=1)
     return _build_series("Figure 3", "b", raw)
 
 
@@ -120,23 +131,33 @@ def run_fig4(
     library_size: int = 32,
     repeats: int = 1,
     seed: int = 0,
+    jobs: int = 1,
 ) -> FigureSeries:
     """Figure 4: normalized running time versus buffer positions ``n``.
 
     Defaults to the trunk workload (:data:`FIG4_NET`): at Python-feasible
     position counts only a deep net keeps candidate lists long enough for
     the add-buffer operation to dominate, which is the regime Figure 4
-    illustrates (the paper gets there with n up to 66k).
+    illustrates (the paper gets there with n up to 66k).  ``jobs > 1``
+    surveys the sweep across worker processes.
     """
     spec = spec if spec is not None else FIG4_NET
-    library = paper_library(library_size, jitter=0.03, seed=seed + library_size)
-    raw: List[Tuple[int, float, float]] = []
-    for target in position_counts:
-        tree = build_net(spec, positions_override=target)
-        lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
-        fast = time_algorithm(tree, library, "fast", repeats=repeats)
-        raw.append((tree.num_buffer_positions, lillis.seconds, fast.seconds))
+    cells = [
+        (spec, target, library_size, repeats, seed)
+        for target in position_counts
+    ]
+    raw = parallel_map(_measure_fig4_point, cells, jobs=jobs, chunksize=1)
     return _build_series("Figure 4", "n", raw)
+
+
+def _measure_fig4_point(cell) -> Tuple[int, float, float]:
+    """One n-axis point of Figure 4; module-level so it pickles."""
+    spec, target, library_size, repeats, seed = cell
+    library = paper_library(library_size, jitter=0.03, seed=seed + library_size)
+    tree = build_net(spec, positions_override=target)
+    lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
+    fast = time_algorithm(tree, library, "fast", repeats=repeats)
+    return (tree.num_buffer_positions, lillis.seconds, fast.seconds)
 
 
 def format_figure(series: FigureSeries) -> str:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.batch import parallel_map
 from repro.experiments.runner import time_algorithm
 from repro.experiments.workloads import (
     TABLE1_LIBRARY_SIZES,
@@ -59,11 +60,42 @@ class Table1Row:
         return self.lillis_seconds / self.fast_seconds if self.fast_seconds else 0.0
 
 
+def _measure_cell(cell) -> Table1Row:
+    """One (net, b) cell of the grid; module-level so it pickles.
+
+    Each worker process materializes the net through the ``build_net``
+    cache, so cells sharing a spec inside one worker reuse the tree.
+    """
+    spec, size, repeats, seed = cell
+    tree = build_net(spec)
+    library = paper_library(size, jitter=0.03, seed=seed + size)
+    lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
+    fast = time_algorithm(tree, library, "fast", repeats=repeats)
+    if abs(lillis.result.slack - fast.result.slack) > 1e-15:
+        raise AssertionError(
+            f"slack mismatch on {spec.name} b={size}: "
+            f"{lillis.result.slack} vs {fast.result.slack}"
+        )
+    return Table1Row(
+        net=spec.name,
+        sinks=tree.num_sinks,
+        positions=tree.num_buffer_positions,
+        library_size=size,
+        lillis_seconds=lillis.seconds,
+        fast_seconds=fast.seconds,
+        slack_ps=to_ps(fast.result.slack),
+        num_buffers=fast.result.num_buffers,
+        peak_list_lillis=lillis.result.stats.peak_list_length,
+        peak_list_fast=fast.result.stats.peak_list_length,
+    )
+
+
 def run_table1(
     nets: Optional[Sequence[NetSpec]] = None,
     library_sizes: Sequence[int] = TABLE1_LIBRARY_SIZES,
     repeats: int = 1,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[Table1Row]:
     """Measure both algorithms over the Table 1 grid.
 
@@ -72,38 +104,19 @@ def run_table1(
         library_sizes: The ``b`` column values.
         repeats: Timing repeats per cell (best-of).
         seed: Jitter seed for the synthetic libraries.
+        jobs: Worker processes for the grid cells; ``1`` (default) runs
+            serially.  Parallel cells share the machine, so use this to
+            *survey* a large grid quickly, not for publication-grade
+            absolute times.
 
     Returns:
         One :class:`Table1Row` per (net, b), in net-major order.
     """
     nets = list(nets) if nets is not None else list(TABLE1_NETS)
-    rows: List[Table1Row] = []
-    for spec in nets:
-        tree = build_net(spec)
-        for size in library_sizes:
-            library = paper_library(size, jitter=0.03, seed=seed + size)
-            lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
-            fast = time_algorithm(tree, library, "fast", repeats=repeats)
-            if abs(lillis.result.slack - fast.result.slack) > 1e-15:
-                raise AssertionError(
-                    f"slack mismatch on {spec.name} b={size}: "
-                    f"{lillis.result.slack} vs {fast.result.slack}"
-                )
-            rows.append(
-                Table1Row(
-                    net=spec.name,
-                    sinks=tree.num_sinks,
-                    positions=tree.num_buffer_positions,
-                    library_size=size,
-                    lillis_seconds=lillis.seconds,
-                    fast_seconds=fast.seconds,
-                    slack_ps=to_ps(fast.result.slack),
-                    num_buffers=fast.result.num_buffers,
-                    peak_list_lillis=lillis.result.stats.peak_list_length,
-                    peak_list_fast=fast.result.stats.peak_list_length,
-                )
-            )
-    return rows
+    cells = [
+        (spec, size, repeats, seed) for spec in nets for size in library_sizes
+    ]
+    return parallel_map(_measure_cell, cells, jobs=jobs, chunksize=1)
 
 
 def format_table1(rows: Sequence[Table1Row]) -> str:

@@ -1,0 +1,70 @@
+"""Shared non-fixture helpers for the test suite.
+
+Kept separate from ``conftest.py`` so test modules can import them by an
+unambiguous module name (``from helpers import ...``): ``conftest`` is a
+pytest-managed name that exists once per collected directory, so under a
+rootdir that also contains ``benchmarks/conftest.py`` a plain
+``import conftest`` can resolve to the wrong file depending on
+collection order.  ``helpers`` exists only here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro import Driver, RoutingTree
+from repro.core.candidate import Candidate, SinkDecision
+from repro.units import fF, ps
+
+#: Tolerance for slack comparisons in seconds (sub-femtosecond).
+SLACK_ATOL = 1e-16
+
+
+def make_candidates(points: Sequence[Tuple[float, float]]) -> List[Candidate]:
+    """Candidates from raw (q, c) pairs with dummy sink decisions."""
+    return [Candidate(q=q, c=c, decision=SinkDecision(i)) for i, (q, c) in enumerate(points)]
+
+
+def qc(candidates: Sequence[Candidate]) -> List[Tuple[float, float]]:
+    """The (q, c) pairs of a candidate list, for equality assertions."""
+    return [(cand.q, cand.c) for cand in candidates]
+
+
+def random_small_tree(seed: int, max_extra: int = 3) -> RoutingTree:
+    """A random tree with <= ~7 buffer positions, for oracle tests.
+
+    The shape mixes chains and branches so merges happen above buffer
+    positions (the structurally interesting case).
+    """
+    rng = random.Random(seed)
+    tree = RoutingTree.with_source(driver=Driver(rng.uniform(100.0, 800.0)))
+
+    def wire() -> Tuple[float, float]:
+        return rng.uniform(5.0, 400.0), fF(rng.uniform(2.0, 60.0))
+
+    def sink(parent: int) -> None:
+        r, c = wire()
+        tree.add_sink(
+            parent,
+            r,
+            c,
+            capacitance=fF(rng.uniform(2.0, 41.0)),
+            required_arrival=ps(rng.uniform(0.0, 1500.0)),
+        )
+
+    # A short chain off the source, then a branch, then short chains.
+    r, c = wire()
+    node = tree.add_internal(tree.root_id, r, c)
+    for _ in range(rng.randrange(max_extra)):
+        r, c = wire()
+        node = tree.add_internal(node, r, c)
+    branches = rng.choice([1, 2, 2, 3])
+    for _ in range(branches):
+        child = node
+        for _ in range(rng.randrange(1, 3)):
+            r, c = wire()
+            child = tree.add_internal(child, r, c)
+        sink(child)
+    tree.validate()
+    return tree

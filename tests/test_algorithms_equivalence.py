@@ -8,7 +8,7 @@ the reconstructed assignment.
 
 import pytest
 
-from conftest import SLACK_ATOL, random_small_tree
+from helpers import SLACK_ATOL, random_small_tree
 
 from repro import (
     Driver,

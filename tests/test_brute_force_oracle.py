@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import random_small_tree
+from helpers import random_small_tree
 
 from repro import (
     Driver,

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import make_candidates, qc
+from helpers import make_candidates, qc
 
 from repro import BufferLibrary, BufferType
 from repro.core.buffer_ops import (
@@ -40,6 +40,14 @@ class TestBufferPlan:
 
     def test_records_node(self):
         assert BufferPlan(42, lib3()).node_id == 42
+
+    def test_shared_view_reuses_orders(self):
+        full = BufferPlan(-1, lib3())
+        view = BufferPlan.shared_view(9, full)
+        assert view.node_id == 9
+        assert view.by_resistance_desc is full.by_resistance_desc
+        assert view.cap_order is full.cap_order
+        assert len(view) == len(full)
 
 
 class TestGenerateEquivalence:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import make_candidates
+from helpers import make_candidates
 
 from repro import BufferType
 from repro.core.candidate import (

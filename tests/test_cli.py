@@ -103,12 +103,21 @@ def test_generate_nothing_is_an_error(capsys):
 
 
 def test_module_entry_point():
+    import os
     import subprocess
     import sys
+    from pathlib import Path
 
+    import repro
+
+    # The subprocess inherits the environment, not pytest's in-process
+    # sys.path, so point it at whichever tree `repro` was imported from.
+    src = str(Path(repro.__file__).parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "--help"],
-        capture_output=True, text=True,
+        capture_output=True, text=True, env=env,
     )
     assert proc.returncode == 0
     assert "buffer insertion" in proc.stdout

@@ -94,7 +94,7 @@ class TestPrimSteiner:
         assert 0 < net.total_wire_length() < star_bound
 
     def test_algorithms_agree_on_steiner_topology(self):
-        from conftest import SLACK_ATOL
+        from helpers import SLACK_ATOL
 
         net = prim_steiner_net(25, seed=6, required_arrival=ps(1500.0),
                                driver=Driver(200.0))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import SLACK_ATOL, random_small_tree
+from helpers import SLACK_ATOL, random_small_tree
 
 from repro import (
     Driver,

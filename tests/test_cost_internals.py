@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import make_candidates, qc
+from helpers import make_candidates, qc
 
 from repro.cost.min_cost import _prune_across_levels
 

@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from conftest import SLACK_ATOL, random_small_tree
+from helpers import SLACK_ATOL, random_small_tree
 
 from repro import (
     BufferLibrary,

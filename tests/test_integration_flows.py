@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from conftest import SLACK_ATOL
+from helpers import SLACK_ATOL
 
 from repro import (
     Driver,

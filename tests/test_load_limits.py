@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from conftest import SLACK_ATOL
+from helpers import SLACK_ATOL
 
 from repro import (
     BufferLibrary,
@@ -113,7 +113,7 @@ def test_interior_candidate_under_limit():
     """The regression the hull shortcut would get wrong: the constrained
     optimum sits strictly inside the hull, so constrained types must
     scan the full list (see generate_fast docstring)."""
-    from conftest import make_candidates
+    from helpers import make_candidates
     from repro.core.buffer_ops import BufferPlan, generate_fast, generate_lillis
     from repro.core.pruning import convex_prune, prune_dominated
 

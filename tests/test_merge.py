@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from conftest import make_candidates, qc
+from helpers import make_candidates, qc
 
 from repro.core.candidate import MergeDecision
 from repro.core.merge import merge_branches

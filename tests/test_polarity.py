@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from conftest import SLACK_ATOL
+from helpers import SLACK_ATOL
 
 from repro import (
     BufferLibrary,

@@ -5,7 +5,7 @@ import random
 from hypothesis import given, settings, HealthCheck
 from hypothesis import strategies as st
 
-from conftest import SLACK_ATOL
+from helpers import SLACK_ATOL
 
 from repro import (
     Driver,

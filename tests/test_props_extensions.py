@@ -5,7 +5,7 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from conftest import SLACK_ATOL, random_small_tree
+from helpers import SLACK_ATOL, random_small_tree
 
 from repro import (
     evaluate_slack,

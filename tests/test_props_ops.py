@@ -15,7 +15,7 @@ import itertools
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_candidates, qc
+from helpers import make_candidates, qc
 
 from repro.core.buffer_ops import (
     BufferPlan,

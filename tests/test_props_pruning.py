@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_candidates
+from helpers import make_candidates
 
 from repro.core.pruning import (
     convex_prune,

@@ -3,7 +3,7 @@
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from conftest import random_small_tree
+from helpers import random_small_tree
 
 from repro import evaluate_assignment, insert_buffers, uniform_random_library
 from repro.timing.slack_map import compute_slack_map

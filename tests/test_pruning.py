@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import make_candidates, qc
+from helpers import make_candidates, qc
 
 from repro.core.pruning import (
     convex_prune,

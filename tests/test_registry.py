@@ -1,0 +1,89 @@
+"""Algorithm-registry tests: the pluggable dispatch layer."""
+
+import pytest
+
+from repro import insert_buffers
+from repro.core.registry import (
+    InsertionAlgorithm,
+    algorithm_names,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.core.solution import BufferingResult
+from repro.errors import AlgorithmError
+
+
+def test_builtins_registered():
+    assert set(algorithm_names()) >= {"fast", "lillis", "van_ginneken"}
+
+
+def test_unknown_name_raises_with_choices():
+    with pytest.raises(AlgorithmError) as excinfo:
+        get_algorithm("nonexistent")
+    message = str(excinfo.value)
+    assert "nonexistent" in message
+    assert "fast" in message  # the error lists the registered names
+
+
+def test_metadata_populated():
+    for name, algorithm in available_algorithms().items():
+        assert algorithm.name == name
+        assert algorithm.complexity.startswith("O(")
+        assert algorithm.summary
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(AlgorithmError, match="already registered"):
+
+        @register_algorithm("fast")
+        class Impostor(InsertionAlgorithm):
+            def run(self, tree, library, driver=None, backend="object", **options):
+                raise NotImplementedError
+
+    # The original registration is untouched.
+    assert type(get_algorithm("fast")).__name__ == "FastAlgorithm"
+
+
+def test_reregistering_same_class_is_noop():
+    cls = type(get_algorithm("fast"))
+    register_algorithm("fast")(cls)  # simulates a module re-import
+    assert type(get_algorithm("fast")) is cls
+
+
+def test_third_party_algorithm_dispatches(line_net, small_library):
+    @register_algorithm("reverse_lillis")
+    class ReverseLillis(InsertionAlgorithm):
+        """A thin wrapper proving third-party code needs no core edits."""
+
+        complexity = "O(b^2 n^2)"
+        summary = "delegates to lillis; exists to test the plugin path"
+
+        def run(self, tree, library, driver=None, backend="object", **options):
+            from repro.core.lillis import LillisAlgorithm
+
+            return LillisAlgorithm().run(
+                tree, library, driver=driver, backend=backend
+            )
+
+    try:
+        assert "reverse_lillis" in algorithm_names()
+        result = insert_buffers(line_net, small_library,
+                                algorithm="reverse_lillis")
+        assert isinstance(result, BufferingResult)
+        reference = insert_buffers(line_net, small_library, algorithm="lillis")
+        assert result.slack == reference.slack
+    finally:
+        unregister_algorithm("reverse_lillis")
+    assert "reverse_lillis" not in algorithm_names()
+
+
+def test_unknown_options_rejected_via_registry(line_net, small_library):
+    with pytest.raises(AlgorithmError, match="unknown options"):
+        insert_buffers(line_net, small_library, algorithm="fast",
+                       bogus_option=1)
+
+
+def test_unregister_unknown_is_noop():
+    unregister_algorithm("never_existed")  # must not raise

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import SLACK_ATOL
+from helpers import SLACK_ATOL
 
 from repro import (
     Driver,

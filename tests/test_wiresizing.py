@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from conftest import SLACK_ATOL, random_small_tree
+from helpers import SLACK_ATOL, random_small_tree
 
 from repro import (
     Driver,
