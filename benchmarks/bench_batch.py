@@ -20,16 +20,12 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_once, scaled
+from conftest import batch_corpus, run_once, scaled
 
 from repro.core.api import insert_buffers
 from repro.core.batch import solve_many
 from repro.experiments.workloads import FIG4_NET, build_net
 from repro.library.generators import paper_library
-from repro.tree.builders import random_tree_net
-from repro.tree.node import Driver
-from repro.tree.segmenting import segment_to_position_count
-from repro.units import ps
 
 TRUNK = scaled(FIG4_NET)
 LIBRARY_SIZE = 32
@@ -77,31 +73,28 @@ def test_backend_speedup_claim(scale):
     assert speedup > 1.2
 
 
-def _corpus(count: int, positions: int):
-    trees = []
-    for seed in range(count):
-        base = random_tree_net(
-            12, seed=seed, required_arrival=(ps(300.0), ps(2000.0)),
-            driver=Driver(resistance=200.0),
-        )
-        trees.append(segment_to_position_count(base, positions))
-    return trees
-
-
+@pytest.mark.parametrize("precompile", [False, True])
 @pytest.mark.parametrize("jobs", [1, 2])
-def test_batch_jobs(benchmark, jobs, scale):
-    """solve_many over a corpus, serial vs. 2 worker processes."""
-    trees = _corpus(8, max(int(150 * scale), 30))
+def test_batch_jobs(benchmark, jobs, precompile, scale):
+    """solve_many over a corpus: serial vs. workers, trees vs. compiled.
+
+    ``precompile=True`` is the default path: nets compile once in the
+    parent and workers receive flat CompiledNet payloads (no per-solve
+    validation or tree pickling).
+    """
+    trees = batch_corpus(8, max(int(150 * scale), 30))
     library = paper_library(8, jitter=0.03, seed=8)
-    benchmark.extra_info.update(jobs=jobs, nets=len(trees))
-    results = run_once(benchmark, solve_many, trees, library, jobs=jobs)
+    benchmark.extra_info.update(jobs=jobs, nets=len(trees),
+                                precompile=precompile)
+    results = run_once(benchmark, solve_many, trees, library, jobs=jobs,
+                       precompile=precompile)
     benchmark.extra_info.update(total_buffers=sum(r.num_buffers
                                                   for r in results))
 
 
 def test_batch_results_identical_across_jobs(scale):
     """Whatever the wall-clock story, jobs must not change answers."""
-    trees = _corpus(6, max(int(120 * scale), 30))
+    trees = batch_corpus(6, max(int(120 * scale), 30))
     library = paper_library(8, jitter=0.03, seed=8)
     serial = solve_many(trees, library, jobs=1)
     parallel = solve_many(trees, library, jobs=2)

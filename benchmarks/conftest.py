@@ -30,6 +30,27 @@ def scale() -> float:
     return bench_scale()
 
 
+def batch_corpus(count: int, positions: int):
+    """The batch-throughput corpus: small random nets, segmented.
+
+    Shared by ``bench_batch.py`` and ``persist.py`` so the persisted
+    trajectory measures exactly the corpus the benchmark cells do.
+    """
+    from repro.tree.builders import random_tree_net
+    from repro.tree.node import Driver
+    from repro.tree.segmenting import segment_to_position_count
+    from repro.units import ps
+
+    trees = []
+    for seed in range(count):
+        base = random_tree_net(
+            12, seed=seed, required_arrival=(ps(300.0), ps(2000.0)),
+            driver=Driver(resistance=200.0),
+        )
+        trees.append(segment_to_position_count(base, positions))
+    return trees
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark ``fn`` with exactly one warm round.
 

@@ -1,0 +1,259 @@
+"""Benchmark trajectory persistence: write ``BENCH_PR2.json``.
+
+The benchmark suite (``pytest benchmarks/ --benchmark-only``) measures a
+lot, but nothing survives the run — so successive PRs have no baseline
+to compare against.  This script distills the three workloads that the
+compiled-execution work targets into one JSON file at the repo root:
+
+* ``fig4`` — the Figure 4 trunk sweep (algorithm ``fast``), each point
+  timed two ways per backend: the per-solve **tree walk** (auto-compile
+  disabled, so every solve re-validates, re-plans and walks the object
+  graph) versus the **compiled** repeat-solve path (one
+  :func:`~repro.core.schedule.compile_net`, then schedule-interpreter
+  solves).  ``ratio`` is walk/compiled; ``fig4.compiled_speedup`` is the
+  mean ratio over the sweep.  The trunk is deliberately kernel-bound
+  (the paper's long-list regime), so these ratios are the *floor* of the
+  compiled win — small-net workloads amortize far more.
+* ``fig3`` — one Figure 3 cell: lillis vs fast on the same compiled
+  net (the paper's own speedup, for trend tracking).
+* ``batch`` — :func:`~repro.core.batch.solve_many` throughput over a
+  corpus of small nets, precompiled versus object-tree dispatch, plus
+  the pickled payload sizes of both task encodings.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/persist.py [--out BENCH_PR2.json]
+                                                [--scale 1.0] [--repeats 5]
+
+``--scale`` (default: the ``REPRO_BENCH_SCALE`` environment variable,
+else 1.0) shrinks the instances the same way the benchmark suite's
+conftest does, so the CI smoke job can afford the sweep.  Timings are
+best-of-``--repeats`` (minimum = least noisy estimator of deterministic
+work).
+
+Reading the file: every ``*_seconds`` field is wall time, every
+``ratio``/``speedup`` field is "old over new" (bigger is better for the
+new path), and ``meta`` records the scale/repeats so numbers are only
+compared against runs with the same settings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.core.api import insert_buffers
+from repro.core.batch import solve_many
+from repro.core.schedule import auto_compile, compile_net
+from repro.core.stores import resolve_backend
+from repro.experiments.workloads import FIG4_NET, FIGURE_NET, build_net
+from repro.library.generators import paper_library
+
+# persist.py runs from the benchmarks directory (as a script or under
+# pytest's rootdir), so the suite's shared helpers import directly.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from conftest import batch_corpus  # noqa: E402
+
+#: Figure 4 position counts measured at scale 1.0.
+FIG4_SWEEP = (500, 1000, 2000)
+LIBRARY_SIZE = 32
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _best_of_paired(
+    first: Callable[[], object], second: Callable[[], object], repeats: int
+) -> tuple:
+    """Best-of-N for two rivals with interleaved rounds.
+
+    Alternating the two measurements inside each round exposes both to
+    the same background drift (thermal throttling, noisy neighbours),
+    which matters when the difference under test is a few percent.
+    """
+    best_first = float("inf")
+    best_second = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        first()
+        best_first = min(best_first, time.perf_counter() - started)
+        started = time.perf_counter()
+        second()
+        best_second = min(best_second, time.perf_counter() - started)
+    return best_first, best_second
+
+
+def _backends() -> List[str]:
+    fastest = resolve_backend("auto")
+    return ["object"] if fastest == "object" else ["object", "soa"]
+
+
+def measure_fig4(scale: float, repeats: int) -> Dict:
+    """Tree walk vs compiled repeat-solve across the trunk sweep."""
+    points = []
+    ratios = []
+    library = paper_library(LIBRARY_SIZE, jitter=0.03, seed=LIBRARY_SIZE)
+    for target in FIG4_SWEEP:
+        positions = max(int(target * scale), 50)
+        tree = build_net(FIG4_NET, positions_override=positions)
+        for backend in _backends():
+            compiled = compile_net(tree, library)
+
+            def solve_walk() -> None:
+                with auto_compile(False):
+                    insert_buffers(tree, library, algorithm="fast",
+                                   backend=backend)
+
+            def solve_compiled() -> None:
+                insert_buffers(compiled, library, algorithm="fast",
+                               backend=backend)
+
+            solve_walk()  # warm build_net/library caches
+            solve_compiled()  # warm the factory's scratch arena
+            walk, fast = _best_of_paired(solve_walk, solve_compiled, repeats)
+            ratio = walk / fast if fast else float("inf")
+            ratios.append(ratio)
+            points.append({
+                "positions": positions,
+                "backend": backend,
+                "tree_walk_seconds": walk,
+                "compiled_seconds": fast,
+                "ratio": ratio,
+            })
+    return {
+        "algorithm": "fast",
+        "library_size": LIBRARY_SIZE,
+        "points": points,
+        "compiled_speedup": sum(ratios) / len(ratios),
+    }
+
+
+def measure_fig3(scale: float, repeats: int) -> Dict:
+    """One Figure 3 cell: the paper's lillis-vs-fast speedup."""
+    spec = FIGURE_NET if scale == 1.0 else FIGURE_NET.scale(scale)
+    tree = build_net(spec)
+    library = paper_library(16, jitter=0.03, seed=16)
+    compiled = compile_net(tree, library)
+    # The object backend: the paper's lillis-vs-fast claim is about
+    # per-candidate work, which the SoA backend's vectorized scans
+    # deliberately sidestep.
+    insert_buffers(compiled, library, algorithm="fast", backend="object")
+    fast = _best_of(
+        lambda: insert_buffers(compiled, library, algorithm="fast",
+                               backend="object"),
+        repeats,
+    )
+    lillis = _best_of(
+        lambda: insert_buffers(compiled, library, algorithm="lillis",
+                               backend="object"),
+        repeats,
+    )
+    return {
+        "net": spec.name,
+        "backend": "object",
+        "library_size": 16,
+        "positions": compiled.num_buffer_positions,
+        "lillis_seconds": lillis,
+        "fast_seconds": fast,
+        "speedup": lillis / fast if fast else float("inf"),
+    }
+
+
+def measure_batch(scale: float, repeats: int) -> Dict:
+    """solve_many throughput: compiled dispatch vs object-tree dispatch."""
+    trees = batch_corpus(8, max(int(150 * scale), 30))
+    library = paper_library(8, jitter=0.03, seed=8)
+    results: Dict = {"nets": len(trees), "backends": []}
+    compiled = [compile_net(tree, library) for tree in trees]
+    results["payload_bytes_tree"] = len(pickle.dumps(trees))
+    results["payload_bytes_compiled"] = len(pickle.dumps(compiled))
+    for backend in _backends():
+        def solve_trees() -> None:
+            with auto_compile(False):
+                solve_many(trees, library, jobs=1, backend=backend,
+                           precompile=False)
+
+        def solve_compiled() -> None:
+            solve_many(compiled, library, jobs=1, backend=backend)
+
+        solve_compiled()  # warm arenas
+        tree_seconds, compiled_seconds = _best_of_paired(
+            solve_trees, solve_compiled, repeats)
+        results["backends"].append({
+            "backend": backend,
+            "tree_dispatch_seconds": tree_seconds,
+            "compiled_dispatch_seconds": compiled_seconds,
+            "tree_nets_per_second": len(trees) / tree_seconds,
+            "compiled_nets_per_second": len(trees) / compiled_seconds,
+            "ratio": tree_seconds / compiled_seconds,
+        })
+    return results
+
+
+def collect(scale: float, repeats: int) -> Dict:
+    """Every persisted measurement, as one JSON-ready dict."""
+    return {
+        "meta": {
+            "bench": "PR2 compiled solve schedules",
+            "scale": scale,
+            "repeats": repeats,
+            "python": sys.version.split()[0],
+            "backends": _backends(),
+        },
+        "fig4": measure_fig4(scale, repeats),
+        "fig3": measure_fig3(scale, repeats),
+        "batch": measure_batch(scale, repeats),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Persist the PR2 benchmark trajectory to JSON.")
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_PR2.json",
+        help="output path (default: BENCH_PR2.json at the repo root)")
+    parser.add_argument(
+        "--scale", type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+        help="instance scale factor (default: $REPRO_BENCH_SCALE or 1.0)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N timing repeats (default 5)")
+    args = parser.parse_args(argv)
+
+    payload = collect(args.scale, args.repeats)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    fig4 = payload["fig4"]
+    print(f"fig4 trunk sweep (fast, b={fig4['library_size']}):")
+    for point in fig4["points"]:
+        print(f"  n={point['positions']:>5} {point['backend']:<7}"
+              f" walk {point['tree_walk_seconds']*1e3:8.2f}ms"
+              f" compiled {point['compiled_seconds']*1e3:8.2f}ms"
+              f" ratio {point['ratio']:.2f}x")
+    print(f"  mean compiled speedup: {fig4['compiled_speedup']:.2f}x")
+    fig3 = payload["fig3"]
+    print(f"fig3 cell b=16: lillis/fast = {fig3['speedup']:.2f}x")
+    for row in payload["batch"]["backends"]:
+        print(f"batch {row['backend']:<7}"
+              f" {row['tree_nets_per_second']:6.1f} -> "
+              f"{row['compiled_nets_per_second']:6.1f} nets/s "
+              f"({row['ratio']:.2f}x)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,10 +24,12 @@ Quickstart::
 
 from repro.core import (
     BufferingResult,
+    CompiledNet,
     DPStats,
     InsertionAlgorithm,
     algorithm_names,
     available_algorithms,
+    compile_net,
     get_algorithm,
     insert_buffers,
     insert_buffers_brute_force,
@@ -87,6 +89,8 @@ __all__ = [
     "register_store_backend",
     "store_backend_names",
     "solve_many",
+    "CompiledNet",
+    "compile_net",
     "insert_buffers",
     "insert_buffers_fast",
     "insert_buffers_lillis",

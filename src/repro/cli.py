@@ -83,9 +83,11 @@ def _build_parser() -> argparse.ArgumentParser:
     buf.add_argument("--library", type=Path, required=True)
     buf.add_argument("--algorithm", choices=algorithm_names(), default="fast",
                      help=_algorithm_help())
-    buf.add_argument("--backend", choices=store_backend_names(),
-                     default="object",
-                     help="candidate-store backend (default: object)")
+    buf.add_argument("--backend",
+                     choices=("auto",) + store_backend_names(),
+                     default="auto",
+                     help="candidate-store backend; 'auto' (default) "
+                          "picks soa when NumPy is available")
     buf.add_argument("--paper-pseudocode", action="store_true",
                      help="use the paper's destructive Convexpruning "
                           "(exact on 2-pin nets only)")
@@ -101,9 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--library", type=Path, required=True)
     batch.add_argument("--algorithm", choices=algorithm_names(),
                        default="fast", help=_algorithm_help())
-    batch.add_argument("--backend", choices=store_backend_names(),
-                       default="object",
-                       help="candidate-store backend (default: object)")
+    batch.add_argument("--backend",
+                       choices=("auto",) + store_backend_names(),
+                       default="auto",
+                       help="candidate-store backend; 'auto' (default) "
+                            "picks soa when NumPy is available")
     batch.add_argument("--jobs", type=int, default=1,
                        help="worker processes (0 = one per CPU; default 1)")
     batch.add_argument("--output", type=Path,

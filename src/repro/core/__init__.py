@@ -30,8 +30,10 @@ from repro.core.registry import (
 from repro.core.stores import (
     get_store_backend,
     register_store_backend,
+    resolve_backend,
     store_backend_names,
 )
+from repro.core.schedule import CompiledNet, auto_compile, compile_net
 from repro.core.api import insert_buffers
 from repro.core.fast import insert_buffers_fast
 from repro.core.lillis import insert_buffers_lillis
@@ -60,6 +62,10 @@ __all__ = [
     "register_store_backend",
     "get_store_backend",
     "store_backend_names",
+    "resolve_backend",
+    "CompiledNet",
+    "compile_net",
+    "auto_compile",
     "insert_buffers",
     "insert_buffers_van_ginneken",
     "insert_buffers_lillis",

@@ -3,16 +3,26 @@
 Dispatch is a registry lookup (:mod:`repro.core.registry`): the
 ``algorithm`` argument names a registered :class:`InsertionAlgorithm`
 strategy, and the ``backend`` argument names a registered candidate
-store (:mod:`repro.core.stores`).  Third-party algorithms and backends
-therefore plug in without touching this module.
+store (:mod:`repro.core.stores`) — or ``"auto"``, the default, which
+resolves to the fastest backend the environment supports.  Third-party
+algorithms and backends therefore plug in without touching this module.
+
+The first positional argument may be a plain
+:class:`~repro.tree.routing_tree.RoutingTree` *or* a
+:class:`~repro.core.schedule.CompiledNet` from
+:func:`~repro.core.schedule.compile_net`: compile a net once, then
+re-solve it across algorithms, drivers and backends without paying for
+validation, plan building or the tree walk again.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.core.registry import algorithm_names, get_algorithm
+from repro.core.schedule import CompiledNet
 from repro.core.solution import BufferingResult
+from repro.core.stores import resolve_backend
 from repro.library.library import BufferLibrary
 from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
@@ -27,11 +37,11 @@ def __getattr__(name: str) -> Tuple[str, ...]:
 
 
 def insert_buffers(
-    tree: RoutingTree,
+    tree: Union[RoutingTree, CompiledNet],
     library: BufferLibrary,
     algorithm: str = "fast",
     driver: Optional[Driver] = None,
-    backend: str = "object",
+    backend: str = "auto",
     **options,
 ) -> BufferingResult:
     """Maximize slack by optimal buffer insertion.
@@ -48,18 +58,22 @@ def insert_buffers(
     All algorithms return the same optimal slack; they differ in running
     time only (that difference being the paper's entire point).
     ``backend`` selects how candidate lists are stored and operated on:
-    ``"object"`` (Candidate objects, the default) or ``"soa"``
-    (structure-of-arrays over NumPy); both produce bit-identical
-    results.
+    ``"auto"`` (the default: structure-of-arrays when NumPy is
+    available, object lists otherwise), ``"object"`` (Candidate
+    objects) or ``"soa"`` (structure-of-arrays over NumPy); all
+    produce bit-identical results.
 
     Args:
-        tree: A validated routing tree.
+        tree: A routing tree, or a pre-compiled net from
+            :func:`repro.core.schedule.compile_net` (fastest for repeat
+            solves; plain trees are also compiled and cached behind the
+            scenes after their first solve).
         library: The buffer library.
         algorithm: A registered algorithm name
             (:func:`repro.core.registry.algorithm_names`).
         driver: Source driver; defaults to ``tree.driver``; ``None``
             means an ideal driver.
-        backend: A registered candidate-store backend name
+        backend: ``"auto"`` or a registered candidate-store backend name
             (:func:`repro.core.stores.store_backend_names`).
         **options: Algorithm-specific flags.
 
@@ -67,9 +81,11 @@ def insert_buffers(
         A :class:`~repro.core.solution.BufferingResult`.
 
     Raises:
-        AlgorithmError: Unknown algorithm or backend name, or invalid
-            options.
+        AlgorithmError: Unknown algorithm or backend name, invalid
+            options, or a compiled net whose library does not match.
     """
     strategy = get_algorithm(algorithm)
     strategy.validate_options(options)
-    return strategy.run(tree, library, driver=driver, backend=backend, **options)
+    return strategy.run(
+        tree, library, driver=driver, backend=resolve_backend(backend), **options
+    )

@@ -2,11 +2,16 @@
 
 The paper optimizes one net at a time; a production flow buffers every
 net of a design.  This module treats many-instance throughput as a
-first-class workload: :func:`solve_many` fans a corpus of routing trees
-over worker processes, each worker holding the buffer library — and the
-one-off sorted :class:`~repro.core.buffer_ops.BufferPlan` derived from
-it (see :func:`repro.core.dp._full_library_plan`) — resident, so per-net
-task payloads are just the tree.
+first-class workload: :func:`solve_many` compiles every net against the
+library **once** in the parent process
+(:func:`repro.core.schedule.compile_net` — validation, buffer plans and
+the post-order flattening happen exactly once per net) and fans the
+resulting :class:`~repro.core.schedule.CompiledNet` payloads over worker
+processes.  A compiled net pickles as flat op-code/parasitic arrays — a
+fraction of the object tree's payload — and tasks are dispatched in
+chunks, so the pickler's memo collapses the shared library to one copy
+per chunk.  Workers run the schedule interpreter directly: no
+re-validation, no tree walk, no plan rebuilding per solve.
 
 Results come back in input order and are identical to a serial loop
 (asserted by ``tests/test_batch.py``); ``jobs=1`` *is* a serial loop,
@@ -18,8 +23,9 @@ experiment harness to parallelize Table 1 / figure sweep cells.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
+from repro.core.schedule import CompiledNet, compile_net
 from repro.core.solution import BufferingResult
 from repro.library.library import BufferLibrary
 from repro.tree.node import Driver
@@ -29,8 +35,7 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 # Per-worker-process solve context, installed by the pool initializer so
-# the library (and its cached full-library BufferPlan) ships once per
-# worker instead of once per net.
+# the shared settings ship once per worker instead of once per net.
 _WORKER_CONTEXT: Optional[dict] = None
 
 
@@ -51,13 +56,13 @@ def _init_worker(
     }
 
 
-def _solve_one(tree: RoutingTree) -> BufferingResult:
+def _solve_one(net: Union[RoutingTree, CompiledNet]) -> BufferingResult:
     from repro.core.api import insert_buffers
 
     context = _WORKER_CONTEXT
     assert context is not None, "worker used before initialization"
     return insert_buffers(
-        tree,
+        net,
         context["library"],
         algorithm=context["algorithm"],
         driver=context["driver"],
@@ -116,13 +121,14 @@ def parallel_map(
 
 
 def solve_many(
-    trees: Sequence[RoutingTree],
+    trees: Sequence[Union[RoutingTree, CompiledNet]],
     library: BufferLibrary,
     algorithm: str = "fast",
     jobs: Optional[int] = 1,
     driver: Optional[Driver] = None,
-    backend: str = "object",
+    backend: str = "auto",
     chunksize: Optional[int] = None,
+    precompile: bool = True,
     **options,
 ) -> List[BufferingResult]:
     """Buffer every net in ``trees``, optionally across processes.
@@ -130,13 +136,18 @@ def solve_many(
     Args:
         trees: The routing trees to solve (each uses its own
             ``tree.driver`` unless ``driver`` overrides all of them).
+            Pre-compiled nets are accepted too and used as-is.
         library: The buffer library, shared by every solve.
         algorithm: Registered algorithm name.
         jobs: Worker processes: ``1`` (default) solves serially in this
             process; ``None`` uses ``os.cpu_count()``.
         driver: Optional driver override applied to every net.
-        backend: Candidate-store backend name.
+        backend: Candidate-store backend name, or ``"auto"`` (default).
         chunksize: Nets per worker task (``jobs > 1`` only).
+        precompile: Compile each net once in this process and dispatch
+            the compact :class:`CompiledNet` payloads (the default, and
+            the reason workers neither re-validate nor re-plan a net).
+            ``False`` ships the object trees, as earlier releases did.
         **options: Algorithm-specific flags (e.g.
             ``destructive_pruning=True`` for ``"fast"``).
 
@@ -145,35 +156,45 @@ def solve_many(
         identical to ``[insert_buffers(t, library, ...) for t in trees]``.
 
     Raises:
-        AlgorithmError: Unknown algorithm/backend or invalid options.
+        AlgorithmError: Unknown algorithm/backend, invalid options, or
+            an invalid tree (validation happens here, exactly once per
+            net, when ``precompile`` is on).
         ValueError: ``jobs < 1``.
     """
     jobs = _resolve_jobs(jobs)
-    trees = list(trees)
 
     # Fail fast (and in the parent process) on bad names/options.
     from repro.core.registry import get_algorithm
-    from repro.core.stores import get_store_backend
+    from repro.core.stores import get_store_backend, resolve_backend
 
     get_algorithm(algorithm).validate_options(options)
+    backend = resolve_backend(backend)
     get_store_backend(backend)
 
-    if jobs == 1 or len(trees) <= 1:
+    if precompile:
+        nets: List[Union[RoutingTree, CompiledNet]] = [
+            net if isinstance(net, CompiledNet) else compile_net(net, library)
+            for net in trees
+        ]
+    else:
+        nets = list(trees)
+
+    if jobs == 1 or len(nets) <= 1:
         from repro.core.api import insert_buffers
 
         return [
             insert_buffers(
-                tree, library, algorithm=algorithm, driver=driver,
+                net, library, algorithm=algorithm, driver=driver,
                 backend=backend, **options,
             )
-            for tree in trees
+            for net in nets
         ]
 
-    # jobs > 1 and len(trees) > 1 here, so parallel_map always takes its
+    # jobs > 1 and len(nets) > 1 here, so parallel_map always takes its
     # multi-process path and the initializer is guaranteed to run.
     return parallel_map(
         _solve_one,
-        trees,
+        nets,
         jobs=jobs,
         chunksize=chunksize,
         initializer=_init_worker,

@@ -20,13 +20,23 @@ code did — including the legacy list-level ``add_buffer`` /
 ``add_wire`` / ``merge`` callables used by the instrumentation modules —
 while any other backend runs through the :class:`CandidateStore`
 protocol, with ``add_buffer`` receiving the store.
+
+So is the *execution strategy* (:mod:`repro.core.schedule`):
+:func:`run_dynamic_program` accepts either a plain
+:class:`~repro.tree.routing_tree.RoutingTree` — walked as above — or a
+:class:`~repro.core.schedule.CompiledNet`, interpreted as a flat
+instruction stream with no tree-object access in the hot path.  Plain
+trees compile themselves transparently: the first solve walks the tree
+and caches a schedule, repeat solves run the interpreter.  Both paths
+perform the same IEEE-754 operations on the same inputs in dependency
+order, so their results are bit-identical.
 """
 
 from __future__ import annotations
 
 import time
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.buffer_ops import BufferPlan
 from repro.core.candidate import (
@@ -35,6 +45,16 @@ from repro.core.candidate import (
     SinkDecision,
     best_candidate_for_driver,
     reconstruct_assignment,
+)
+from repro.core.schedule import (
+    OP_FINAL,
+    OP_MERGE,
+    OP_SINK,
+    OP_WIRE,
+    CompiledNet,
+    auto_compile_enabled,
+    cache_schedule,
+    cached_schedule,
 )
 from repro.core.solution import BufferingResult, DPStats
 from repro.errors import AlgorithmError
@@ -83,8 +103,196 @@ def build_plans(tree: RoutingTree, library: BufferLibrary) -> Dict[int, BufferPl
     return plans
 
 
+def _release_noop(store) -> None:
+    """Store release under the object backend: bare lists, GC-managed."""
+
+
+def _release_store(store) -> None:
+    store.release()
+
+
+def _resolve_ops(
+    backend: str,
+    add_wire: Optional[Callable],
+    merge: Optional[Callable],
+    factory=None,
+) -> Tuple[Callable, Callable, Callable, Callable, Callable]:
+    """The five backend-specific callables the engine loops over.
+
+    Returns ``(sink_op, wire_op, merge_op, best_op, release_op)``.
+    ``factory`` is only used (and created when ``None``) for non-object
+    backends; reusing one across solves keeps its scratch state warm.
+    """
+    if backend == "object":
+        from repro.core.merge import merge_branches as default_merge
+        from repro.core.wire_ops import add_wire as default_add_wire
+
+        wire_op = add_wire if add_wire is not None else default_add_wire
+        merge_op = merge if merge is not None else default_merge
+
+        def sink_op(node_id: int, q: float, c: float) -> CandidateList:
+            return [Candidate(q=q, c=c, decision=SinkDecision(node_id))]
+
+        return (
+            sink_op,
+            wire_op,
+            merge_op,
+            best_candidate_for_driver,
+            _release_noop,
+        )
+
+    if add_wire is not None or merge is not None:
+        raise AlgorithmError(
+            "list-level add_wire/merge overrides require backend='object'; "
+            f"got backend={backend!r}"
+        )
+    if factory is None:
+        from repro.core.stores import get_store_backend
+
+        factory = get_store_backend(backend)()
+    factory.begin_solve()
+    wire_op = lambda store, r, c: store.add_wire(r, c)  # noqa: E731
+    merge_op = lambda left, right: left.merge(right)  # noqa: E731
+    best_op = lambda store, resistance: store.best_for_driver(resistance)  # noqa: E731
+    return factory.sink, wire_op, merge_op, best_op, _release_store
+
+
+def _execute_schedule(
+    compiled: CompiledNet,
+    plans: List[BufferPlan],
+    sink_op: Callable,
+    wire_op: Callable,
+    merge_op: Callable,
+    add_buffer: AddBufferOp,
+    release: Callable,
+):
+    """Run the instruction stream; returns ``(root_list, peak, generated)``.
+
+    The stack machine mirrors the tree walk's data flow exactly — each
+    instruction consumes only values the tree walk would have had at
+    that point — so every arithmetic result is bit-identical.  Stores a
+    consumed operand no longer reachable from the stack are released to
+    the backend (a no-op for bare object lists), which is what lets the
+    SoA scratch arena recycle buffers mid-solve.
+    """
+    steps, wire_r, wire_c, sink_node, sink_q, sink_c = compiled.runtime()
+
+    stack: List[object] = []
+    push = stack.append
+    pop = stack.pop
+    peak = 0
+    generated = 0
+
+    for op, arg in steps:
+        code = op & 3
+        if code == OP_WIRE:
+            top = stack[-1]
+            current = wire_op(top, wire_r[arg], wire_c[arg])
+            if current is not top:
+                release(top)
+                stack[-1] = current
+        elif code == OP_SINK:
+            current = sink_op(sink_node[arg], sink_q[arg], sink_c[arg])
+            generated += 1
+            push(current)
+        elif code == OP_MERGE:
+            right = pop()
+            left = pop()
+            current = merge_op(left, right)
+            generated += len(current)
+            if current is not left:
+                release(left)
+            if current is not right:
+                release(right)
+            push(current)
+        else:  # OP_BUFFER
+            top = stack[-1]
+            before = len(top)
+            current = add_buffer(top, plans[arg])
+            generated += max(len(current) - before, 0)
+            if current is not top:
+                release(top)
+                stack[-1] = current
+        if op & OP_FINAL and len(current) > peak:
+            peak = len(current)
+
+    assert len(stack) == 1, "schedule must reduce to the root list"
+    return stack[0], peak, generated
+
+
+def _finish(
+    root_list,
+    best_op: Callable,
+    release: Callable,
+    driver: Optional[Driver],
+    algorithm: str,
+    num_buffer_positions: int,
+    library: BufferLibrary,
+    peak_length: int,
+    candidates_generated: int,
+    started: float,
+    backend: str,
+) -> BufferingResult:
+    """Turn the root list into the result object (shared by both paths)."""
+    resistance = driver.resistance if driver is not None else 0.0
+    best = best_op(root_list, resistance)
+    assert best is not None  # a validated tree always yields candidates
+    slack = best.q - (driver.delay(best.c) if driver is not None else 0.0)
+    root_candidates = len(root_list)
+    release(root_list)
+
+    elapsed = time.perf_counter() - started
+    stats = DPStats(
+        algorithm=algorithm,
+        num_buffer_positions=num_buffer_positions,
+        library_size=library.size,
+        root_candidates=root_candidates,
+        peak_list_length=peak_length,
+        candidates_generated=candidates_generated,
+        runtime_seconds=elapsed,
+        backend=backend,
+    )
+    return BufferingResult(
+        slack=slack,
+        assignment=reconstruct_assignment(best.decision),
+        driver_load=best.c,
+        stats=stats,
+    )
+
+
+def _run_compiled(
+    compiled: CompiledNet,
+    library: BufferLibrary,
+    add_buffer: AddBufferOp,
+    algorithm: str,
+    driver: Optional[Driver],
+    backend: str,
+) -> BufferingResult:
+    """Solve a :class:`CompiledNet` with the interpreter loop."""
+    compiled.check_library(library)
+    driver = driver if driver is not None else compiled.driver
+    plans = compiled.plans()
+    factory = None if backend == "object" else compiled.factory(backend)
+    sink_op, wire_op, merge_op, best_op, release = _resolve_ops(
+        backend, None, None, factory=factory
+    )
+
+    started = time.perf_counter()
+    root_list, peak_length, candidates_generated = _execute_schedule(
+        compiled, plans, sink_op, wire_op, merge_op, add_buffer, release
+    )
+    result = _finish(
+        root_list, best_op, release, driver, algorithm,
+        compiled.num_buffer_positions, library, peak_length,
+        candidates_generated, started, backend,
+    )
+    if factory is not None:
+        factory.end_solve()
+    return result
+
+
 def run_dynamic_program(
-    tree: RoutingTree,
+    tree: Union[RoutingTree, CompiledNet],
     library: BufferLibrary,
     add_buffer: AddBufferOp,
     algorithm: str,
@@ -96,25 +304,56 @@ def run_dynamic_program(
     """Run the bottom-up DP and return the optimal buffering.
 
     Args:
-        tree: A validated routing tree.
+        tree: A routing tree, or a :class:`~repro.core.schedule.CompiledNet`
+            from :func:`~repro.core.schedule.compile_net` (already
+            validated and planned; solved by the interpreter loop with
+            no tree-object access).  Plain trees are compiled and cached
+            transparently after their first solve, so repeat solves take
+            the interpreter path automatically (see
+            :func:`repro.core.schedule.auto_compile`).
         library: The buffer library (defines ``b``).
         add_buffer: The pluggable add-buffer operation.  Operates on
             ``CandidateList`` under ``backend="object"`` and on the
             node's :class:`CandidateStore` under any other backend.
         algorithm: Name recorded in the result.
-        driver: Source driver; defaults to ``tree.driver``; ``None``
-            means an ideal driver (slack is simply the best ``q``).
+        driver: Source driver; defaults to ``tree.driver`` (or the
+            driver recorded at compile time); ``None`` means an ideal
+            driver (slack is simply the best ``q``).
         add_wire, merge: List-level overrides for the other two
             operations (used by instrumentation and the cost extension);
-            default to the standard ones.  Object backend only.
+            default to the standard ones.  Object backend only, and they
+            force the tree-walking path.
         backend: Candidate-store backend name
-            (:func:`repro.core.stores.store_backend_names`).
+            (:func:`repro.core.stores.store_backend_names`), or
+            ``"auto"``.
 
     Raises:
         AlgorithmError: If the tree fails validation, the backend is
-            unknown, or list-level overrides are combined with a
-            non-object backend.
+            unknown, list-level overrides are combined with a non-object
+            backend, or a compiled net is combined with overrides or a
+            mismatched library.
     """
+    from repro.core.stores import resolve_backend
+
+    backend = resolve_backend(backend)
+    has_overrides = add_wire is not None or merge is not None
+
+    if isinstance(tree, CompiledNet):
+        if has_overrides:
+            raise AlgorithmError(
+                "list-level add_wire/merge overrides require a plain "
+                "RoutingTree; got a CompiledNet"
+            )
+        return _run_compiled(tree, library, add_buffer, algorithm, driver, backend)
+
+    auto = auto_compile_enabled() and not has_overrides
+    if auto:
+        compiled = cached_schedule(tree, library)
+        if compiled is not None:
+            return _run_compiled(
+                compiled, library, add_buffer, algorithm, driver, backend
+            )
+
     try:
         tree.validate()
     except Exception as exc:
@@ -122,31 +361,9 @@ def run_dynamic_program(
 
     driver = driver if driver is not None else tree.driver
     plans = build_plans(tree, library)
-
-    if backend == "object":
-        from repro.core.merge import merge_branches as default_merge
-        from repro.core.wire_ops import add_wire as default_add_wire
-
-        wire_op = add_wire if add_wire is not None else default_add_wire
-        merge_op = merge if merge is not None else default_merge
-
-        def sink_op(node_id: int, q: float, c: float) -> CandidateList:
-            return [Candidate(q=q, c=c, decision=SinkDecision(node_id))]
-
-        best_op = best_candidate_for_driver
-    else:
-        from repro.core.stores import get_store_backend
-
-        if add_wire is not None or merge is not None:
-            raise AlgorithmError(
-                "list-level add_wire/merge overrides require backend='object'; "
-                f"got backend={backend!r}"
-            )
-        factory = get_store_backend(backend)()
-        sink_op = factory.sink
-        wire_op = lambda store, r, c: store.add_wire(r, c)  # noqa: E731
-        merge_op = lambda left, right: left.merge(right)  # noqa: E731
-        best_op = lambda store, resistance: store.best_for_driver(resistance)  # noqa: E731
+    sink_op, wire_op, merge_op, best_op, release = _resolve_ops(
+        backend, add_wire, merge
+    )
 
     started = time.perf_counter()
 
@@ -164,43 +381,41 @@ def run_dynamic_program(
             for child in tree.children_of(node_id):
                 edge = tree.edge_to(child)
                 child_list = lists.pop(child)
-                branch_lists.append(
-                    wire_op(child_list, edge.resistance, edge.capacitance)
-                )
+                wired = wire_op(child_list, edge.resistance, edge.capacitance)
+                if wired is not child_list:
+                    release(child_list)
+                branch_lists.append(wired)
             current = branch_lists[0]
             for other in branch_lists[1:]:
-                current = merge_op(current, other)
-                candidates_generated += len(current)
+                merged = merge_op(current, other)
+                candidates_generated += len(merged)
+                if merged is not current:
+                    release(current)
+                if merged is not other:
+                    release(other)
+                current = merged
             plan = plans.get(node_id)
             if plan is not None:
                 before = len(current)
-                current = add_buffer(current, plan)
-                candidates_generated += max(len(current) - before, 0)
+                buffered = add_buffer(current, plan)
+                candidates_generated += max(len(buffered) - before, 0)
+                if buffered is not current:
+                    release(current)
+                current = buffered
 
         if len(current) > peak_length:
             peak_length = len(current)
         lists[node_id] = current
 
-    root_list = lists[tree.root_id]
-    resistance = driver.resistance if driver is not None else 0.0
-    best = best_op(root_list, resistance)
-    assert best is not None  # a validated tree always yields candidates
-    slack = best.q - (driver.delay(best.c) if driver is not None else 0.0)
+    result = _finish(
+        lists[tree.root_id], best_op, release, driver, algorithm,
+        tree.num_buffer_positions, library, peak_length,
+        candidates_generated, started, backend,
+    )
 
-    elapsed = time.perf_counter() - started
-    stats = DPStats(
-        algorithm=algorithm,
-        num_buffer_positions=tree.num_buffer_positions,
-        library_size=library.size,
-        root_candidates=len(root_list),
-        peak_list_length=peak_length,
-        candidates_generated=candidates_generated,
-        runtime_seconds=elapsed,
-        backend=backend,
-    )
-    return BufferingResult(
-        slack=slack,
-        assignment=reconstruct_assignment(best.decision),
-        driver_load=best.c,
-        stats=stats,
-    )
+    if auto:
+        # Amortize the next solve: remember the flattened schedule.
+        # The walk above already validated the tree and built its
+        # plans, so compilation reuses both and only pays the flatten.
+        cache_schedule(tree, library, validate=False, plans=plans)
+    return result

@@ -26,7 +26,13 @@ def _add_buffer(candidates: CandidateList, plan: BufferPlan) -> CandidateList:
 
 
 def _store_add_buffer(store, plan: BufferPlan):
-    return store.insert(store.generate_scan(plan))
+    new = store.generate_scan(plan)
+    result = store.insert(new)
+    # The beta store is dead once merged; recycle its arrays (the
+    # engine releases `store` itself when this returns).
+    if new is not result and new is not store:
+        new.release()
+    return result
 
 
 @register_algorithm("lillis")

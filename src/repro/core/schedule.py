@@ -1,0 +1,454 @@
+"""Compiled solve schedules: validate, plan and flatten a net **once**.
+
+The dynamic program's hot loop does not need the tree *objects* at all —
+it needs, in post-order, the paper's three operations with their scalar
+arguments:
+
+* **add wire** (paper op 2) with the edge's lumped ``R``/``C``;
+* **merge** (paper op 3) of two sibling branch lists;
+* **add buffer** (paper op 1) with the node's precomputed
+  :class:`~repro.core.buffer_ops.BufferPlan`;
+
+plus the sink base candidates that seed the recursion.  Yet every call
+to :func:`repro.core.dp.run_dynamic_program` on a plain
+:class:`~repro.tree.routing_tree.RoutingTree` re-validates the tree,
+rebuilds every ``BufferPlan``, and walks the Python object graph
+(``postorder()`` → ``node()`` → ``children_of()`` → ``edge_to()`` per
+vertex).  For the solve-many workloads this library targets — the
+Table 1 / Figure 3 / Figure 4 sweeps re-solve the *same* nets across
+library sizes and algorithms, and :func:`repro.core.batch.solve_many`
+buffers whole corpora — that fixed overhead is pure waste.
+
+:func:`compile_net` pays it once.  It flattens the post-order walk into
+a compact instruction stream over four op codes:
+
+=========  ===============================================  ==========
+op code    meaning                                          paper op
+=========  ===============================================  ==========
+``SINK``   push the sink's base candidate ``(q, c)``        (seed)
+``WIRE``   propagate the top list through edge ``R``/``C``  add wire
+``MERGE``  combine the top two lists                        merge
+``BUFFER`` apply the position's ``BufferPlan`` to the top   add buffer
+=========  ===============================================  ==========
+
+executed by a tiny stack machine (:func:`repro.core.dp.run_dynamic_program`
+recognizes a :class:`CompiledNet` and runs the interpreter loop — no
+tree-object access in the hot path).  Wire parasitics and sink ``q``/``c``
+live in flat ``array('d')`` payloads, op codes in ``bytes``, so a
+``CompiledNet`` pickles in a fraction of the bytes of the object tree it
+came from — which is exactly what the batch engine ships to worker
+processes.
+
+The instruction stream preserves the tree walk's data-dependency order,
+so every float is produced by the same IEEE-754 operations on the same
+inputs: results are **bit-identical** to the tree-walking path (the same
+parity bar the SoA backend meets against the object backend; asserted by
+``tests/test_schedule.py`` on a randomized corpus).
+
+Repeat solves on plain trees get the same treatment automatically: the
+first ``run_dynamic_program(tree, library, ...)`` walks the tree and
+caches a compiled schedule in a :class:`weakref.WeakKeyDictionary`, and
+every later solve of that (tree, library) pair runs the interpreter.
+:func:`auto_compile` turns the caching off for instrumentation or A/B
+timing.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.buffer_ops import BufferPlan
+from repro.errors import AlgorithmError
+from repro.library.library import BufferLibrary
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+#: Instruction op codes (low two bits) ...
+OP_SINK = 0
+OP_WIRE = 1
+OP_MERGE = 2
+OP_BUFFER = 3
+#: ... plus the node-final flag: the last instruction of each tree
+#: vertex carries it, so the interpreter samples peak-list-length at
+#: exactly the points the tree walk does.
+OP_FINAL = 4
+
+_OP_MASK = 3
+
+
+class CompiledNet:
+    """One net, compiled against one library, ready for repeat solves.
+
+    Everything a solve needs, with the tree objects flattened away:
+
+    Attributes:
+        ops: One byte per instruction: an op code (:data:`OP_SINK`,
+            :data:`OP_WIRE`, :data:`OP_MERGE`, :data:`OP_BUFFER`) OR-ed
+            with :data:`OP_FINAL` on each vertex's last instruction.
+        args: Per-instruction argument (``array('q')``): index into the
+            sink payload, the wire payload, or the plan table; unused
+            (0) for ``MERGE``.
+        wire_r / wire_c: Edge parasitics, in instruction-argument order.
+        sink_node / sink_q / sink_c: Sink ids, required arrivals and
+            load capacitances.
+        library: The :class:`BufferLibrary` the plans were built for.
+        driver: The tree's source driver at compile time.
+        num_nodes / num_sinks / num_buffer_positions: Tree metadata
+            (``num_nodes`` also guards the repeat-solve cache against
+            trees that grew after compilation).
+
+    Buffer plans are *not* stored directly: they are rebuilt lazily from
+    ``(node_id, allowed-name)`` specs plus the library, so the pickled
+    payload stays compact and workers re-share the one
+    :func:`~repro.core.dp._full_library_plan` sort per process.
+    Per-backend store factories created for this net are cached on the
+    instance (and dropped from pickles), so repeat solves reuse the SoA
+    backend's decision arena and scratch arena instead of reallocating
+    them.
+    """
+
+    def __init__(
+        self,
+        ops: bytes,
+        args: array,
+        wire_r: array,
+        wire_c: array,
+        sink_node: array,
+        sink_q: array,
+        sink_c: array,
+        plan_specs: List[Tuple[int, Optional[Tuple[str, ...]]]],
+        library: BufferLibrary,
+        driver: Optional[Driver],
+        num_nodes: int,
+        num_sinks: int,
+        num_buffer_positions: int,
+    ) -> None:
+        self.ops = ops
+        self.args = args
+        self.wire_r = wire_r
+        self.wire_c = wire_c
+        self.sink_node = sink_node
+        self.sink_q = sink_q
+        self.sink_c = sink_c
+        self.plan_specs = plan_specs
+        self.library = library
+        self.driver = driver
+        self.num_nodes = num_nodes
+        self.num_sinks = num_sinks
+        self.num_buffer_positions = num_buffer_positions
+        self._plans: Optional[List[BufferPlan]] = None
+        self._factories: Dict[str, object] = {}
+        self._runtime: Optional[tuple] = None
+
+    # -- solve-time accessors ------------------------------------------
+
+    def plans(self) -> List[BufferPlan]:
+        """The ``BufferPlan`` table, rebuilt lazily after unpickling."""
+        if self._plans is None:
+            from repro.core.dp import _full_library_plan
+
+            full_plan = _full_library_plan(self.library.buffers)
+            plans: List[BufferPlan] = []
+            for node_id, allowed_names in self.plan_specs:
+                if allowed_names is None:
+                    plans.append(BufferPlan.shared_view(node_id, full_plan))
+                else:
+                    allowed = [
+                        b for b in self.library.buffers
+                        if b.name in allowed_names
+                    ]
+                    plans.append(BufferPlan(node_id, allowed))
+            self._plans = plans
+        return self._plans
+
+    def runtime(self) -> tuple:
+        """Interpreter-ready payloads, unboxed once per process.
+
+        The compact ``bytes``/``array`` encoding is ideal on the wire
+        but boxes a fresh Python object per indexing; the hot loop
+        instead reads these cached plain lists, whose elements are
+        created once.  Returns ``(steps, wire_r, wire_c, sink_node,
+        sink_q, sink_c)`` where ``steps`` is the zipped ``(op, arg)``
+        instruction list.
+        """
+        if self._runtime is None:
+            self._runtime = (
+                list(zip(self.ops, self.args)),
+                self.wire_r.tolist(),
+                self.wire_c.tolist(),
+                self.sink_node.tolist(),
+                self.sink_q.tolist(),
+                self.sink_c.tolist(),
+            )
+        return self._runtime
+
+    def factory(self, backend: str):
+        """A per-net, per-backend store factory, reused across solves.
+
+        Reuse is what lets the SoA backend's scratch arena stay warm:
+        the factory's :meth:`~repro.core.stores.base.StoreFactory.begin_solve`
+        resets per-solve state while keeping the allocated buffers.
+        """
+        factory = self._factories.get(backend)
+        if factory is None:
+            from repro.core.stores import get_store_backend
+
+            factory = get_store_backend(backend)()
+            self._factories[backend] = factory
+        return factory
+
+    def matches_tree(self, tree: RoutingTree) -> bool:
+        """Whether ``tree`` still looks like the tree compiled here.
+
+        Guards the repeat-solve cache against in-place mutation: the
+        structure (via ``num_nodes`` — trees only grow), the driver and
+        every sink's ``(required_arrival, capacitance)`` payload are
+        compared.  Edges are immutable (:class:`~repro.tree.routing_tree.Edge`
+        is frozen), so wire parasitics cannot drift; mutating a node's
+        private buffer-position fields in place is the one hole left,
+        and callers doing that must recompile explicitly.
+        """
+        if self.num_nodes != tree.num_nodes or self.driver != tree.driver:
+            return False
+        sink_q = self.sink_q
+        sink_c = self.sink_c
+        for index, node_id in enumerate(self.sink_node):
+            node = tree.node(node_id)
+            if (
+                node.required_arrival != sink_q[index]
+                or node.capacitance != sink_c[index]
+            ):
+                return False
+        return True
+
+    def check_library(self, library: BufferLibrary) -> None:
+        """Raise unless ``library`` matches the one compiled against."""
+        if library is self.library:
+            return
+        if library.buffers != self.library.buffers:
+            raise AlgorithmError(
+                "compiled net was built against a different buffer "
+                "library; recompile with compile_net(tree, library)"
+            )
+
+    # -- pickling ------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_plans"] = None  # rebuilt lazily from plan_specs
+        state["_factories"] = {}  # per-process solve state
+        state["_runtime"] = None  # unboxed lazily per process
+        return state
+
+    def __len__(self) -> int:
+        """Number of instructions in the schedule."""
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledNet(instructions={len(self.ops)}, "
+            f"sinks={self.num_sinks}, "
+            f"buffer_positions={self.num_buffer_positions}, "
+            f"b={self.library.size})"
+        )
+
+
+def compile_net(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    driver: Optional[Driver] = None,
+    validate: bool = True,
+    plans: Optional[Dict[int, BufferPlan]] = None,
+) -> CompiledNet:
+    """Compile ``tree`` against ``library`` for repeat solving.
+
+    Validation, :func:`~repro.core.dp.build_plans` and the post-order
+    walk happen here, exactly once; the result drives the interpreter
+    loop of :func:`repro.core.dp.run_dynamic_program` (pass the
+    ``CompiledNet`` wherever a tree is accepted) and ships to
+    :func:`repro.core.batch.solve_many` workers in place of the object
+    tree.
+
+    Args:
+        tree: The routing tree to flatten.
+        library: The buffer library the plans are built for.
+        driver: Recorded source driver; defaults to ``tree.driver``.
+        validate: Validate the tree first (disable only when the caller
+            just validated the same tree).
+        plans: Reuse an existing :func:`~repro.core.dp.build_plans`
+            result for this exact (tree, library) pair instead of
+            rebuilding it (the engine passes the plans of the solve it
+            just finished).
+
+    Raises:
+        AlgorithmError: The tree fails validation.
+    """
+    from repro.core.dp import build_plans
+
+    if validate:
+        try:
+            tree.validate()
+        except Exception as exc:
+            raise AlgorithmError(f"invalid routing tree: {exc}") from exc
+
+    if plans is None:
+        plans = build_plans(tree, library)
+
+    ops = bytearray()
+    args = array("q")
+    wire_r = array("d")
+    wire_c = array("d")
+    sink_node = array("q")
+    sink_q = array("d")
+    sink_c = array("d")
+    plan_specs: List[Tuple[int, Optional[Tuple[str, ...]]]] = []
+    plan_table: List[BufferPlan] = []
+    emitted_children: Dict[int, int] = {}
+
+    def emit(op: int, arg: int = 0) -> None:
+        ops.append(op)
+        args.append(arg)
+
+    for node_id in tree.postorder():
+        node = tree.node(node_id)
+        if node.is_sink:
+            emit(OP_SINK | OP_FINAL, len(sink_node))
+            sink_node.append(node_id)
+            sink_q.append(node.required_arrival)
+            sink_c.append(node.capacitance)
+        else:
+            # All children (and their WIRE/MERGE glue) are already
+            # emitted; only the position's add-buffer step remains.
+            plan = plans.get(node_id)
+            if plan is not None:
+                emit(OP_BUFFER | OP_FINAL, len(plan_table))
+                plan_table.append(plan)
+                allowed = node.allowed_buffers
+                plan_specs.append(
+                    (node_id, None if allowed is None else tuple(allowed))
+                )
+
+        if node_id == tree.root_id:
+            continue
+
+        # Moving up the incoming edge: wire the just-finished subtree
+        # list, then fold it into the branches accumulated so far.  The
+        # MERGE interleaving preserves the tree walk's left-to-right
+        # merge order (and its decision-arena append order).
+        edge = tree.edge_to(node_id)
+        emit(OP_WIRE, len(wire_r))
+        wire_r.append(edge.resistance)
+        wire_c.append(edge.capacitance)
+        rank = emitted_children.get(edge.parent, 0)
+        emitted_children[edge.parent] = rank + 1
+        if rank:
+            emit(OP_MERGE)
+        # When the parent has no add-buffer step, its list is complete
+        # the moment its last child folds in: flag that instruction as
+        # the parent's final one so peak-length sampling matches the
+        # tree walk.
+        if (
+            rank + 1 == len(tree.children_of(edge.parent))
+            and edge.parent not in plans
+        ):
+            ops[-1] |= OP_FINAL
+
+    compiled = CompiledNet(
+        ops=bytes(ops),
+        args=args,
+        wire_r=wire_r,
+        wire_c=wire_c,
+        sink_node=sink_node,
+        sink_q=sink_q,
+        sink_c=sink_c,
+        plan_specs=plan_specs,
+        library=library,
+        driver=driver if driver is not None else tree.driver,
+        num_nodes=tree.num_nodes,
+        num_sinks=len(sink_node),
+        num_buffer_positions=tree.num_buffer_positions,
+    )
+    # The plans just walked are the plan table; seed the lazy cache so
+    # in-process solves never rebuild it (pickles still rebuild from
+    # the specs).
+    compiled._plans = plan_table
+    return compiled
+
+
+# ----------------------------------------------------------------------
+# Repeat-solve cache
+# ----------------------------------------------------------------------
+
+#: Latest compiled schedule per live tree.  Weak keys: caching must not
+#: keep trees alive, and a collected tree takes its schedule with it.
+_SCHEDULE_CACHE: "weakref.WeakKeyDictionary[RoutingTree, CompiledNet]" = (
+    weakref.WeakKeyDictionary()
+)
+
+_AUTO_COMPILE = True
+
+
+def auto_compile_enabled() -> bool:
+    """Whether plain-tree solves cache and reuse compiled schedules."""
+    return _AUTO_COMPILE
+
+
+def set_auto_compile(enabled: bool) -> bool:
+    """Set the auto-compile flag; returns the previous value."""
+    global _AUTO_COMPILE
+    previous = _AUTO_COMPILE
+    _AUTO_COMPILE = bool(enabled)
+    return previous
+
+
+@contextmanager
+def auto_compile(enabled: bool) -> Iterator[None]:
+    """Temporarily force the auto-compile flag (A/B timing, tests)."""
+    previous = set_auto_compile(enabled)
+    try:
+        yield
+    finally:
+        set_auto_compile(previous)
+
+
+def cached_schedule(
+    tree: RoutingTree, library: BufferLibrary
+) -> Optional[CompiledNet]:
+    """The cached schedule for ``(tree, library)``, if still valid.
+
+    A hit requires the library to hold the same buffers (the common
+    sweep case passes the very same ``BufferLibrary`` object, which
+    short-circuits the comparison) and the tree to still match the
+    compiled payloads — structure, driver and sink timing/loads
+    (:meth:`CompiledNet.matches_tree`), so in-place edits between
+    solves fall back to a fresh walk instead of stale answers.
+    """
+    compiled = _SCHEDULE_CACHE.get(tree)
+    if compiled is None or not compiled.matches_tree(tree):
+        return None
+    if (
+        compiled.library is not library
+        and compiled.library.buffers != library.buffers
+    ):
+        return None
+    return compiled
+
+
+def cache_schedule(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    validate: bool = True,
+    plans: Optional[Dict[int, BufferPlan]] = None,
+) -> CompiledNet:
+    """Compile ``tree`` and remember the schedule for repeat solves."""
+    compiled = compile_net(tree, library, validate=validate, plans=plans)
+    _SCHEDULE_CACHE[tree] = compiled
+    return compiled
+
+
+def clear_schedule_cache() -> None:
+    """Drop every cached schedule (benchmark hygiene)."""
+    _SCHEDULE_CACHE.clear()

@@ -83,6 +83,27 @@ def store_backend_names() -> Tuple[str, ...]:
     return tuple(_BACKENDS)
 
 
+#: Pseudo-backend resolved by :func:`resolve_backend` to the fastest
+#: backend the environment supports.
+AUTO_BACKEND = "auto"
+
+
+def resolve_backend(name: str) -> str:
+    """Resolve a backend name, mapping ``"auto"`` to a concrete backend.
+
+    ``"auto"`` picks ``"soa"`` when NumPy is importable and falls back
+    to ``"object"`` otherwise, so callers get the fast path by default
+    without breaking NumPy-less installs.  Concrete names (including
+    third-party registrations) pass through unchanged; unknown names
+    are rejected by :func:`get_store_backend` at lookup time.
+    """
+    if name != AUTO_BACKEND:
+        return name
+    from repro.core.stores.soa import np as _np
+
+    return "object" if _np is None else "soa"
+
+
 register_store_backend("object")(ObjectStoreFactory)
 register_store_backend("soa")(SoAStoreFactory)
 
@@ -98,4 +119,6 @@ __all__ = [
     "unregister_store_backend",
     "get_store_backend",
     "store_backend_names",
+    "AUTO_BACKEND",
+    "resolve_backend",
 ]

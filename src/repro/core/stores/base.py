@@ -80,9 +80,28 @@ class CandidateStore(ABC):
     def best_for_driver(self, resistance: float) -> Optional[BestCandidate]:
         """Min-c argmax of ``q - R c``, or ``None`` when empty."""
 
+    def release(self) -> None:
+        """Hand this store's storage back to its factory.
+
+        The DP engine calls this the moment a store is consumed (its
+        list was wired/merged/buffered into a successor store) — a
+        store is never touched after its release.  The default is a
+        no-op (garbage collection is fine for object lists); the SoA
+        backend recycles the candidate arrays into its scratch arena.
+        """
+
+    def released(self) -> bool:
+        """Whether :meth:`release` has been called (debugging aid)."""
+        return False
+
 
 class StoreFactory(ABC):
-    """Per-solve backend context; mints the leaf stores of the DP."""
+    """Per-net backend context; mints the leaf stores of the DP.
+
+    A factory may be reused across solves of the same net (the compiled
+    execution layer does exactly that to keep scratch state warm);
+    :meth:`begin_solve` runs before each solve to reset per-solve state.
+    """
 
     #: Registry name of the backend (set by ``register_store_backend``).
     backend: ClassVar[str] = ""
@@ -90,3 +109,19 @@ class StoreFactory(ABC):
     @abstractmethod
     def sink(self, node_id: int, q: float, c: float) -> CandidateStore:
         """The single base candidate of a sink node."""
+
+    def begin_solve(self) -> None:
+        """Reset per-solve state (decision arenas, scratch buffers).
+
+        Called by the engine before every solve, including the first;
+        stateless factories (the object backend) inherit this no-op.
+        """
+
+    def end_solve(self) -> None:
+        """Drop per-solve state the finished result does not reference.
+
+        Called by the engine once the result is fully materialized.
+        Factories cached for repeat solves (the compiled execution
+        layer) use this to avoid pinning the last solve's provenance
+        until the next solve; stateless factories inherit this no-op.
+        """

@@ -23,14 +23,27 @@ pruning; since decisions never influence which candidates are kept, the
 resulting decision DAG — and therefore the reconstructed assignment —
 is identical to the object backend's.
 
+**Scratch arena.**  Every persistent candidate array is carved from the
+factory's :class:`ScratchArena`: a pool of power-of-two NumPy blocks,
+grown geometrically on demand and recycled when the DP engine releases
+a consumed store (:meth:`SoAStore.release`), so after the first few
+nodes warm the pool, add-wire/merge/prune run with no per-node array
+allocation.  The arena is reset (not freed) per solve, which is what
+makes repeat solves through a reused factory — the compiled execution
+layer of :mod:`repro.core.schedule` — allocation-free at steady state.
+Stores never share arrays (ops that would alias copy the ``d`` column
+instead), so releasing a consumed store can never corrupt a live one.
+
 **Bit-identity.**  Every numeric result is produced by the same IEEE-754
-operations in the same order as the object backend (float64 throughout),
-and every tie rule matches: ``np.argmax`` returns the *first* maximizer,
-which is the object backend's "strict improvement only" scan; the stable
-insertion sort keeps old candidates ahead of new ones at equal ``c``,
-which is the object backend's ``<=`` merge.  The parity tests in
-``tests/test_soa_backend.py`` assert exact (``==``, not approx) slack
-and assignment equality on a randomized tree corpus.
+operations in the same order as the object backend (float64 throughout;
+the arena only changes *where* outputs land, via ``out=`` parameters,
+never what is computed), and every tie rule matches: ``np.argmax``
+returns the *first* maximizer, which is the object backend's "strict
+improvement only" scan; the stable insertion sort keeps old candidates
+ahead of new ones at equal ``c``, which is the object backend's ``<=``
+merge.  The parity tests in ``tests/test_soa_backend.py`` and
+``tests/test_schedule.py`` assert exact (``==``, not approx) slack and
+assignment equality on a randomized tree corpus.
 
 NumPy is an optional dependency: the module imports with ``numpy``
 absent, and :class:`SoAStoreFactory` raises a clear
@@ -39,7 +52,7 @@ absent, and :class:`SoAStoreFactory` raises a clear
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 try:  # gated: the rest of the library must work without numpy
     import numpy as np
@@ -69,6 +82,91 @@ _SCALAR_CUTOFF = 128
 #: long enough that a whole-array pass costs essentially nothing per
 #: element.
 _VECTOR_HULL_CUTOFF = 2048
+
+#: Smallest pool block: tiny lists are ubiquitous (every sink starts
+#: one), so sub-8 requests all share a size class.
+_MIN_BLOCK = 8
+
+if np is not None:
+    _EMPTY_F8 = np.empty(0, dtype=np.float64)
+    _EMPTY_IP = np.empty(0, dtype=np.intp)
+
+
+class ScratchArena:
+    """A recycling pool of power-of-two NumPy blocks for one factory.
+
+    ``f8(n)`` / ``ip(n)`` hand out length-``n`` views of float64 / intp
+    blocks whose capacities grow geometrically (powers of two, so a
+    released block satisfies every later request of its class);
+    ``recycle`` returns a view's block to the free list.  The engine's
+    release discipline guarantees a block is only recycled once its
+    store is unreachable, and blocks that are never explicitly recycled
+    (e.g. leaked by third-party code) simply fall back to garbage
+    collection — the pool forgets them at the next :meth:`reset`.
+
+    ``reset`` runs between solves: it keeps the free lists (that is the
+    whole point — repeat solves reuse the grown pool instead of
+    reallocating) and only drops the bookkeeping for blocks the previous
+    solve never returned.
+    """
+
+    __slots__ = ("_free_f8", "_free_ip", "_lent", "_iota")
+
+    def __init__(self) -> None:
+        self._free_f8: Dict[int, list] = {}
+        self._free_ip: Dict[int, list] = {}
+        self._lent: set = set()
+        self._iota = _EMPTY_IP
+
+    @staticmethod
+    def _capacity(n: int) -> int:
+        capacity = _MIN_BLOCK
+        while capacity < n:
+            capacity <<= 1
+        return capacity
+
+    def _borrow(self, pool: Dict[int, list], n: int, dtype):
+        capacity = self._capacity(n)
+        blocks = pool.get(capacity)
+        if blocks:
+            block = blocks.pop()
+        else:
+            block = np.empty(capacity, dtype=dtype)
+        self._lent.add(id(block))
+        return block[:n]
+
+    def f8(self, n: int):
+        """Borrow a float64 view of length ``n``."""
+        if n == 0:
+            return _EMPTY_F8
+        return self._borrow(self._free_f8, n, np.float64)
+
+    def ip(self, n: int):
+        """Borrow an intp view of length ``n``."""
+        if n == 0:
+            return _EMPTY_IP
+        return self._borrow(self._free_ip, n, np.intp)
+
+    def iota(self, n: int):
+        """A read-mostly ``arange(n)`` view (shared, do not recycle)."""
+        if len(self._iota) < n:
+            self._iota = np.arange(self._capacity(n), dtype=np.intp)
+        return self._iota[: n]
+
+    def recycle(self, view) -> None:
+        """Return ``view``'s block to the pool (foreign arrays ignored)."""
+        if view is None or len(view) == 0:
+            return
+        block = view.base if view.base is not None else view
+        key = id(block)
+        if key in self._lent:
+            self._lent.remove(key)
+            pool = self._free_f8 if block.dtype == np.float64 else self._free_ip
+            pool.setdefault(len(block), []).append(block)
+
+    def reset(self) -> None:
+        """Forget outstanding loans (their blocks died with the solve)."""
+        self._lent.clear()
 
 
 def _nonredundant_indices_scalar(q, c):
@@ -179,7 +277,12 @@ def _hull_indices(q, c):
 
 
 class SoAStore(CandidateStore):
-    """Candidates as parallel arrays: ``q``, ``c`` and decision index ``d``."""
+    """Candidates as parallel arrays: ``q``, ``c`` and decision index ``d``.
+
+    All three arrays are arena views owned exclusively by this store;
+    :meth:`release` recycles them, after which the store must not be
+    touched (its arrays read ``None`` so misuse fails loudly).
+    """
 
     __slots__ = ("q", "c", "d", "factory")
 
@@ -192,22 +295,64 @@ class SoAStore(CandidateStore):
     def __len__(self) -> int:
         return len(self.q)
 
+    def release(self) -> None:
+        arena = self.factory.arena
+        if self.q is not None:
+            arena.recycle(self.q)
+            arena.recycle(self.c)
+            arena.recycle(self.d)
+        self.q = self.c = self.d = None
+
+    def released(self) -> bool:
+        return self.q is None
+
     def _take(self, indices) -> "SoAStore":
-        return SoAStore(
-            self.q[indices], self.c[indices], self.d[indices], self.factory
-        )
+        arena = self.factory.arena
+        count = len(indices)
+        q = arena.f8(count)
+        c = arena.f8(count)
+        d = arena.ip(count)
+        np.take(self.q, indices, out=q)
+        np.take(self.c, indices, out=c)
+        np.take(self.d, indices, out=d)
+        return SoAStore(q, c, d, self.factory)
 
     def add_wire(self, resistance: float, capacitance: float) -> "SoAStore":
         if resistance == 0.0 and capacitance == 0.0:
             return self
+        count = len(self.q)
+        arena = self.factory.arena
         half_wire = capacitance / 2.0
-        q = self.q - resistance * (half_wire + self.c)
-        c = self.c + capacitance
-        if resistance == 0.0:
-            # q dropped by the same constant everywhere: order intact.
-            return SoAStore(q, c, self.d, self.factory)
+        # q' = q - resistance * (half_wire + c); c' = c + capacitance,
+        # staged through ``out=`` so no new arrays are created.
+        scratch = arena.f8(count)
+        np.add(self.c, half_wire, out=scratch)
+        np.multiply(scratch, resistance, out=scratch)
+        q = arena.f8(count)
+        np.subtract(self.q, scratch, out=q)
+        arena.recycle(scratch)
+        c = arena.f8(count)
+        np.add(self.c, capacitance, out=c)
+        # Pruned even at resistance == 0: the uniform c shift can round
+        # neighbouring c values into a tie (same rule as the object
+        # backend's add_wire, which this must stay bit-identical to).
         keep = _nonredundant_indices(q, c)
-        return SoAStore(q[keep], c[keep], self.d[keep], self.factory)
+        if len(keep) == count:
+            keep = None
+        if keep is None:
+            d = arena.ip(count)
+            np.copyto(d, self.d)
+            return SoAStore(q, c, d, self.factory)
+        kept = len(keep)
+        q2 = arena.f8(kept)
+        c2 = arena.f8(kept)
+        d2 = arena.ip(kept)
+        np.take(q, keep, out=q2)
+        np.take(c, keep, out=c2)
+        np.take(self.d, keep, out=d2)
+        arena.recycle(q)
+        arena.recycle(c)
+        return SoAStore(q2, c2, d2, self.factory)
 
     def merge(self, other: "CandidateStore") -> "SoAStore":
         assert isinstance(other, SoAStore)
@@ -243,14 +388,21 @@ class SoAStore(CandidateStore):
         keep = _nonredundant_indices(pair_q, pair_c)
         pair_i = pair_i[keep]
         pair_j = pair_j[keep]
-        arena = self.factory.decisions
-        base = len(arena)
-        arena.extend(
-            MergeDecision(arena[ld[i]], arena[rd[j]])
+        decisions = self.factory.decisions
+        base = len(decisions)
+        decisions.extend(
+            MergeDecision(decisions[ld[i]], decisions[rd[j]])
             for i, j in zip(pair_i, pair_j)
         )
-        d = np.arange(base, base + len(pair_i), dtype=np.intp)
-        return SoAStore(pair_q[keep], pair_c[keep], d, self.factory)
+        arena = self.factory.arena
+        kept = len(pair_i)
+        q = arena.f8(kept)
+        c = arena.f8(kept)
+        d = arena.ip(kept)
+        np.take(pair_q, keep, out=q)
+        np.take(pair_c, keep, out=c)
+        np.add(arena.iota(kept), base, out=d)
+        return SoAStore(q, c, d, self.factory)
 
     def convex_hull(self) -> "SoAStore":
         return self._take(_hull_indices(self.q, self.c))
@@ -264,28 +416,42 @@ class SoAStore(CandidateStore):
         count = int(np.searchsorted(self.c, limit, side="right"))
         if count == 0:
             return -1, float("-inf")
-        values = self.q[:count] - resistance * self.c[:count]
+        arena = self.factory.arena
+        values = arena.f8(count)
+        np.multiply(self.c[:count], resistance, out=values)
+        np.subtract(self.q[:count], values, out=values)
         index = int(np.argmax(values))
-        return index, values[index]
+        value = values[index]
+        arena.recycle(values)
+        return index, value
+
+    def _empty(self) -> "SoAStore":
+        arena = self.factory.arena
+        return SoAStore(arena.f8(0), arena.f8(0), arena.ip(0), self.factory)
 
     def _emit_betas(self, plan: BufferPlan, betas) -> "SoAStore":
         """Prune per-type betas (in cap order) and allocate their decisions."""
         ordered = [betas[i] for i in plan.cap_order if betas[i] is not None]
         if not ordered:
-            return SoAStore(
-                np.empty(0), np.empty(0), np.empty(0, dtype=np.intp), self.factory
-            )
+            return self._empty()
         q = np.array([b[0] for b in ordered], dtype=np.float64)
         c = np.array([b[1] for b in ordered], dtype=np.float64)
         keep = _nonredundant_indices(q, c)
-        arena = self.factory.decisions
-        base = len(arena)
-        arena.extend(
-            BufferDecision(plan.node_id, ordered[i][2], arena[ordered[i][3]])
+        decisions = self.factory.decisions
+        base = len(decisions)
+        decisions.extend(
+            BufferDecision(plan.node_id, ordered[i][2], decisions[ordered[i][3]])
             for i in keep.tolist()
         )
-        d = np.arange(base, base + len(keep), dtype=np.intp)
-        return SoAStore(q[keep], c[keep], d, self.factory)
+        arena = self.factory.arena
+        kept = len(keep)
+        q2 = arena.f8(kept)
+        c2 = arena.f8(kept)
+        d = arena.ip(kept)
+        np.take(q, keep, out=q2)
+        np.take(c, keep, out=c2)
+        np.add(arena.iota(kept), base, out=d)
+        return SoAStore(q2, c2, d, self.factory)
 
     def generate_scan(self, plan: BufferPlan) -> "SoAStore":
         if len(self) == 0:
@@ -309,7 +475,8 @@ class SoAStore(CandidateStore):
     ) -> "SoAStore":
         if len(self) == 0:
             return self
-        if hull is None:
+        owns_hull = hull is None
+        if owns_hull:
             hull = self.convex_hull()
         assert isinstance(hull, SoAStore)
         # The O(k + b) walk touches single elements, where Python floats
@@ -347,31 +514,68 @@ class SoAStore(CandidateStore):
                 buffer,
                 decision_index,
             )
-        return self._emit_betas(plan, betas)
+        result = self._emit_betas(plan, betas)
+        if owns_hull:
+            hull.release()
+        return result
 
     def insert(self, new: "CandidateStore") -> "SoAStore":
         assert isinstance(new, SoAStore)
         if len(new) == 0:
             return self
         if len(self) == 0:
-            return new._take(_nonredundant_indices(new.q, new.c))
-        q = np.concatenate((self.q, new.q))
-        c = np.concatenate((self.c, new.c))
-        d = np.concatenate((self.d, new.d))
+            keep = _nonredundant_indices(new.q, new.c)
+            if len(keep) == len(new):
+                return new
+            return new._take(keep)
+        arena = self.factory.arena
+        n1 = len(self.q)
+        total = n1 + len(new.q)
+        q_cat = arena.f8(total)
+        c_cat = arena.f8(total)
+        d_cat = arena.ip(total)
+        q_cat[:n1] = self.q
+        q_cat[n1:] = new.q
+        c_cat[:n1] = self.c
+        c_cat[n1:] = new.c
+        d_cat[:n1] = self.d
+        d_cat[n1:] = new.d
         # Stable sort on c == the object backend's `old.c <= new.c`
         # two-pointer merge: equal-c ties keep old candidates first.
-        order = np.argsort(c, kind="stable")
-        q = q[order]
-        c = c[order]
-        d = d[order]
+        order = np.argsort(c_cat, kind="stable")
+        q = arena.f8(total)
+        c = arena.f8(total)
+        d = arena.ip(total)
+        np.take(q_cat, order, out=q)
+        np.take(c_cat, order, out=c)
+        np.take(d_cat, order, out=d)
+        arena.recycle(q_cat)
+        arena.recycle(c_cat)
+        arena.recycle(d_cat)
         keep = _nonredundant_indices(q, c)
-        return SoAStore(q[keep], c[keep], d[keep], self.factory)
+        if len(keep) == total:
+            return SoAStore(q, c, d, self.factory)
+        kept = len(keep)
+        q2 = arena.f8(kept)
+        c2 = arena.f8(kept)
+        d2 = arena.ip(kept)
+        np.take(q, keep, out=q2)
+        np.take(c, keep, out=c2)
+        np.take(d, keep, out=d2)
+        arena.recycle(q)
+        arena.recycle(c)
+        arena.recycle(d)
+        return SoAStore(q2, c2, d2, self.factory)
 
     def best_for_driver(self, resistance: float) -> Optional[BestCandidate]:
         if len(self) == 0:
             return None
-        values = self.q - resistance * self.c
+        arena = self.factory.arena
+        values = arena.f8(len(self.q))
+        np.multiply(self.c, resistance, out=values)
+        np.subtract(self.q, values, out=values)
         index = int(np.argmax(values))
+        arena.recycle(values)
         return BestCandidate(
             q=float(self.q[index]),
             c=float(self.c[index]),
@@ -380,7 +584,16 @@ class SoAStore(CandidateStore):
 
 
 class SoAStoreFactory(StoreFactory):
-    """Per-solve context: owns the decision arena shared by all stores."""
+    """Per-net context: the decision arena plus the scratch arena.
+
+    One factory may serve many solves (the compiled execution layer
+    reuses one per net); :meth:`begin_solve` clears the decision arena
+    and resets the scratch arena without freeing its grown pool, so
+    repeat solves run with warm, recycled buffers.  Results of earlier
+    solves are unaffected: nothing a :class:`BufferingResult` holds
+    references arena storage (slack/loads are plain floats and the
+    decision DAG is plain objects).
+    """
 
     def __init__(self) -> None:
         if np is None:
@@ -389,13 +602,27 @@ class SoAStoreFactory(StoreFactory):
                 "not installed; use backend='object' instead"
             )
         self.decisions: List[Decision] = []
+        self.arena = ScratchArena()
+
+    def begin_solve(self) -> None:
+        self.decisions.clear()
+        self.arena.reset()
+
+    def end_solve(self) -> None:
+        # The BufferingResult holds Decision objects directly, never
+        # arena indices, so the index list can go; the winning chain
+        # stays alive through the result while the rest becomes
+        # garbage instead of living until the next solve.
+        self.decisions.clear()
 
     def sink(self, node_id: int, q: float, c: float) -> SoAStore:
         index = len(self.decisions)
         self.decisions.append(SinkDecision(node_id))
-        return SoAStore(
-            np.array([q], dtype=np.float64),
-            np.array([c], dtype=np.float64),
-            np.array([index], dtype=np.intp),
-            self,
-        )
+        arena = self.arena
+        qa = arena.f8(1)
+        ca = arena.f8(1)
+        da = arena.ip(1)
+        qa[0] = q
+        ca[0] = c
+        da[0] = index
+        return SoAStore(qa, ca, da, self)

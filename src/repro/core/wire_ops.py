@@ -34,7 +34,7 @@ def add_wire(
     for candidate in candidates:
         candidate.q -= resistance * (half_wire + candidate.c)
         candidate.c += capacitance
-    if resistance == 0.0:
-        # q dropped by the same constant everywhere: order intact.
-        return candidates
+    # Even at resistance == 0 (where every q survives unchanged) the
+    # uniform c shift can round two neighbouring c values into a tie,
+    # so the re-prune is unconditional to restore strictness.
     return prune_dominated(candidates)

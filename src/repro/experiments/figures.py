@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.batch import parallel_map
+from repro.core.schedule import compile_net
 from repro.experiments.runner import time_algorithm
 from repro.experiments.workloads import (
     FIG3_LIBRARY_SIZES,
@@ -98,12 +99,21 @@ def _build_series(
 
 
 def _measure_fig3_point(cell) -> Tuple[int, float, float]:
-    """One b-axis point of Figure 3; module-level so it pickles."""
-    spec, size, repeats, seed = cell
+    """One b-axis point of Figure 3; module-level so it pickles.
+
+    The net is compiled against the point's library once; both
+    algorithms (and all repeats) then re-solve the same
+    :class:`~repro.core.schedule.CompiledNet`, keeping validation and
+    plan building out of the measured region.
+    """
+    spec, size, repeats, seed, backend = cell
     tree = build_net(spec)
     library = paper_library(size, jitter=0.03, seed=seed + size)
-    lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
-    fast = time_algorithm(tree, library, "fast", repeats=repeats)
+    compiled = compile_net(tree, library)
+    lillis = time_algorithm(compiled, library, "lillis", repeats=repeats,
+                            backend=backend)
+    fast = time_algorithm(compiled, library, "fast", repeats=repeats,
+                          backend=backend)
     return (size, lillis.seconds, fast.seconds)
 
 
@@ -113,14 +123,19 @@ def run_fig3(
     repeats: int = 1,
     seed: int = 0,
     jobs: int = 1,
+    backend: str = "object",
 ) -> FigureSeries:
     """Figure 3: normalized running time versus library size ``b``.
 
     ``jobs > 1`` surveys the sweep across worker processes (points then
     contend for the machine; keep ``jobs=1`` for clean absolute times).
+    ``backend`` pins the candidate-store backend; the default is the
+    reference object backend, whose per-candidate costs are what the
+    paper's asymptotic comparison describes (the SoA backend vectorizes
+    the lillis scans away, which is interesting but a different claim).
     """
     spec = spec if spec is not None else FIGURE_NET
-    cells = [(spec, size, repeats, seed) for size in library_sizes]
+    cells = [(spec, size, repeats, seed, backend) for size in library_sizes]
     raw = parallel_map(_measure_fig3_point, cells, jobs=jobs, chunksize=1)
     return _build_series("Figure 3", "b", raw)
 
@@ -132,6 +147,7 @@ def run_fig4(
     repeats: int = 1,
     seed: int = 0,
     jobs: int = 1,
+    backend: str = "object",
 ) -> FigureSeries:
     """Figure 4: normalized running time versus buffer positions ``n``.
 
@@ -139,11 +155,12 @@ def run_fig4(
     position counts only a deep net keeps candidate lists long enough for
     the add-buffer operation to dominate, which is the regime Figure 4
     illustrates (the paper gets there with n up to 66k).  ``jobs > 1``
-    surveys the sweep across worker processes.
+    surveys the sweep across worker processes; ``backend`` defaults to
+    the reference object backend (see :func:`run_fig3`).
     """
     spec = spec if spec is not None else FIG4_NET
     cells = [
-        (spec, target, library_size, repeats, seed)
+        (spec, target, library_size, repeats, seed, backend)
         for target in position_counts
     ]
     raw = parallel_map(_measure_fig4_point, cells, jobs=jobs, chunksize=1)
@@ -151,13 +168,19 @@ def run_fig4(
 
 
 def _measure_fig4_point(cell) -> Tuple[int, float, float]:
-    """One n-axis point of Figure 4; module-level so it pickles."""
-    spec, target, library_size, repeats, seed = cell
+    """One n-axis point of Figure 4; module-level so it pickles.
+
+    Compiled once per point, like the Figure 3 cells.
+    """
+    spec, target, library_size, repeats, seed, backend = cell
     library = paper_library(library_size, jitter=0.03, seed=seed + library_size)
     tree = build_net(spec, positions_override=target)
-    lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
-    fast = time_algorithm(tree, library, "fast", repeats=repeats)
-    return (tree.num_buffer_positions, lillis.seconds, fast.seconds)
+    compiled = compile_net(tree, library)
+    lillis = time_algorithm(compiled, library, "lillis", repeats=repeats,
+                            backend=backend)
+    fast = time_algorithm(compiled, library, "fast", repeats=repeats,
+                          backend=backend)
+    return (compiled.num_buffer_positions, lillis.seconds, fast.seconds)
 
 
 def format_figure(series: FigureSeries) -> str:

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.core.api import insert_buffers
 from repro.core.batch import solve_many
+from repro.core.schedule import CompiledNet
 from repro.core.solution import BufferingResult
 from repro.library.library import BufferLibrary
 from repro.tree.routing_tree import RoutingTree
@@ -33,7 +34,7 @@ class MeasuredRun:
 
 
 def time_algorithm(
-    tree: RoutingTree,
+    tree: Union[RoutingTree, CompiledNet],
     library: BufferLibrary,
     algorithm: str,
     repeats: int = 1,
@@ -45,6 +46,10 @@ def time_algorithm(
     practice: the minimum is the least noisy estimator of the
     deterministic work under OS jitter, and both algorithms receive the
     same treatment.
+
+    Pass a :class:`~repro.core.schedule.CompiledNet` (the sweep drivers
+    do) to measure the repeat-solve path: compilation cost stays outside
+    the timed region and every repeat runs the schedule interpreter.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")

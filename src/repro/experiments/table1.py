@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.batch import parallel_map
+from repro.core.schedule import compile_net
 from repro.experiments.runner import time_algorithm
 from repro.experiments.workloads import (
     TABLE1_LIBRARY_SIZES,
@@ -64,13 +65,20 @@ def _measure_cell(cell) -> Table1Row:
     """One (net, b) cell of the grid; module-level so it pickles.
 
     Each worker process materializes the net through the ``build_net``
-    cache, so cells sharing a spec inside one worker reuse the tree.
+    cache, so cells sharing a spec inside one worker reuse the tree —
+    and the net is compiled against the cell's library exactly once
+    (:func:`~repro.core.schedule.compile_net`), so validation, buffer
+    plans and the tree flattening are shared by both algorithms and all
+    repeats.
     """
-    spec, size, repeats, seed = cell
+    spec, size, repeats, seed, backend = cell
     tree = build_net(spec)
     library = paper_library(size, jitter=0.03, seed=seed + size)
-    lillis = time_algorithm(tree, library, "lillis", repeats=repeats)
-    fast = time_algorithm(tree, library, "fast", repeats=repeats)
+    compiled = compile_net(tree, library)
+    lillis = time_algorithm(compiled, library, "lillis", repeats=repeats,
+                            backend=backend)
+    fast = time_algorithm(compiled, library, "fast", repeats=repeats,
+                          backend=backend)
     if abs(lillis.result.slack - fast.result.slack) > 1e-15:
         raise AssertionError(
             f"slack mismatch on {spec.name} b={size}: "
@@ -96,6 +104,7 @@ def run_table1(
     repeats: int = 1,
     seed: int = 0,
     jobs: int = 1,
+    backend: str = "object",
 ) -> List[Table1Row]:
     """Measure both algorithms over the Table 1 grid.
 
@@ -108,13 +117,18 @@ def run_table1(
             serially.  Parallel cells share the machine, so use this to
             *survey* a large grid quickly, not for publication-grade
             absolute times.
+        backend: Candidate-store backend for every cell.  The default is
+            the reference object backend: the paper's lillis-vs-fast
+            comparison is about per-candidate work, which the SoA
+            backend's vectorized scans deliberately sidestep.
 
     Returns:
         One :class:`Table1Row` per (net, b), in net-major order.
     """
     nets = list(nets) if nets is not None else list(TABLE1_NETS)
     cells = [
-        (spec, size, repeats, seed) for spec in nets for size in library_sizes
+        (spec, size, repeats, seed, backend)
+        for spec in nets for size in library_sizes
     ]
     return parallel_map(_measure_cell, cells, jobs=jobs, chunksize=1)
 

@@ -41,7 +41,7 @@ def assert_identical(a, b):
 def test_soa_parity_on_random_trees(algorithm, seed):
     tree = random_small_tree(seed)
     library = uniform_random_library(5, seed=seed + 1000)
-    obj = insert_buffers(tree, library, algorithm=algorithm)
+    obj = insert_buffers(tree, library, algorithm=algorithm, backend="object")
     soa = insert_buffers(tree, library, algorithm=algorithm, backend="soa")
     assert_identical(obj, soa)
     assert soa.stats.backend == "soa"
@@ -54,7 +54,8 @@ def test_soa_parity_on_line_net(destructive):
                        required_arrival=ps(900.0), driver=Driver(200.0),
                        num_segments=64)
     library = paper_library(8)
-    obj = insert_buffers(tree, library, destructive_pruning=destructive)
+    obj = insert_buffers(tree, library, destructive_pruning=destructive,
+                          backend="object")
     soa = insert_buffers(tree, library, destructive_pruning=destructive,
                          backend="soa")
     assert_identical(obj, soa)
@@ -62,7 +63,8 @@ def test_soa_parity_on_line_net(destructive):
 
 def test_soa_parity_van_ginneken(line_net):
     library = paper_library(1)
-    obj = insert_buffers(line_net, library, algorithm="van_ginneken")
+    obj = insert_buffers(line_net, library, algorithm="van_ginneken",
+                          backend="object")
     soa = insert_buffers(line_net, library, algorithm="van_ginneken",
                          backend="soa")
     assert_identical(obj, soa)
@@ -77,7 +79,7 @@ def test_soa_parity_with_load_limits(line_net):
         BufferType("capped", 800.0, fF(4.0), ps(25.0), max_load=fF(60.0)),
         BufferType("open", 1500.0, fF(2.0), ps(20.0)),
     ])
-    obj = insert_buffers(line_net, library)
+    obj = insert_buffers(line_net, library, backend="object")
     soa = insert_buffers(line_net, library, backend="soa")
     assert_identical(obj, soa)
 
@@ -90,13 +92,13 @@ def test_soa_parity_with_allowed_buffers(small_library):
     w = tree.add_internal(v, 200.0, fF(30.0))
     tree.add_sink(w, 300.0, fF(40.0), capacitance=fF(30.0),
                   required_arrival=ps(500.0))
-    obj = insert_buffers(tree, small_library)
+    obj = insert_buffers(tree, small_library, backend="object")
     soa = insert_buffers(tree, small_library, backend="soa")
     assert_identical(obj, soa)
 
 
 def test_soa_stats_match_object(line_net, paper_lib8):
-    obj = insert_buffers(line_net, paper_lib8)
+    obj = insert_buffers(line_net, paper_lib8, backend="object")
     soa = insert_buffers(line_net, paper_lib8, backend="soa")
     assert obj.stats.peak_list_length == soa.stats.peak_list_length
     assert obj.stats.candidates_generated == soa.stats.candidates_generated
