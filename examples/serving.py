@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Serving: run the HTTP layer in-process and watch the cache work.
+
+Boots a :class:`repro.service.server.BufferServer` on an ephemeral port
+(exactly what ``python -m repro serve`` runs), then drives it with the
+stdlib :class:`repro.service.client.ServiceClient`:
+
+1. ``/solve`` a 40-sink net — a cache miss, solved by the worker pool;
+2. repeat the identical request — a cache hit, no solve at all;
+3. rename every node and reverse every child list — *still* a cache
+   hit: the canonical hash (``repro.service.canon``) sees through
+   naming and ordering, and the answer comes back in the renamed net's
+   own node ids;
+4. ``/batch`` a mixed corpus and read the ``/stats`` counters.
+
+Run: ``python examples/serving.py``
+"""
+
+import asyncio
+import threading
+
+from repro import Driver, insert_buffers, paper_library, random_tree_net
+from repro.service.client import ServiceClient
+from repro.service.server import BufferServer
+from repro.tree.io import tree_from_dict, tree_to_dict
+from repro.units import ps, to_ps
+
+
+def start_server() -> BufferServer:
+    """The server on a daemon thread; ``repro serve`` does this blocking."""
+    server = BufferServer(port=0, jobs=1, cache_size=256)
+    ready = threading.Event()
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        ready.set()
+        loop.run_forever()
+
+    threading.Thread(target=run, daemon=True).start()
+    ready.wait()
+    return server
+
+
+def renamed_copy(tree):
+    """The same electrical net with every cosmetic detail changed."""
+    data = tree_to_dict(tree)
+    for index, node in enumerate(data["nodes"]):
+        node["name"] = f"client_b_node_{index}"
+    return tree_from_dict(data)
+
+
+def main() -> None:
+    server = start_server()
+    client = ServiceClient(port=server.port)
+    print(f"server: http://{server.host}:{server.port} "
+          f"(version {client.healthz()['version']})")
+
+    net = random_tree_net(40, seed=2005,
+                          required_arrival=(ps(500.0), ps(3000.0)),
+                          driver=Driver(resistance=180.0))
+    library = paper_library(8)
+
+    first = client.solve(net, library)
+    print(f"\n/solve #1: cached={first['cached']!s:<5} "
+          f"slack={to_ps(first['slack_seconds']):8.1f} ps "
+          f"buffers={first['num_buffers']}")
+
+    second = client.solve(net, library)
+    print(f"/solve #2: cached={second['cached']!s:<5} "
+          f"(bit-identical: {second['slack_seconds'] == first['slack_seconds']})")
+
+    # The server's answer equals the in-process library call, bit for bit.
+    local = insert_buffers(net, library)
+    assert first["slack_seconds"] == local.slack
+
+    twin = renamed_copy(net)
+    third = client.solve(twin, library)
+    print(f"/solve #3 (renamed net): cached={third['cached']!s:<5} "
+          f"same key={third['key'] == first['key']}")
+
+    corpus = [random_tree_net(12, seed=s, required_arrival=(ps(500.0), ps(2000.0)),
+                              driver=Driver(resistance=220.0))
+              for s in range(5)]
+    answers = client.solve_batch(corpus + [net], library)
+    print(f"\n/batch over {len(answers)} nets: "
+          f"cached flags = {[a['cached'] for a in answers]}")
+
+    stats = client.stats()
+    cache = stats["cache"]
+    print(f"\n/stats: {stats['counters']['nets_requested']} nets requested, "
+          f"{stats['counters']['nets_solved']} solved, "
+          f"{cache['hits']} cache hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.0%})")
+    print(f"pools: {stats['pools']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ from repro.core import (
     register_algorithm,
     register_store_backend,
     solve_many,
+    SolverPool,
     store_backend_names,
     verify_polarities,
 )
@@ -89,6 +90,7 @@ __all__ = [
     "register_store_backend",
     "store_backend_names",
     "solve_many",
+    "SolverPool",
     "CompiledNet",
     "compile_net",
     "insert_buffers",

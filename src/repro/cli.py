@@ -1,19 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the workflow a user needs without writing code:
+Five subcommands cover the workflow a user needs without writing code:
 
 * ``generate`` — synthesize a net and/or a buffer library to JSON;
 * ``buffer``   — run an insertion algorithm on saved net + library and
   print the report (optionally saving the assignment);
 * ``batch``    — buffer many saved nets in one run, optionally across
   worker processes (``--jobs``);
-* ``info``     — describe a saved net.
+* ``info``     — describe a saved net;
+* ``serve``    — run the HTTP serving layer (:mod:`repro.service`):
+  ``/solve``, ``/batch``, ``/healthz``, ``/stats`` with canonical-hash
+  result caching and a persistent worker pool.
 
 Algorithms and candidate-store backends are enumerated from their
 registries (:mod:`repro.core.registry`, :mod:`repro.core.stores`), so a
 plugin registered before :func:`main` runs is selectable by name.
 
-Example session::
+Example session (see ``docs/cli.md`` for full transcripts)::
 
     python -m repro generate --net net.json --sinks 50 --positions 400 \\
                              --library lib.json --library-size 16
@@ -21,6 +24,7 @@ Example session::
     python -m repro batch --nets a.json b.json c.json --library lib.json \\
                           --jobs 4
     python -m repro info --net net.json
+    python -m repro serve --port 8080 --jobs 4
 """
 
 from __future__ import annotations
@@ -98,7 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     batch = sub.add_parser(
         "batch", help="buffer many nets in one run (multi-process capable)")
-    batch.add_argument("--nets", type=Path, nargs="+", required=True,
+    batch.add_argument("--nets", type=Path, nargs="*", required=True,
                        metavar="NET", help="net JSON files to buffer")
     batch.add_argument("--library", type=Path, required=True)
     batch.add_argument("--algorithm", choices=algorithm_names(),
@@ -109,12 +113,30 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="candidate-store backend; 'auto' (default) "
                             "picks soa when NumPy is available")
     batch.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (0 = one per CPU; default 1)")
+                       help="worker processes, >= 1 (default 1; pass your "
+                            "CPU count for one worker per core)")
     batch.add_argument("--output", type=Path,
                        help="write per-net results JSON here")
 
     info = sub.add_parser("info", help="describe a saved net")
     info.add_argument("--net", type=Path, required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP serving layer (solve/batch/healthz/stats)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (default 8080; 0 = ephemeral)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes per solve pool, >= 1 "
+                            "(default 1 = solve in the server process)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="result-cache capacity in entries (default 1024)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="result-cache TTL in seconds "
+                            "(default: no expiry)")
+    serve.add_argument("--max-pools", type=int, default=4,
+                       help="distinct solve contexts kept warm (default 4)")
     return parser
 
 
@@ -174,12 +196,22 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    if args.jobs < 0:
-        print(f"batch: --jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+    if not args.nets:
+        print("batch: --nets needs at least one net file", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"batch: --jobs must be >= 1, got {args.jobs} "
+              "(pass your CPU count for one worker per core)",
+              file=sys.stderr)
+        return 2
+    missing = [str(path) for path in args.nets if not path.is_file()]
+    if missing:
+        print(f"batch: net file(s) not found: {', '.join(missing)}",
+              file=sys.stderr)
         return 2
     library = library_from_dict(json.loads(args.library.read_text()))
     trees = [load_tree(path) for path in args.nets]
-    jobs = args.jobs if args.jobs > 0 else None
+    jobs = args.jobs
     started = time.perf_counter()
     results = solve_many(trees, library, algorithm=args.algorithm,
                          jobs=jobs, backend=args.backend)
@@ -194,7 +226,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     rate = len(trees) / elapsed if elapsed > 0 else float("inf")
     print(f"\n{len(trees)} nets in {elapsed:.3f}s "
           f"({rate:.1f} nets/s, algorithm={args.algorithm}, "
-          f"backend={args.backend}, jobs={args.jobs if args.jobs > 0 else 'auto'})")
+          f"backend={args.backend}, jobs={args.jobs})")
 
     if args.output is not None:
         payload = {
@@ -226,6 +258,26 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"serve: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.cache_size < 1:
+        print(f"serve: --cache-size must be >= 1, got {args.cache_size}",
+              file=sys.stderr)
+        return 2
+    if args.cache_ttl is not None and args.cache_ttl <= 0:
+        print(f"serve: --cache-ttl must be > 0, got {args.cache_ttl}",
+              file=sys.stderr)
+        return 2
+    from repro.service.server import serve
+
+    serve(host=args.host, port=args.port, jobs=args.jobs,
+          cache_size=args.cache_size, cache_ttl=args.cache_ttl,
+          max_pools=args.max_pools)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -237,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "info":
         return _cmd_info(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

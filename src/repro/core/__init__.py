@@ -40,7 +40,7 @@ from repro.core.lillis import insert_buffers_lillis
 from repro.core.van_ginneken import insert_buffers_van_ginneken
 from repro.core.brute_force import insert_buffers_brute_force
 from repro.core.polarity import insert_buffers_with_inverters, verify_polarities
-from repro.core.batch import solve_many
+from repro.core.batch import SolverPool, solve_many
 
 __all__ = [
     "Candidate",
@@ -74,4 +74,5 @@ __all__ = [
     "insert_buffers_with_inverters",
     "verify_polarities",
     "solve_many",
+    "SolverPool",
 ]

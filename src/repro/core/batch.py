@@ -1,17 +1,26 @@
-"""Batched multi-net solving: :func:`solve_many`.
+"""Batched multi-net solving: :class:`SolverPool` and :func:`solve_many`.
 
 The paper optimizes one net at a time; a production flow buffers every
 net of a design.  This module treats many-instance throughput as a
-first-class workload: :func:`solve_many` compiles every net against the
-library **once** in the parent process
-(:func:`repro.core.schedule.compile_net` — validation, buffer plans and
-the post-order flattening happen exactly once per net) and fans the
-resulting :class:`~repro.core.schedule.CompiledNet` payloads over worker
+first-class workload: nets are compiled against the library **once** in
+the parent process (:func:`repro.core.schedule.compile_net` —
+validation, buffer plans and the post-order flattening happen exactly
+once per net) and the resulting
+:class:`~repro.core.schedule.CompiledNet` payloads fan out over worker
 processes.  A compiled net pickles as flat op-code/parasitic arrays — a
 fraction of the object tree's payload — and tasks are dispatched in
 chunks, so the pickler's memo collapses the shared library to one copy
 per chunk.  Workers run the schedule interpreter directly: no
 re-validation, no tree walk, no plan rebuilding per solve.
+
+:class:`SolverPool` is the persistent form: construct it once with the
+shared solve context (library, algorithm, backend, options — shipped to
+each worker exactly once, so the library's buffer-plan sort stays
+resident per worker) and call :meth:`SolverPool.solve` as often as
+traffic demands.  The HTTP serving layer (:mod:`repro.service.server`)
+keeps one pool per distinct solve context across requests.
+:func:`solve_many` is the one-shot convenience wrapper: it builds a
+pool, solves, and tears it down.
 
 Results come back in input order and are identical to a serial loop
 (asserted by ``tests/test_batch.py``); ``jobs=1`` *is* a serial loop,
@@ -23,6 +32,7 @@ experiment harness to parallelize Table 1 / figure sweep cells.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 from repro.core.schedule import CompiledNet, compile_net
@@ -120,6 +130,152 @@ def parallel_map(
         return pool.map(fn, items, chunksize=chunksize)
 
 
+class SolverPool:
+    """A reusable solve context with a persistent worker pool.
+
+    Where :func:`solve_many` spins workers up and down per call, a
+    ``SolverPool`` keeps them alive between calls: the library (and its
+    per-worker buffer-plan sort), the algorithm, the backend and the
+    options ship to each worker exactly once, at pool start, and every
+    later :meth:`solve` only pickles the compiled nets themselves.  That
+    is the difference between a batch job and a server: the serving
+    layer answers each request out of a pool that is already warm.
+
+    ``jobs=1`` (the default) is an inline pool: :meth:`solve` runs in
+    the calling process with no multiprocessing import at all, which is
+    also the mode the end-to-end tests use.
+
+    A pool is a context manager; :meth:`close` (or ``with``-exit)
+    terminates the workers.  A closed pool raises on further use.
+
+    Args:
+        library: The buffer library shared by every solve.
+        algorithm: Registered algorithm name.
+        jobs: Worker processes: ``1`` solves inline, ``None`` uses
+            ``os.cpu_count()``.
+        driver: Optional driver override applied to every net.
+        backend: Candidate-store backend name, or ``"auto"``.
+        **options: Algorithm-specific flags.
+
+    Raises:
+        AlgorithmError: Unknown algorithm/backend or invalid options
+            (checked here, so a bad context never reaches a worker).
+        ValueError: ``jobs < 1``.
+    """
+
+    def __init__(
+        self,
+        library: BufferLibrary,
+        algorithm: str = "fast",
+        jobs: Optional[int] = 1,
+        driver: Optional[Driver] = None,
+        backend: str = "auto",
+        **options,
+    ) -> None:
+        from repro.core.registry import get_algorithm
+        from repro.core.stores import get_store_backend, resolve_backend
+
+        get_algorithm(algorithm).validate_options(options)
+        backend = resolve_backend(backend)
+        get_store_backend(backend)
+
+        self.library = library
+        self.algorithm = algorithm
+        self.jobs = _resolve_jobs(jobs)
+        self.driver = driver
+        self.backend = backend
+        self.options = dict(options)
+        self._pool = None  # created lazily on the first multi-process solve
+        self._closed = False
+        # Guards the inline path: concurrent callers (server handler
+        # threads) may pass the *same* CompiledNet, whose factory scratch
+        # arenas are not thread-safe.  The multi-process path only needs
+        # the creation lock below — workers get private unpickled copies
+        # and Pool.map is safe to call from multiple threads.
+        self._serial_lock = threading.Lock()
+        # Guards lazy pool creation: without it, two threads' first
+        # solves would each spawn a worker pool and leak one.
+        self._create_lock = threading.Lock()
+
+    def compile(
+        self, net: Union[RoutingTree, CompiledNet]
+    ) -> CompiledNet:
+        """Compile ``net`` against this pool's library (idempotent)."""
+        if isinstance(net, CompiledNet):
+            return net
+        return compile_net(net, self.library)
+
+    def solve(
+        self,
+        nets: Sequence[Union[RoutingTree, CompiledNet]],
+        chunksize: Optional[int] = None,
+    ) -> List[BufferingResult]:
+        """Buffer every net in ``nets``; results in input order.
+
+        Plain trees are compiled here (validation once per net); pass
+        :class:`CompiledNet` payloads to skip even that.  Unlike
+        :func:`solve_many`, a multi-process pool dispatches even a
+        single net to a worker — the worker already holds the solve
+        context, which is the point of keeping the pool warm.
+        """
+        if self._closed:
+            raise RuntimeError("SolverPool is closed")
+        compiled = [self.compile(net) for net in nets]
+        if self.jobs == 1 or not compiled:
+            from repro.core.api import insert_buffers
+
+            with self._serial_lock:
+                return [
+                    insert_buffers(
+                        net, self.library, algorithm=self.algorithm,
+                        driver=self.driver, backend=self.backend,
+                        **self.options,
+                    )
+                    for net in compiled
+                ]
+        if chunksize is None:
+            chunksize = max(1, len(compiled) // (self.jobs * 4))
+        return self._ensure_pool().map(
+            _solve_one, compiled, chunksize=chunksize
+        )
+
+    def _ensure_pool(self):
+        with self._create_lock:
+            if self._pool is None:
+                import multiprocessing
+
+                self._pool = multiprocessing.Pool(
+                    processes=self.jobs,
+                    initializer=_init_worker,
+                    initargs=(self.library, self.algorithm, self.driver,
+                              self.backend, self.options),
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Terminate the workers; the pool cannot be used afterwards."""
+        self._closed = True
+        with self._create_lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+
+    def __enter__(self) -> "SolverPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"SolverPool(algorithm={self.algorithm!r}, "
+            f"backend={self.backend!r}, jobs={self.jobs}, b="
+            f"{self.library.size}, {state})"
+        )
+
+
 def solve_many(
     trees: Sequence[Union[RoutingTree, CompiledNet]],
     library: BufferLibrary,
@@ -132,6 +288,10 @@ def solve_many(
     **options,
 ) -> List[BufferingResult]:
     """Buffer every net in ``trees``, optionally across processes.
+
+    One-shot form of :class:`SolverPool`: worker processes (when any)
+    live for this call only.  Callers that solve repeatedly against the
+    same context should hold a ``SolverPool`` instead.
 
     Args:
         trees: The routing trees to solve (each uses its own
@@ -190,13 +350,9 @@ def solve_many(
             for net in nets
         ]
 
-    # jobs > 1 and len(nets) > 1 here, so parallel_map always takes its
-    # multi-process path and the initializer is guaranteed to run.
-    return parallel_map(
-        _solve_one,
-        nets,
-        jobs=jobs,
-        chunksize=chunksize,
-        initializer=_init_worker,
-        initargs=(library, algorithm, driver, backend, options),
-    )
+    # jobs > 1 and len(nets) > 1: a one-shot pool, torn down on return.
+    with SolverPool(
+        library, algorithm=algorithm, jobs=jobs, driver=driver,
+        backend=backend, **options,
+    ) as pool:
+        return pool.solve(nets, chunksize=chunksize)

@@ -14,8 +14,10 @@ the winning candidate's decision DAG is expanded into an explicit
 :class:`~repro.core.solution.BufferingResult`.
 
 The *representation* of the candidate lists is pluggable too
-(:mod:`repro.core.stores`): with the default ``backend="object"`` the
-engine operates on bare ``CandidateList`` objects exactly as the seed
+(:mod:`repro.core.stores`): with ``backend="object"`` (this engine-level
+function's default — the public :func:`~repro.core.api.insert_buffers`
+defaults to ``"auto"``, which prefers ``"soa"`` when NumPy is available)
+the engine operates on bare ``CandidateList`` objects exactly as the seed
 code did — including the legacy list-level ``add_buffer`` /
 ``add_wire`` / ``merge`` callables used by the instrumentation modules —
 while any other backend runs through the :class:`CandidateStore`

@@ -200,6 +200,20 @@ class CompiledNet:
             self._factories[backend] = factory
         return factory
 
+    def payload_nbytes(self) -> int:
+        """Approximate resident/wire footprint of the compiled payloads.
+
+        Counts the instruction stream and the parasitic/sink arrays —
+        the parts that scale with net size and survive pickling.  The
+        library, plan specs and per-process caches are excluded (the
+        library is shared across nets; caches never ship).  The serving
+        layer's ``/stats`` endpoint sums this over its compiled-net
+        cache to report resident bytes.
+        """
+        arrays = (self.args, self.wire_r, self.wire_c,
+                  self.sink_node, self.sink_q, self.sink_c)
+        return len(self.ops) + sum(a.itemsize * len(a) for a in arrays)
+
     def matches_tree(self, tree: RoutingTree) -> bool:
         """Whether ``tree`` still looks like the tree compiled here.
 

@@ -40,6 +40,10 @@ class AlgorithmError(ReproError):
     """A buffer-insertion algorithm was invoked with invalid arguments."""
 
 
+class ServiceError(ReproError):
+    """A serving-layer request failed (transport error or non-200)."""
+
+
 class InfeasibleError(AlgorithmError):
     """The instance admits no solution candidate at all.
 

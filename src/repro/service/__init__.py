@@ -1,0 +1,49 @@
+"""Serving layer: canonical request hashing, result caching, HTTP server.
+
+The solver core (:mod:`repro.core`) is a stateless compute kernel: every
+call to :func:`~repro.core.api.insert_buffers` pays the full solve cost,
+even for a net it has seen a thousand times.  This package adds the
+stateful front end a traffic-serving deployment needs:
+
+* :mod:`repro.service.canon` — canonical serialization and a stable
+  content hash of ``(net, library, algorithm, backend, options)``, so
+  structurally identical requests hit the same cache entry regardless of
+  node naming, node numbering or child ordering;
+* :mod:`repro.service.cache` — a thread-safe LRU + TTL result cache with
+  hit/miss/eviction counters, storing compact solution payloads keyed by
+  canonical hash;
+* :mod:`repro.service.server` — an asyncio HTTP JSON server
+  (``repro serve``) with ``/solve``, ``/batch``, ``/healthz`` and
+  ``/stats`` endpoints that shards cache-miss work across a persistent
+  :class:`~repro.core.batch.SolverPool`;
+* :mod:`repro.service.client` — a small stdlib client used by the tests
+  and ``examples/serving.py``.
+
+Everything here is standard library only (the compute kernel underneath
+may still use NumPy through the ``soa`` backend).
+"""
+
+from repro.service.cache import CacheStats, ResultCache, SolutionPayload
+from repro.service.canon import (
+    CanonicalNet,
+    canonicalize,
+    library_key,
+    options_key,
+    request_key,
+)
+from repro.service.client import ServiceClient
+from repro.service.server import BufferServer, serve
+
+__all__ = [
+    "CanonicalNet",
+    "canonicalize",
+    "library_key",
+    "options_key",
+    "request_key",
+    "CacheStats",
+    "ResultCache",
+    "SolutionPayload",
+    "ServiceClient",
+    "BufferServer",
+    "serve",
+]

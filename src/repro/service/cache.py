@@ -1,0 +1,281 @@
+"""Thread-safe LRU + TTL result cache and compact solution payloads.
+
+The serving layer's cache maps a canonical request hash
+(:func:`repro.service.canon.request_key`) to a
+:class:`SolutionPayload` — a flat, pickle-friendly record in the same
+spirit as :class:`~repro.core.schedule.CompiledNet`'s wire encoding: no
+tree objects, no :class:`~repro.library.buffer_type.BufferType`
+instances, just scalars, names and canonical node indices.  A payload is
+therefore small to keep resident in memory, cheap to copy, and — because
+its assignment is expressed in *canonical indices*, not node ids — valid
+for every tree in the request's structural equivalence class, not only
+the instance that was solved.
+
+:class:`ResultCache` is deliberately generic (any hashable key, any
+value): the server uses a second instance to keep hot
+:class:`~repro.core.schedule.CompiledNet` payloads resident so repeat
+structures skip recompilation too.
+
+Eviction is twofold and separately counted:
+
+* **LRU** — ``maxsize`` caps the entry count; inserting into a full
+  cache evicts the least recently *used* entry (``stats().evictions``);
+* **TTL** — entries older than ``ttl`` seconds are dropped on access or
+  insert (``stats().expirations``); ``ttl=None`` disables expiry.
+
+All operations hold one internal lock, so the counters are exact even
+under concurrent access (asserted by ``tests/test_cache.py`` with a
+thread pool hammering a tiny cache).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.core.solution import BufferingResult, DPStats
+from repro.library.library import BufferLibrary
+from repro.service.canon import CanonicalNet
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of one cache's counters.
+
+    Attributes:
+        hits: ``get`` calls that returned a live entry.
+        misses: ``get`` calls that found nothing (or only an expired
+            entry).
+        evictions: Entries dropped by the LRU size bound.
+        expirations: Entries dropped because their TTL ran out.
+        size: Current number of live entries.
+        maxsize: The LRU capacity.
+        ttl: The time-to-live in seconds, or ``None`` for no expiry.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    size: int
+    maxsize: int
+    ttl: Optional[float]
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 when nothing was looked up yet."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the ``/stats`` endpoint's ``cache`` block)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "ttl_seconds": self.ttl,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """A thread-safe LRU + TTL mapping with exact hit/miss counters.
+
+    Args:
+        maxsize: Maximum number of entries; inserting beyond it evicts
+            the least recently used entry.  Must be >= 1.
+        ttl: Seconds an entry stays servable, or ``None`` (default) to
+            keep entries until evicted.
+        clock: Monotonic time source; injectable so the TTL tests don't
+            sleep.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"cache ttl must be > 0 or None, got {ttl}")
+        self._maxsize = maxsize
+        self._ttl = ttl
+        self._clock = clock
+        self._lock = Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[float, object]]" = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The live value under ``key``, or ``None`` (counted either way)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry[0]):
+                del self._entries[key]
+                self._expirations += 1
+                entry = None
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[1]
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) ``key``, evicting LRU/expired entries."""
+        with self._lock:
+            now = self._clock()
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = (now, value)
+            self._purge_expired(now)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def _expired(self, stamp: float) -> bool:
+        return self._ttl is not None and self._clock() - stamp > self._ttl
+
+    def _purge_expired(self, now: float) -> None:
+        if self._ttl is None:
+            return
+        # Entries are stamped at insert and ordered by recency of *use*,
+        # so expired ones can sit anywhere: scan, don't pop-from-front.
+        dead = [
+            key
+            for key, (stamp, _) in self._entries.items()
+            if now - stamp > self._ttl
+        ]
+        for key in dead:
+            del self._entries[key]
+            self._expirations += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their totals)."""
+        with self._lock:
+            self._entries.clear()
+
+    def values(self) -> Tuple[object, ...]:
+        """A snapshot of the live values, LRU-first (non-counting)."""
+        with self._lock:
+            return tuple(
+                value
+                for stamp, value in self._entries.values()
+                if not self._expired(stamp)
+            )
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+                ttl=self._ttl,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-counting, non-LRU-touching membership probe (tests)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and not self._expired(entry[0])
+
+
+@dataclass(frozen=True)
+class SolutionPayload:
+    """One cached solution, in canonical coordinates.
+
+    Attributes:
+        slack: Optimal slack at the driver output, seconds.
+        driver_load: Load the winning candidate presents, farads.
+        assignment: ``(canonical node index, buffer name)`` pairs —
+            node-id-free, so the payload serves any structurally
+            identical tree (see :mod:`repro.service.canon`).
+        algorithm / backend: How the original solve ran.
+        num_buffer_positions / library_size / root_candidates /
+        peak_list_length / candidates_generated / runtime_seconds:
+            The original solve's :class:`~repro.core.solution.DPStats`.
+    """
+
+    slack: float
+    driver_load: float
+    assignment: Tuple[Tuple[int, str], ...]
+    algorithm: str
+    backend: str
+    num_buffer_positions: int
+    library_size: int
+    root_candidates: int
+    peak_list_length: int
+    candidates_generated: int
+    runtime_seconds: float
+
+    @classmethod
+    def encode(
+        cls, result: BufferingResult, canon: CanonicalNet
+    ) -> "SolutionPayload":
+        """Compress ``result`` using the canon of the tree it solves."""
+        return cls(
+            slack=result.slack,
+            driver_load=result.driver_load,
+            assignment=tuple(
+                sorted(
+                    (canon.index_of_node[node_id], buffer.name)
+                    for node_id, buffer in result.assignment.items()
+                )
+            ),
+            algorithm=result.stats.algorithm,
+            backend=result.stats.backend,
+            num_buffer_positions=result.stats.num_buffer_positions,
+            library_size=result.stats.library_size,
+            root_candidates=result.stats.root_candidates,
+            peak_list_length=result.stats.peak_list_length,
+            candidates_generated=result.stats.candidates_generated,
+            runtime_seconds=result.stats.runtime_seconds,
+        )
+
+    def materialize(
+        self, canon: CanonicalNet, library: BufferLibrary
+    ) -> BufferingResult:
+        """Rebuild a full :class:`BufferingResult` for ``canon``'s tree.
+
+        ``canon`` may belong to a *different* tree than the one encoded
+        from, as long as both share the same canonical key: the indices
+        translate the assignment onto that tree's node ids.
+        """
+        return BufferingResult(
+            slack=self.slack,
+            assignment={
+                canon.node_of_index[index]: library.get(name)
+                for index, name in self.assignment
+            },
+            driver_load=self.driver_load,
+            stats=DPStats(
+                algorithm=self.algorithm,
+                num_buffer_positions=self.num_buffer_positions,
+                library_size=self.library_size,
+                root_candidates=self.root_candidates,
+                peak_list_length=self.peak_list_length,
+                candidates_generated=self.candidates_generated,
+                runtime_seconds=self.runtime_seconds,
+                backend=self.backend,
+            ),
+        )

@@ -1,0 +1,144 @@
+"""A small stdlib HTTP client for the ``repro serve`` endpoints.
+
+:class:`ServiceClient` wraps :mod:`http.client` — one connection per
+request, matching the server's ``Connection: close`` discipline — and
+speaks the same JSON bodies the server parses.  It is what the
+end-to-end tests and ``examples/serving.py`` use; any HTTP client works
+just as well (the payloads are plain ``tree_to_dict`` /
+``library_to_dict`` JSON).
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(port=8080)
+    answer = client.solve(tree, library, algorithm="fast")
+    print(answer["slack_seconds"], answer["cached"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ServiceError
+from repro.library.library import BufferLibrary
+from repro.tree.io import library_to_dict, tree_to_dict
+from repro.tree.routing_tree import RoutingTree
+
+_TreeSpec = Union[RoutingTree, Dict[str, Any]]
+_LibrarySpec = Union[BufferLibrary, Dict[str, Any]]
+
+
+def _net_spec(tree: _TreeSpec) -> Dict[str, Any]:
+    return tree_to_dict(tree) if isinstance(tree, RoutingTree) else tree
+
+
+def _library_spec(library: _LibrarySpec) -> Dict[str, Any]:
+    if isinstance(library, BufferLibrary):
+        return library_to_dict(library)
+    return library
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.BufferServer`.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        timeout: Socket timeout in seconds per request.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {} if payload is None else {
+                "Content-Type": "application/json"
+            }
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach repro server at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            answer = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"{method} {path}: server returned non-JSON "
+                f"({response.status}): {text[:200]!r}"
+            ) from exc
+        if response.status != 200:
+            detail = answer.get("error", text) if isinstance(answer, dict) else text
+            raise ServiceError(
+                f"{method} {path} failed ({response.status}): {detail}"
+            )
+        return answer
+
+    def solve(
+        self,
+        tree: _TreeSpec,
+        library: _LibrarySpec,
+        algorithm: str = "fast",
+        backend: str = "auto",
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """``POST /solve`` one net; returns the answer object.
+
+        The answer carries ``slack_seconds``, ``assignment`` (node id →
+        buffer name, in *this* tree's ids), ``cached``, ``key`` and the
+        original solve's ``stats``.
+
+        Raises:
+            ServiceError: Transport failure or any non-200 response
+                (the server's ``error`` detail is included).
+        """
+        return self._request("POST", "/solve", {
+            "net": _net_spec(tree),
+            "library": _library_spec(library),
+            "algorithm": algorithm,
+            "backend": backend,
+            "options": options or {},
+        })
+
+    def solve_batch(
+        self,
+        trees: Sequence[_TreeSpec],
+        library: _LibrarySpec,
+        algorithm: str = "fast",
+        backend: str = "auto",
+        options: Optional[Dict[str, Any]] = None,
+    ) -> List[Dict[str, Any]]:
+        """``POST /batch`` many nets sharing one library; answers in order."""
+        answer = self._request("POST", "/batch", {
+            "nets": [_net_spec(tree) for tree in trees],
+            "library": _library_spec(library),
+            "algorithm": algorithm,
+            "backend": backend,
+            "options": options or {},
+        })
+        return answer["results"]
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``: liveness, version, uptime, worker count."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats``: request/cache counters and pool inventory."""
+        return self._request("GET", "/stats")

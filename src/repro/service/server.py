@@ -1,0 +1,592 @@
+"""Asyncio HTTP JSON server: the ``repro serve`` front end.
+
+A deliberately small HTTP/1.1 implementation over
+:func:`asyncio.start_server` — standard library only, one connection per
+request (``Connection: close``), JSON in and out.  Four endpoints:
+
+=============  ======  ====================================================
+path           method  purpose
+=============  ======  ====================================================
+``/solve``     POST    buffer one net; cached when an equivalent request
+                       was answered before
+``/batch``     POST    buffer many nets sharing one library in one round
+                       trip; misses are sharded across the worker pool
+``/healthz``   GET     liveness probe: version, uptime, worker count
+``/stats``     GET     request counters, cache counters, pool inventory
+=============  ======  ====================================================
+
+Request flow for ``/solve`` (``/batch`` is the same per net):
+
+1. parse the net and library from the JSON body
+   (:func:`repro.tree.io.tree_from_dict` — validation happens here,
+   once per net, never again downstream);
+2. canonicalize (:func:`repro.service.canon.canonicalize`) and derive
+   the request key;
+3. cache hit → translate the stored
+   :class:`~repro.service.cache.SolutionPayload` onto *this* request's
+   node ids via the canonical index mapping and answer — no compile, no
+   solve, no worker dispatch;
+4. cache miss → fetch (or compile and remember) the
+   :class:`~repro.core.schedule.CompiledNet` for this structure, solve
+   it on the persistent :class:`~repro.core.batch.SolverPool` for this
+   (library, algorithm, backend, options) context, store the payload,
+   answer.
+
+Solves run in the event loop's default thread-pool executor so the loop
+keeps accepting requests while the kernel works; with ``jobs > 1`` the
+pool additionally fans a batch's misses across worker processes, each of
+which holds the library plan resident (see
+:class:`~repro.core.batch.SolverPool`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.batch import SolverPool
+from repro.core.registry import get_algorithm
+from repro.core.schedule import CompiledNet, compile_net
+from repro.core.stores import resolve_backend
+from repro.errors import ReproError
+from repro.library.library import BufferLibrary
+from repro.service.cache import ResultCache, SolutionPayload
+from repro.service.canon import (
+    CanonicalNet,
+    canonicalize,
+    driver_key,
+    library_key,
+    options_key,
+    request_key,
+)
+from repro.tree.io import library_from_dict, tree_from_dict
+
+_JSON_HEADERS = "Content-Type: application/json\r\nConnection: close\r\n"
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    """Client-side error; rendered as a 400 with an ``error`` field."""
+
+
+class BufferServer:
+    """The serving state machine behind ``repro serve``.
+
+    Owns the result cache, the compiled-net cache and the pool registry;
+    :meth:`start` binds the listening socket (``port=0`` picks an
+    ephemeral port — the tests' mode), :meth:`serve_forever` blocks.
+
+    Args:
+        host: Interface to bind.
+        port: TCP port; ``0`` lets the kernel choose (see ``self.port``
+            after :meth:`start`).
+        jobs: Workers per :class:`~repro.core.batch.SolverPool`; ``1``
+            solves inline in the serving process.
+        cache_size: Result-cache capacity (entries).
+        cache_ttl: Result-cache time-to-live in seconds; ``None`` keeps
+            entries until evicted.
+        max_pools: Distinct (library, algorithm, backend, options)
+            contexts to keep warm; the least recently used pool beyond
+            this is closed.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: Optional[int] = 1,
+        cache_size: int = 1024,
+        cache_ttl: Optional[float] = None,
+        max_pools: int = 4,
+    ) -> None:
+        if max_pools < 1:
+            raise ValueError(f"max_pools must be >= 1, got {max_pools}")
+        if jobs is None:
+            import os
+
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1 (or None), got {jobs}")
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self.results = ResultCache(maxsize=cache_size, ttl=cache_ttl)
+        self.compiled = ResultCache(maxsize=max(cache_size // 4, 16))
+        self._pools: "OrderedDict[Tuple, _PoolEntry]" = OrderedDict()
+        self._max_pools = max_pools
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.monotonic()
+        self.counters: Dict[str, int] = {
+            "requests_total": 0,
+            "solve_requests": 0,
+            "batch_requests": 0,
+            "nets_requested": 0,
+            "nets_solved": 0,
+            "worker_dispatches": 0,
+            "errors": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket; returns the actual ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        self._started = time.monotonic()
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for entry in self._pools.values():
+            entry.pool.close()
+        self._pools.clear()
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            method, path, body = await self._read_request(reader)
+            self.counters["requests_total"] += 1
+            status, payload = await self._dispatch(method, path, body)
+        except _BadRequest as exc:
+            self.counters["errors"] += 1
+            status, payload = 400, {"error": str(exc)}
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception as exc:  # never leak a traceback to the socket
+            self.counters["errors"] += 1
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        body_bytes = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n{_JSON_HEADERS}"
+            f"Content-Length: {len(body_bytes)}\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("latin-1") + body_bytes)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line: {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value)
+                except ValueError:
+                    raise _BadRequest(
+                        f"bad Content-Length: {value.strip()!r}"
+                    ) from None
+        if length > _MAX_BODY_BYTES:
+            raise _BadRequest(f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method, path, body
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        path = path.split("?", 1)[0]
+        routes = {
+            "/solve": ("POST", self._handle_solve),
+            "/batch": ("POST", self._handle_batch),
+            "/healthz": ("GET", self._handle_healthz),
+            "/stats": ("GET", self._handle_stats),
+        }
+        route = routes.get(path)
+        if route is None:
+            return 404, {"error": f"unknown path {path!r}",
+                         "paths": sorted(routes)}
+        expected_method, handler = route
+        if method != expected_method:
+            return 405, {"error": f"{path} requires {expected_method}"}
+        return await handler(body)
+
+    # -- endpoints -----------------------------------------------------
+
+    async def _handle_healthz(self, body: bytes) -> Tuple[int, Dict]:
+        import repro
+
+        return 200, {
+            "status": "ok",
+            "version": repro.__version__,
+            "uptime_seconds": time.monotonic() - self._started,
+            "jobs": self.jobs,
+        }
+
+    async def _handle_stats(self, body: bytes) -> Tuple[int, Dict]:
+        compiled_bytes = sum(
+            net.payload_nbytes() for net, _ in self.compiled.values()
+        )
+        return 200, {
+            "uptime_seconds": time.monotonic() - self._started,
+            "counters": dict(self.counters),
+            "cache": self.results.stats().as_dict(),
+            "compiled_cache": dict(
+                self.compiled.stats().as_dict(),
+                payload_bytes=compiled_bytes,
+            ),
+            "pools": [
+                {
+                    "algorithm": entry.pool.algorithm,
+                    "backend": entry.pool.backend,
+                    "jobs": entry.pool.jobs,
+                    "library_size": entry.pool.library.size,
+                    "in_flight": entry.in_flight,
+                }
+                for entry in self._pools.values()
+            ],
+        }
+
+    async def _handle_solve(self, body: bytes) -> Tuple[int, Dict]:
+        spec = _parse_body(body)
+        net_spec = _require(spec, "net", dict)
+        request = _SolveContext.from_spec(spec)
+        self.counters["solve_requests"] += 1
+        self.counters["nets_requested"] += 1
+        answers = await self._answer(request, [net_spec])
+        return 200, answers[0]
+
+    async def _handle_batch(self, body: bytes) -> Tuple[int, Dict]:
+        spec = _parse_body(body)
+        net_specs = _require(spec, "nets", list)
+        if not net_specs:
+            raise _BadRequest("'nets' must contain at least one net")
+        request = _SolveContext.from_spec(spec)
+        self.counters["batch_requests"] += 1
+        self.counters["nets_requested"] += len(net_specs)
+        answers = await self._answer(request, net_specs)
+        return 200, {"results": answers}
+
+    # -- the serving core ----------------------------------------------
+
+    async def _answer(
+        self, request: "_SolveContext", net_specs: List[Any]
+    ) -> List[Dict[str, Any]]:
+        """Answer every net of one request: cache hits + sharded misses."""
+        records: List[_NetRecord] = []
+        misses: List[_NetRecord] = []
+        for index, net_spec in enumerate(net_specs):
+            if not isinstance(net_spec, dict):
+                raise _BadRequest(
+                    f"nets[{index}] must be a net object, "
+                    f"got {type(net_spec).__name__}"
+                )
+            try:
+                # tree_from_dict re-assigns node ids; keep the map so
+                # answers speak the ids the request was written in.
+                tree, id_map = tree_from_dict(net_spec, with_id_map=True)
+            except ReproError as exc:
+                raise _BadRequest(f"invalid net at index {index}: {exc}") from exc
+            canon = canonicalize(tree)
+            record = _NetRecord(
+                key=request_key(
+                    canon, request.library, algorithm=request.algorithm,
+                    backend=request.backend, options=request.options,
+                    driver=tree.driver,
+                ),
+                canon=canon,
+                serialized_id={new: old for old, new in id_map.items()},
+            )
+            records.append(record)
+            record.payload = self.results.get(record.key)
+            record.cached = record.payload is not None
+            if record.payload is None:
+                misses.append(record)
+                # The compiled-net cache bridges trees: a hit hands back
+                # the structure compiled from some earlier equivalent
+                # tree together with *that* tree's canon, which is what
+                # the solved assignment must be encoded against.  The
+                # driver is part of the key: a CompiledNet embeds the
+                # driver recorded at compile time and the pool solves
+                # with driver=None (falling back to it), so reusing a
+                # compiled net across drivers would solve with the
+                # wrong one.
+                compiled_key = (
+                    canon.key, request.library_key, driver_key(tree.driver)
+                )
+                entry = self.compiled.get(compiled_key)
+                if entry is None:
+                    try:
+                        # tree_from_dict already validated; skip re-validation.
+                        entry = (
+                            compile_net(tree, request.library, validate=False),
+                            canon,
+                        )
+                    except ReproError as exc:
+                        raise _BadRequest(
+                            f"cannot compile net at index {index}: {exc}"
+                        ) from exc
+                    self.compiled.put(compiled_key, entry)
+                record.compiled, record.base_canon = entry
+
+        if misses:
+            entry = self._pool_for(request)
+            # Within one batch, identical nets are solved once: dedupe
+            # by request key, keeping the (compiled, canon) pair of the
+            # first occurrence so result node ids and canon agree.
+            unique: "OrderedDict[str, Tuple[CompiledNet, CanonicalNet]]" = (
+                OrderedDict()
+            )
+            for record in misses:
+                unique.setdefault(
+                    record.key, (record.compiled, record.base_canon)
+                )
+            to_solve = [net for net, _ in unique.values()]
+            self.counters["worker_dispatches"] += 1
+            self.counters["nets_solved"] += len(to_solve)
+            loop = asyncio.get_running_loop()
+            # in_flight bookkeeping happens on the event loop thread
+            # (before and after the await), so LRU eviction never
+            # terminates a pool another request is still solving on.
+            entry.in_flight += 1
+            try:
+                results = await loop.run_in_executor(
+                    None, lambda: entry.pool.solve(to_solve)
+                )
+            except ReproError as exc:
+                raise _BadRequest(str(exc)) from exc
+            finally:
+                entry.in_flight -= 1
+                if entry.evicted and entry.in_flight == 0:
+                    entry.pool.close()
+            payload_by_key: Dict[str, SolutionPayload] = {}
+            for (key, (_, base_canon)), result in zip(unique.items(), results):
+                payload = SolutionPayload.encode(result, base_canon)
+                payload_by_key[key] = payload
+                self.results.put(key, payload)
+            for record in misses:
+                record.payload = payload_by_key[record.key]
+
+        return [record.render(request.library) for record in records]
+
+    def _pool_for(self, request: "_SolveContext") -> "_PoolEntry":
+        """The warm pool for this solve context (LRU over contexts).
+
+        Evicting a pool that still has solves in flight only *marks* it;
+        the last finishing solve closes it (see ``_answer``).
+        """
+        context_key = (
+            request.library_key,
+            request.algorithm,
+            request.backend,
+            options_key(request.options),
+        )
+        entry = self._pools.get(context_key)
+        if entry is None:
+            entry = _PoolEntry(SolverPool(
+                request.library,
+                algorithm=request.algorithm,
+                jobs=self.jobs,
+                backend=request.backend,
+                **request.options,
+            ))
+            self._pools[context_key] = entry
+        self._pools.move_to_end(context_key)
+        while len(self._pools) > self._max_pools:
+            _, evicted = self._pools.popitem(last=False)
+            evicted.evicted = True
+            if evicted.in_flight == 0:
+                evicted.pool.close()
+        return entry
+
+
+class _PoolEntry:
+    """A registered pool plus the bookkeeping safe eviction needs.
+
+    ``in_flight`` and ``evicted`` are only touched from the event-loop
+    thread, never from executor threads, so they need no lock.
+    """
+
+    __slots__ = ("pool", "in_flight", "evicted")
+
+    def __init__(self, pool: SolverPool) -> None:
+        self.pool = pool
+        self.in_flight = 0
+        self.evicted = False
+
+
+class _NetRecord:
+    """Per-net serving state: key, canon, id translation, payload."""
+
+    __slots__ = ("key", "canon", "serialized_id", "compiled", "base_canon",
+                 "payload", "cached")
+
+    def __init__(
+        self,
+        key: str,
+        canon: CanonicalNet,
+        serialized_id: Dict[int, Any],
+    ) -> None:
+        self.key = key
+        self.canon = canon
+        self.serialized_id = serialized_id
+        self.compiled: Optional[CompiledNet] = None
+        self.base_canon: Optional[CanonicalNet] = None
+        self.payload: Optional[SolutionPayload] = None
+        self.cached = False
+
+    def render(self, library: BufferLibrary) -> Dict[str, Any]:
+        """The JSON answer for this net, in the request's node ids."""
+        payload = self.payload
+        assert payload is not None
+        result = payload.materialize(self.canon, library)
+        return {
+            "key": self.key,
+            "cached": self.cached,
+            "slack_seconds": result.slack,
+            "driver_load_farads": result.driver_load,
+            "num_buffers": result.num_buffers,
+            "assignment": {
+                str(self.serialized_id[node_id]): buffer.name
+                for node_id, buffer in sorted(result.assignment.items())
+            },
+            "algorithm": payload.algorithm,
+            "backend": payload.backend,
+            "stats": {
+                "root_candidates": payload.root_candidates,
+                "peak_list_length": payload.peak_list_length,
+                "candidates_generated": payload.candidates_generated,
+                "solve_runtime_seconds": payload.runtime_seconds,
+                "num_buffer_positions": payload.num_buffer_positions,
+                "library_size": payload.library_size,
+            },
+        }
+
+
+class _SolveContext:
+    """The per-request solve parameters, parsed and validated once."""
+
+    def __init__(
+        self,
+        library: BufferLibrary,
+        algorithm: str,
+        backend: str,
+        options: Dict[str, Any],
+    ) -> None:
+        self.library = library
+        self.algorithm = algorithm
+        self.backend = backend
+        self.options = options
+        self.library_key = library_key(library)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "_SolveContext":
+        library_spec = _require(spec, "library", dict)
+        try:
+            library = library_from_dict(library_spec)
+        except ReproError as exc:
+            raise _BadRequest(f"invalid library: {exc}") from exc
+        algorithm = spec.get("algorithm", "fast")
+        if not isinstance(algorithm, str):
+            raise _BadRequest("'algorithm' must be a string")
+        backend = spec.get("backend", "auto")
+        if not isinstance(backend, str):
+            raise _BadRequest("'backend' must be a string")
+        options = spec.get("options", {})
+        if not isinstance(options, dict):
+            raise _BadRequest("'options' must be an object")
+        try:
+            get_algorithm(algorithm).validate_options(options)
+            backend = resolve_backend(backend)
+            from repro.core.stores import get_store_backend
+
+            get_store_backend(backend)
+        except ReproError as exc:
+            raise _BadRequest(str(exc)) from exc
+        return cls(library, algorithm, backend, options)
+
+
+def _parse_body(body: bytes) -> Dict[str, Any]:
+    if not body:
+        raise _BadRequest("request body required")
+    try:
+        spec = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise _BadRequest(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise _BadRequest("request body must be a JSON object")
+    return spec
+
+
+def _require(spec: Dict[str, Any], field: str, kind: type) -> Any:
+    value = spec.get(field)
+    if not isinstance(value, kind):
+        expected = {dict: "an object", list: "an array"}.get(kind, kind.__name__)
+        raise _BadRequest(f"'{field}' must be {expected}")
+    return value
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    jobs: Optional[int] = 1,
+    cache_size: int = 1024,
+    cache_ttl: Optional[float] = None,
+    max_pools: int = 4,
+    ready=None,
+) -> None:
+    """Run a :class:`BufferServer` until interrupted (the CLI's engine).
+
+    Args:
+        host, port, jobs, cache_size, cache_ttl, max_pools: Forwarded to
+            :class:`BufferServer`.
+        ready: Optional callback invoked with the started server (tests
+            use it to learn the ephemeral port and to retain a handle).
+    """
+
+    async def _run() -> None:
+        server = BufferServer(
+            host=host, port=port, jobs=jobs, cache_size=cache_size,
+            cache_ttl=cache_ttl, max_pools=max_pools,
+        )
+        bound_host, bound_port = await server.start()
+        print(f"repro serve: listening on http://{bound_host}:{bound_port} "
+              f"(jobs={server.jobs}, cache={cache_size} entries"
+              f"{'' if cache_ttl is None else f', ttl={cache_ttl}s'})")
+        if ready is not None:
+            ready(server)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            # Raised when stop() closes the listening socket from
+            # another thread — the clean-shutdown path, not an error.
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: stopped")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Tuple, Union
 
 from repro.errors import TreeError
 from repro.library.buffer_type import BufferType
@@ -63,11 +63,25 @@ def tree_to_dict(tree: RoutingTree) -> Dict[str, Any]:
     return data
 
 
-def tree_from_dict(data: Dict[str, Any]) -> RoutingTree:
+def tree_from_dict(
+    data: Dict[str, Any], with_id_map: bool = False
+) -> Union[RoutingTree, Tuple[RoutingTree, Dict[Any, int]]]:
     """Rebuild a tree from :func:`tree_to_dict` output.
 
     Node ids are re-assigned sequentially but the pre-order layout of
     the format guarantees the same topology and electrical data.
+
+    Args:
+        data: The serialized tree.
+        with_id_map: Also return ``{serialized id: new node id}``, so a
+            caller answering in terms of the *serialized* ids (the HTTP
+            serving layer does) can translate back.  Ids in a file are
+            arbitrary labels; re-assignment means two files describing
+            the same tree load identically, but it also means in-memory
+            ids need this map to be reported against the file's ids.
+
+    Returns:
+        The tree, or ``(tree, id_map)`` when ``with_id_map`` is true.
     """
     version = data.get("format_version")
     if version != FORMAT_VERSION:
@@ -90,9 +104,16 @@ def tree_from_dict(data: Dict[str, Any]) -> RoutingTree:
     id_map = {nodes[0]["id"]: tree.root_id}
 
     for entry in nodes[1:]:
+        if entry.get("id") in id_map:
+            raise TreeError(f"duplicate serialized node id {entry['id']!r}")
         edge = entry.get("edge")
         if edge is None:
             raise TreeError(f"non-root node {entry.get('id')} lacks an edge")
+        if edge["parent"] not in id_map:
+            raise TreeError(
+                f"node {entry.get('id')}: parent {edge['parent']!r} not seen "
+                "yet (nodes must be serialized parents-first)"
+            )
         parent = id_map[edge["parent"]]
         position = tuple(entry["position"]) if "position" in entry else None
         kind = entry["kind"]
@@ -124,6 +145,8 @@ def tree_from_dict(data: Dict[str, Any]) -> RoutingTree:
         id_map[entry["id"]] = new_id
 
     tree.validate()
+    if with_id_map:
+        return tree, id_map
     return tree
 
 
@@ -165,11 +188,38 @@ def library_from_dict(data: Dict[str, Any]) -> BufferLibrary:
     )
 
 
+def tree_to_json(tree: RoutingTree, indent: Union[int, None] = None) -> str:
+    """Serialize ``tree`` to a JSON string with deterministic key order.
+
+    ``sort_keys`` makes the text a function of the tree alone, so saved
+    nets diff cleanly and byte-equal files imply equal trees.  (Equal
+    trees up to naming/ordering are a weaker, solver-level equivalence —
+    that is :func:`repro.service.canon.canonicalize`'s job, not this
+    format's.)
+    """
+    return json.dumps(tree_to_dict(tree), indent=indent, sort_keys=True)
+
+
+def tree_from_json(text: str) -> RoutingTree:
+    """Rebuild a tree from :func:`tree_to_json` output."""
+    return tree_from_dict(json.loads(text))
+
+
+def library_to_json(library: BufferLibrary, indent: Union[int, None] = None) -> str:
+    """Serialize a buffer library to a JSON string (deterministic keys)."""
+    return json.dumps(library_to_dict(library), indent=indent, sort_keys=True)
+
+
+def library_from_json(text: str) -> BufferLibrary:
+    """Rebuild a buffer library from :func:`library_to_json` output."""
+    return library_from_dict(json.loads(text))
+
+
 def save_tree(tree: RoutingTree, path: Union[str, Path]) -> None:
     """Write ``tree`` as JSON to ``path``."""
-    Path(path).write_text(json.dumps(tree_to_dict(tree), indent=2))
+    Path(path).write_text(tree_to_json(tree, indent=2))
 
 
 def load_tree(path: Union[str, Path]) -> RoutingTree:
     """Read a tree previously written by :func:`save_tree`."""
-    return tree_from_dict(json.loads(Path(path).read_text()))
+    return tree_from_json(Path(path).read_text())

@@ -31,6 +31,47 @@ def qc(candidates: Sequence[Candidate]) -> List[Tuple[float, float]]:
     return [(cand.q, cand.c) for cand in candidates]
 
 
+def relabeled(
+    tree: RoutingTree, rename: bool = True, reverse_children: bool = False
+) -> RoutingTree:
+    """A structurally identical tree with new names and/or child order.
+
+    Rebuilt through the tree API, so node ids are reassigned too: attach
+    order is child order, and reversing it at every vertex exercises the
+    canonicalization's sibling sort (tests for :mod:`repro.service`).
+    """
+    twin = RoutingTree.with_source(driver=tree.driver)
+    mapping = {tree.root_id: twin.root_id}
+    stack = [tree.root_id]
+    counter = 0
+    while stack:
+        node_id = stack.pop()
+        children = tree.children_of(node_id)
+        if reverse_children:
+            children = tuple(reversed(children))
+        for child_id in children:
+            node = tree.node(child_id)
+            edge = tree.edge_to(child_id)
+            counter += 1
+            name = f"renamed_{counter * 31 + 7}" if rename else node.name
+            if node.is_sink:
+                mapping[child_id] = twin.add_sink(
+                    mapping[node_id], edge.resistance, edge.capacitance,
+                    capacitance=node.capacitance,
+                    required_arrival=node.required_arrival,
+                    name=name, polarity=node.polarity,
+                )
+            else:
+                mapping[child_id] = twin.add_internal(
+                    mapping[node_id], edge.resistance, edge.capacitance,
+                    buffer_position=node.is_buffer_position,
+                    allowed_buffers=node.allowed_buffers,
+                    name=name,
+                )
+            stack.append(child_id)
+    return twin
+
+
 def random_small_tree(seed: int, max_extra: int = 3) -> RoutingTree:
     """A random tree with <= ~7 buffer positions, for oracle tests.
 

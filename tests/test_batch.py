@@ -1,10 +1,17 @@
-"""Batch engine tests: solve_many equivalence and plumbing."""
+"""Batch engine tests: solve_many equivalence, SolverPool, plumbing."""
 
 import pytest
 
 from helpers import random_small_tree
 
-from repro import insert_buffers, paper_library, solve_many, uniform_random_library
+from repro import (
+    SolverPool,
+    compile_net,
+    insert_buffers,
+    paper_library,
+    solve_many,
+    uniform_random_library,
+)
 from repro.core.batch import parallel_map
 from repro.errors import AlgorithmError
 from repro.tree.node import Driver
@@ -82,6 +89,58 @@ def test_bad_algorithm_fails_fast_in_parent(corpus):
     with pytest.raises(AlgorithmError, match="unknown options"):
         solve_many(corpus, paper_library(2), algorithm="lillis", jobs=2,
                    destructive_pruning=True)
+
+
+class TestSolverPool:
+    def test_inline_pool_matches_individual_solves(self, corpus):
+        library = paper_library(3)
+        with SolverPool(library) as pool:
+            results = pool.solve(corpus)
+        for tree, result in zip(corpus, results):
+            reference = insert_buffers(tree, library)
+            assert result.slack == reference.slack
+            assert result.assignment == reference.assignment
+
+    def test_pool_persists_across_solve_calls(self, corpus):
+        library = paper_library(2)
+        expected = [insert_buffers(tree, library).slack for tree in corpus]
+        with SolverPool(library, jobs=2) as pool:
+            first = pool.solve(corpus[:4])
+            second = pool.solve(corpus[4:])
+            # The worker pool object survives between calls.
+            assert pool._pool is not None
+            again = pool.solve(corpus[:2])
+        assert [r.slack for r in first + second] == expected
+        assert [r.slack for r in again] == expected[:2]
+
+    def test_single_net_still_uses_the_warm_pool(self, corpus):
+        library = paper_library(2)
+        with SolverPool(library, jobs=2) as pool:
+            result = pool.solve([corpus[0]])
+            assert pool._pool is not None  # dispatched, not inlined
+        assert result[0].slack == insert_buffers(corpus[0], library).slack
+
+    def test_accepts_precompiled_nets(self, corpus):
+        library = paper_library(2)
+        compiled = [compile_net(tree, library) for tree in corpus[:3]]
+        with SolverPool(library) as pool:
+            results = pool.solve(compiled)
+        assert [r.slack for r in results] == [
+            insert_buffers(t, library).slack for t in corpus[:3]]
+
+    def test_closed_pool_raises(self, corpus):
+        pool = SolverPool(paper_library(2))
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.solve(corpus[:1])
+
+    def test_bad_context_fails_at_construction(self):
+        with pytest.raises(AlgorithmError):
+            SolverPool(paper_library(2), algorithm="bogus")
+        with pytest.raises(AlgorithmError):
+            SolverPool(paper_library(2), backend="bogus")
+        with pytest.raises(ValueError, match="jobs"):
+            SolverPool(paper_library(2), jobs=0)
 
 
 def test_parallel_map_serial_and_parallel():

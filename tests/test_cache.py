@@ -1,0 +1,159 @@
+"""ResultCache tests: LRU order, TTL expiry, exact counters, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock so TTL tests never sleep."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLRU:
+    def test_get_put_round_trip(self):
+        cache = ResultCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touch "a": "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_recency_and_value(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not a second entry
+        assert len(cache) == 2
+        cache.put("c", 3)  # evicts "b", the stale one
+        assert "b" not in cache and cache.get("a") == 10
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0)
+
+    def test_values_snapshot(self):
+        cache = ResultCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert sorted(cache.values()) == [1, 2]
+
+
+class TestTTL:
+    def test_entries_expire_on_get(self):
+        clock = FakeClock()
+        cache = ResultCache(maxsize=4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.9)
+        assert cache.get("a") == 1
+        clock.advance(0.2)
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.size == 0
+
+    def test_put_purges_expired_entries(self):
+        clock = FakeClock()
+        cache = ResultCache(maxsize=4, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock.advance(6.0)
+        cache.put("c", 3)
+        assert len(cache) == 1
+        assert cache.stats().expirations == 2
+
+    def test_refresh_restarts_the_clock(self):
+        clock = FakeClock()
+        cache = ResultCache(maxsize=4, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(4.0)
+        cache.put("a", 1)  # re-insert: new stamp
+        clock.advance(4.0)
+        assert cache.get("a") == 1
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(maxsize=4, clock=clock)
+        cache.put("a", 1)
+        clock.advance(10**9)
+        assert cache.get("a") == 1
+        assert cache.stats().expirations == 0
+
+
+class TestCounters:
+    def test_counters_are_exact(self):
+        cache = ResultCache(maxsize=2)
+        for key in ("a", "b", "c"):  # "a" evicted by "c"
+            cache.put(key, key)
+        assert cache.get("a") is None  # miss
+        assert cache.get("b") == "b"  # hit
+        assert cache.get("c") == "c"  # hit
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (2, 1, 1)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert stats.size == 2 and stats.maxsize == 2
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        payload = ResultCache(maxsize=2).stats().as_dict()
+        json.dumps(payload)
+        assert payload["hits"] == 0 and payload["maxsize"] == 2
+
+    def test_clear_keeps_counter_totals(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        stats = cache.stats()
+        assert stats.size == 0 and stats.hits == 1
+
+
+class TestConcurrency:
+    def test_hammering_threads_keep_counters_consistent(self):
+        cache = ResultCache(maxsize=8)
+        lookups_per_thread = 2000
+        threads = 8
+        errors = []
+
+        def worker(thread_id: int) -> None:
+            try:
+                for i in range(lookups_per_thread):
+                    key = (thread_id * i) % 16
+                    if cache.get(key) is None:
+                        cache.put(key, key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker, args=(t,))
+                for t in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        assert not errors
+        stats = cache.stats()
+        # Every get() counted exactly once, whatever the interleaving.
+        assert stats.hits + stats.misses == threads * lookups_per_thread
+        assert stats.size <= 8

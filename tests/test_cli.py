@@ -102,6 +102,54 @@ def test_generate_nothing_is_an_error(capsys):
     assert "nothing to do" in capsys.readouterr().err
 
 
+def _batch_fixture(tmp_path, capsys):
+    net_path = tmp_path / "net.json"
+    lib_path = tmp_path / "lib.json"
+    main(["generate", "--net", str(net_path), "--sinks", "4",
+          "--positions", "20", "--library", str(lib_path),
+          "--library-size", "2"])
+    capsys.readouterr()
+    return net_path, lib_path
+
+
+def test_batch_round_trip(tmp_path, capsys):
+    net_path, lib_path = _batch_fixture(tmp_path, capsys)
+    assert main(["batch", "--nets", str(net_path), str(net_path),
+                 "--library", str(lib_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 nets in" in out
+
+
+def test_batch_empty_nets_is_a_clean_error(tmp_path, capsys):
+    # Regression: an empty --nets list used to fall through to the
+    # solver and die with a traceback; now it is a usage error.
+    _, lib_path = _batch_fixture(tmp_path, capsys)
+    assert main(["batch", "--nets", "--library", str(lib_path)]) == 2
+    assert "at least one net file" in capsys.readouterr().err
+
+
+def test_batch_jobs_zero_is_a_clean_error(tmp_path, capsys):
+    # Regression: --jobs 0 used to reach multiprocessing setup and
+    # traceback; now it is rejected up front with a clear message.
+    net_path, lib_path = _batch_fixture(tmp_path, capsys)
+    assert main(["batch", "--nets", str(net_path),
+                 "--library", str(lib_path), "--jobs", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "--jobs must be >= 1" in err
+    assert main(["batch", "--nets", str(net_path),
+                 "--library", str(lib_path), "--jobs", "-2"]) == 2
+    assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
+def test_batch_missing_net_file_is_a_clean_error(tmp_path, capsys):
+    net_path, lib_path = _batch_fixture(tmp_path, capsys)
+    assert main(["batch", "--nets", str(net_path),
+                 str(tmp_path / "missing.json"),
+                 "--library", str(lib_path)]) == 2
+    err = capsys.readouterr().err
+    assert "not found" in err and "missing.json" in err
+
+
 def test_module_entry_point():
     import os
     import subprocess

@@ -1,0 +1,289 @@
+"""End-to-end serving-layer tests.
+
+A real :class:`~repro.service.server.BufferServer` on an ephemeral port
+(``port=0``), driven through the real
+:class:`~repro.service.client.ServiceClient` over real sockets.  The
+headline assertion is the caching contract: a repeated ``/solve``
+request is answered from cache — the hit counter moves, the
+worker-dispatch counter does not — with a solution bit-identical to the
+in-process :func:`repro.core.api.insert_buffers` result.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from helpers import SLACK_ATOL, random_small_tree, relabeled
+from repro import Driver, insert_buffers, paper_library, random_tree_net
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.server import BufferServer
+from repro.timing.buffered import evaluate_assignment
+from repro.tree.io import tree_to_dict
+from repro.units import ps
+
+
+class ServerHarness:
+    """A BufferServer running on a daemon thread's event loop."""
+
+    def __init__(self, **kwargs) -> None:
+        self.server = BufferServer(port=0, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(10), "server did not start"
+        self.client = ServiceClient(port=self.server.port, timeout=30.0)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def shutdown(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+@pytest.fixture()
+def harness():
+    h = ServerHarness(jobs=1, cache_size=64)
+    try:
+        yield h
+    finally:
+        h.shutdown()
+
+
+@pytest.fixture()
+def net():
+    return random_tree_net(
+        8, seed=11, required_arrival=(ps(500.0), ps(2000.0)),
+        driver=Driver(resistance=200.0),
+    )
+
+
+@pytest.fixture()
+def library():
+    return paper_library(4)
+
+
+class TestEndpoints:
+    def test_healthz(self, harness):
+        import repro
+
+        answer = harness.client.healthz()
+        assert answer["status"] == "ok"
+        assert answer["version"] == repro.__version__
+        assert answer["jobs"] == 1
+
+    def test_unknown_path_is_404(self, harness):
+        with pytest.raises(ServiceError, match="404"):
+            harness.client._request("GET", "/nope")
+
+    def test_wrong_method_is_405(self, harness):
+        with pytest.raises(ServiceError, match="405"):
+            harness.client._request("GET", "/solve")
+
+    def test_bad_json_is_400(self, harness):
+        import http.client
+        import json
+
+        connection = http.client.HTTPConnection(
+            harness.client.host, harness.client.port, timeout=10.0)
+        connection.request("POST", "/solve", body="{not json",
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+        connection.close()
+        assert response.status == 400
+        assert "JSON" in payload["error"]
+
+    def test_unknown_algorithm_is_400(self, harness, net, library):
+        with pytest.raises(ServiceError, match="unknown algorithm"):
+            harness.client.solve(net, library, algorithm="nope")
+
+    def test_invalid_net_is_400(self, harness, library):
+        with pytest.raises(ServiceError, match="invalid net"):
+            harness.client.solve({"format_version": 99}, library)
+
+    def test_empty_batch_is_400(self, harness, library):
+        with pytest.raises(ServiceError, match="at least one"):
+            harness.client.solve_batch([], library)
+
+
+class TestSolveAndCache:
+    def test_solve_matches_in_process_bit_for_bit(self, harness, net, library):
+        expected = insert_buffers(net, library)
+        answer = harness.client.solve(net, library)
+        assert answer["cached"] is False
+        assert answer["slack_seconds"] == expected.slack  # bit-identical
+        assert answer["driver_load_farads"] == expected.driver_load
+        assert answer["num_buffers"] == expected.num_buffers
+        assert answer["assignment"] == {
+            str(node_id): buffer.name
+            for node_id, buffer in expected.assignment.items()
+        }
+
+    def test_repeat_request_is_served_from_cache(self, harness, net, library):
+        first = harness.client.solve(net, library)
+        before = harness.client.stats()
+        second = harness.client.solve(net, library)
+        after = harness.client.stats()
+
+        assert second["cached"] is True
+        # Bit-identical answer (the identical JSON text, in fact).
+        for field in ("slack_seconds", "driver_load_farads", "assignment",
+                      "key", "num_buffers"):
+            assert second[field] == first[field]
+        # The hit registered and no new work reached the pool.
+        assert (after["cache"]["hits"] == before["cache"]["hits"] + 1)
+        assert (after["counters"]["worker_dispatches"]
+                == before["counters"]["worker_dispatches"])
+        assert (after["counters"]["nets_solved"]
+                == before["counters"]["nets_solved"])
+
+    def test_renamed_reordered_net_hits_the_same_entry(self, harness, net, library):
+        first = harness.client.solve(net, library)
+        twin = relabeled(net, rename=True, reverse_children=True)
+        answer = harness.client.solve(twin, library)
+        assert answer["cached"] is True
+        assert answer["key"] == first["key"]
+        assert answer["slack_seconds"] == first["slack_seconds"]
+        # The assignment is expressed in the twin's node ids and is a
+        # valid optimal buffering of the twin per the timing oracle.
+        assignment = {
+            int(node_id): library.get(name)
+            for node_id, name in answer["assignment"].items()
+        }
+        report = evaluate_assignment(twin, assignment)
+        assert report.slack == pytest.approx(
+            first["slack_seconds"], abs=SLACK_ATOL)
+
+    def test_distinct_requests_do_not_collide(self, harness, net, library):
+        harness.client.solve(net, library)
+        other = harness.client.solve(net, library, algorithm="lillis")
+        assert other["cached"] is False
+        assert other["algorithm"] == "lillis"
+        richer = harness.client.solve(net, paper_library(6))
+        assert richer["cached"] is False
+
+    def test_same_structure_different_driver_is_solved_fresh(
+        self, harness, net, library
+    ):
+        # Regression: the compiled-net cache must key on the driver too.
+        # A CompiledNet embeds the driver recorded at compile time, so
+        # reusing one across drivers would answer with the *old*
+        # driver's slack (and poison the new request's cache entry).
+        first = harness.client.solve(net, library)
+        weak = tree_to_dict(net)
+        weak["driver"]["resistance"] = 9000.0
+        answer = harness.client.solve(weak, library)
+        assert answer["cached"] is False
+        from repro.tree.io import tree_from_dict
+
+        expected = insert_buffers(tree_from_dict(weak), library)
+        assert answer["slack_seconds"] == expected.slack
+        assert answer["slack_seconds"] != first["slack_seconds"]
+
+    def test_solve_accepts_plain_dict_payloads(self, harness, net, library):
+        answer = harness.client.solve(tree_to_dict(net), library)
+        assert answer["num_buffers"] >= 1
+
+
+class TestBatch:
+    def test_batch_solves_in_order_and_dedupes(self, harness, library):
+        nets = [random_small_tree(seed) for seed in (1, 2, 3)]
+        expected = [insert_buffers(tree, library) for tree in nets]
+        # Duplicate net 0: within one batch it must be solved once.
+        answers = harness.client.solve_batch(
+            [nets[0], nets[1], nets[2], nets[0]], library)
+        assert [a["slack_seconds"] for a in answers] == [
+            expected[0].slack, expected[1].slack, expected[2].slack,
+            expected[0].slack,
+        ]
+        stats = harness.client.stats()
+        assert stats["counters"]["nets_solved"] == 3
+        assert stats["counters"]["worker_dispatches"] == 1
+
+    def test_batch_mixes_hits_and_misses(self, harness, library):
+        nets = [random_small_tree(seed) for seed in (4, 5)]
+        harness.client.solve(nets[0], library)
+        answers = harness.client.solve_batch(nets, library)
+        assert [a["cached"] for a in answers] == [True, False]
+        again = harness.client.solve_batch(nets, library)
+        assert [a["cached"] for a in again] == [True, True]
+
+
+class TestStats:
+    def test_stats_shape(self, harness, net, library):
+        harness.client.solve(net, library)
+        from repro.core.stores import resolve_backend
+
+        stats = harness.client.stats()
+        assert stats["counters"]["solve_requests"] == 1
+        assert stats["cache"]["size"] == 1
+        assert stats["compiled_cache"]["size"] == 1
+        assert stats["compiled_cache"]["payload_bytes"] > 0
+        assert stats["pools"] == [{
+            "algorithm": "fast",
+            "backend": resolve_backend("auto"),
+            "jobs": 1,
+            "library_size": 4,
+            "in_flight": 0,
+        }]
+
+
+class TestTTLIntegration:
+    def test_expired_entry_is_resolved(self, net, library):
+        harness = ServerHarness(jobs=1, cache_size=64, cache_ttl=0.05)
+        try:
+            import time
+
+            harness.client.solve(net, library)
+            time.sleep(0.1)
+            answer = harness.client.solve(net, library)
+            assert answer["cached"] is False
+        finally:
+            harness.shutdown()
+
+
+class TestServeEntryPoint:
+    def test_cli_serve_validation(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["serve", "--cache-size", "0"]) == 2
+        assert "--cache-size" in capsys.readouterr().err
+        assert main(["serve", "--cache-ttl", "-1"]) == 2
+        assert "--cache-ttl" in capsys.readouterr().err
+
+    def test_serve_function_runs_and_stops(self):
+        """The CLI's engine: boot on an ephemeral port, probe, stop."""
+        from repro.service.server import serve
+
+        holder = {}
+        done = threading.Event()
+
+        def ready(server):
+            holder["server"] = server
+            holder["loop"] = asyncio.get_event_loop()
+            done.set()
+
+        thread = threading.Thread(
+            target=lambda: serve(port=0, ready=ready), daemon=True)
+        thread.start()
+        assert done.wait(10)
+        client = ServiceClient(port=holder["server"].port, timeout=10.0)
+        assert client.healthz()["status"] == "ok"
+        # stop() cancels serve_forever; serve() treats that as a clean
+        # shutdown and returns, ending the thread.
+        asyncio.run_coroutine_threadsafe(
+            holder["server"].stop(), holder["loop"]).result(10)
+        thread.join(10)
+        assert not thread.is_alive()
