@@ -1,0 +1,146 @@
+"""Micro-bench tuning the SoA selection-kernel cutoff.
+
+The kernel engine (:mod:`repro.core.stores.soa`) dispatches its
+selection kernels — dominance prune and convex hull — between the
+shared scalar scans of :mod:`repro.core.pruning` and whole-array NumPy
+forms, behind one crossover (:func:`repro.core.stores.soa.kernel_cutoff`).
+Selection involves no arithmetic, so the cutoff can never change
+results; this script measures where each form wins so the default stays
+honest on the current interpreter/NumPy combination.
+
+Two measurements:
+
+1. **Kernel-level** — scalar vs vectorized prune on realistic
+   candidate-list shapes (a wire-sheared nonredundant list with a few
+   dominance inversions) across lengths, printing per-call times and
+   the measured crossover.  The convex hull is measured the same way;
+   its vectorized form (layer-stripping passes) loses by an order of
+   magnitude on the mostly-convex lists the DP actually produces,
+   which is why the hull crossover sits at ``_HULL_FACTOR`` times the
+   kernel cutoff.
+2. **End-to-end** — the Figure 4 trunk solved under a sweep of cutoff
+   settings, confirming the kernel-level pick on the real workload.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_cutoff.py [--scale 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.api import insert_buffers
+from repro.core.pruning import hull_indices, prune_dominated_indices
+from repro.core.schedule import compile_net
+from repro.core.stores.soa import (
+    _hull_indices,
+    _nonredundant_indices,
+    kernel_cutoff,
+    set_kernel_cutoff,
+)
+from repro.experiments.workloads import FIG4_NET, build_net
+from repro.library.generators import paper_library
+
+LENGTHS = (32, 64, 96, 128, 192, 256, 512, 1024)
+CUTOFF_SWEEP = (0, 24, 48, 96, 192, 1 << 30)
+
+
+def _realistic_list(n: int, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    """A c-sorted list shaped like a post-wire DP list.
+
+    Strictly increasing c; q increasing but with a handful of local
+    inversions (the dominated candidates a wire shear produces), so the
+    prune has realistic work to do.
+    """
+    rng = np.random.default_rng(seed)
+    c = np.cumsum(rng.uniform(1e-16, 2e-15, n))
+    q = np.cumsum(rng.uniform(1e-13, 4e-12, n))
+    flips = rng.choice(n - 1, size=max(n // 40, 1), replace=False)
+    q[flips + 1], q[flips] = q[flips].copy(), q[flips + 1].copy()
+    return q, c
+
+
+def _time_per_call(fn, inputs, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for q, c in inputs:
+            fn(q, c)
+        best = min(best, (time.perf_counter() - started) / len(inputs))
+    return best
+
+
+def kernel_sweep(repeats: int) -> int:
+    """Print per-length scalar/vector timings; return the crossover."""
+    previous = kernel_cutoff()
+    crossover = LENGTHS[-1]
+    print("length  prune-scalar  prune-vector  hull-scalar")
+    try:
+        for n in LENGTHS:
+            inputs = [_realistic_list(n, seed) for seed in range(32)]
+            set_kernel_cutoff(1 << 30)  # force scalar
+            scalar = _time_per_call(_nonredundant_indices, inputs, repeats)
+            set_kernel_cutoff(0)  # force vector
+            vector = _time_per_call(_nonredundant_indices, inputs, repeats)
+            hull_inputs = [
+                (q[np.array(prune_dominated_indices(q.tolist(), c.tolist()))],
+                 c[np.array(prune_dominated_indices(q.tolist(), c.tolist()))])
+                for q, c in inputs
+            ]
+            set_kernel_cutoff(1 << 30)
+            hull_scalar = _time_per_call(_hull_indices, hull_inputs, repeats)
+            print(f"{n:6d}  {scalar*1e6:10.2f}us  {vector*1e6:10.2f}us"
+                  f"  {hull_scalar*1e6:9.2f}us")
+            if vector < scalar and n < crossover:
+                crossover = n
+    finally:
+        set_kernel_cutoff(previous)
+    print(f"measured prune crossover: ~{crossover} "
+          f"(current default {previous})")
+    return crossover
+
+
+def end_to_end_sweep(scale: float, repeats: int) -> None:
+    """Confirm the pick on the real fig4 trunk workload."""
+    positions = max(int(2000 * scale), 100)
+    library = paper_library(32, jitter=0.03, seed=32)
+    tree = build_net(FIG4_NET, positions_override=positions)
+    compiled = compile_net(tree, library)
+    reference = insert_buffers(compiled, library, backend="soa")
+    previous = kernel_cutoff()
+    print(f"fig4 trunk n={positions}, b=32, compiled soa:")
+    try:
+        for cutoff in CUTOFF_SWEEP:
+            set_kernel_cutoff(cutoff)
+            result = insert_buffers(compiled, library, backend="soa")
+            assert result.slack == reference.slack  # cutoff never changes bits
+            assert result.assignment == reference.assignment
+            best = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                insert_buffers(compiled, library, backend="soa")
+                best = min(best, time.perf_counter() - started)
+            label = "inf" if cutoff == 1 << 30 else str(cutoff)
+            print(f"  cutoff {label:>6}: {best*1e3:8.2f}ms")
+    finally:
+        set_kernel_cutoff(previous)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Tune the SoA selection-kernel cutoff.")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+    kernel_sweep(args.repeats)
+    end_to_end_sweep(args.scale, args.repeats)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

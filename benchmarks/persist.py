@@ -1,28 +1,37 @@
-"""Benchmark trajectory persistence: write ``BENCH_PR2.json``.
+"""Benchmark trajectory persistence: write ``BENCH_PR4.json``.
 
 The benchmark suite (``pytest benchmarks/ --benchmark-only``) measures a
 lot, but nothing survives the run — so successive PRs have no baseline
-to compare against.  This script distills the three workloads that the
-compiled-execution work targets into one JSON file at the repo root:
+to compare against.  This script distills the workloads the kernel-
+engine work targets into one JSON file at the repo root:
 
-* ``fig4`` — the Figure 4 trunk sweep (algorithm ``fast``), each point
-  timed two ways per backend: the per-solve **tree walk** (auto-compile
-  disabled, so every solve re-validates, re-plans and walks the object
-  graph) versus the **compiled** repeat-solve path (one
-  :func:`~repro.core.schedule.compile_net`, then schedule-interpreter
-  solves).  ``ratio`` is walk/compiled; ``fig4.compiled_speedup`` is the
-  mean ratio over the sweep.  The trunk is deliberately kernel-bound
-  (the paper's long-list regime), so these ratios are the *floor* of the
-  compiled win — small-net workloads amortize far more.
+* ``fig4`` — the Figure 4 trunk sweep (algorithm ``fast``) over the
+  paper's full position range (500 … 8000), each point timed two ways
+  per backend: the per-solve **tree walk** (auto-compile disabled)
+  versus the **compiled** repeat-solve path.  ``ratio`` is
+  walk/compiled per backend; each position additionally records
+  ``soa_vs_object_compiled`` — compiled-object seconds over
+  compiled-soa seconds, the headline number of the PR4 kernel engine
+  (>1 means the vectorized backend wins; PR2's trajectory showed ~0.5
+  here).  The backend comparison is interleaved best-of-N, so both
+  backends see the same thermal drift.
+* ``op_profile`` — the wire/merge/buffer wall-clock split of
+  ``bench_op_profile.py`` (object backend, instrumented list ops) for
+  both algorithms, recording where solve time goes.
 * ``fig3`` — one Figure 3 cell: lillis vs fast on the same compiled
   net (the paper's own speedup, for trend tracking).
 * ``batch`` — :func:`~repro.core.batch.solve_many` throughput over a
   corpus of small nets, precompiled versus object-tree dispatch, plus
   the pickled payload sizes of both task encodings.
+* ``ci_gate`` — thresholds the CI perf smoke job enforces with
+  ``tools/perf_gate.py`` against a freshly generated file: at every
+  sweep point with at least ``min_positions`` actual positions,
+  compiled-soa must not be slower than ``max_soa_over_object`` times
+  compiled-object (the PR2 regression shape must stay reversed).
 
 Run::
 
-    PYTHONPATH=src python benchmarks/persist.py [--out BENCH_PR2.json]
+    PYTHONPATH=src python benchmarks/persist.py [--out BENCH_PR4.json]
                                                 [--scale 1.0] [--repeats 5]
 
 ``--scale`` (default: the ``REPRO_BENCH_SCALE`` environment variable,
@@ -52,7 +61,13 @@ from repro.core.api import insert_buffers
 from repro.core.batch import solve_many
 from repro.core.schedule import auto_compile, compile_net
 from repro.core.stores import resolve_backend
-from repro.experiments.workloads import FIG4_NET, FIGURE_NET, build_net
+from repro.experiments.profiling import profile_operations
+from repro.experiments.workloads import (
+    FIG4_NET,
+    FIGURE_NET,
+    TABLE1_NETS,
+    build_net,
+)
 from repro.library.generators import paper_library
 
 # persist.py runs from the benchmarks directory (as a script or under
@@ -60,9 +75,19 @@ from repro.library.generators import paper_library
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from conftest import batch_corpus  # noqa: E402
 
-#: Figure 4 position counts measured at scale 1.0.
-FIG4_SWEEP = (500, 1000, 2000)
+#: Figure 4 position counts measured at scale 1.0 — the paper's full
+#: Figure-4 domain (FIG4_NET's canonical size is n = 8000).
+FIG4_SWEEP = (500, 1000, 2000, 4000, 8000)
 LIBRARY_SIZE = 32
+
+#: CI thresholds embedded in the output (tools/perf_gate.py reads them
+#: back from the freshly generated file).
+CI_GATE = {
+    # Points with at least this many *actual* positions are gated.
+    "min_positions": 1000,
+    # compiled-soa seconds must be <= this multiple of compiled-object.
+    "max_soa_over_object": 1.0,
+}
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
@@ -101,15 +126,19 @@ def _backends() -> List[str]:
 
 
 def measure_fig4(scale: float, repeats: int) -> Dict:
-    """Tree walk vs compiled repeat-solve across the trunk sweep."""
+    """Tree walk vs compiled, and compiled soa vs object, per position."""
     points = []
-    ratios = []
+    walk_ratios = []
     library = paper_library(LIBRARY_SIZE, jitter=0.03, seed=LIBRARY_SIZE)
+    backends = _backends()
     for target in FIG4_SWEEP:
         positions = max(int(target * scale), 50)
         tree = build_net(FIG4_NET, positions_override=positions)
-        for backend in _backends():
-            compiled = compile_net(tree, library)
+        compiled = compile_net(tree, library)
+        # The big points dominate wall time; halve their repeats.
+        point_repeats = repeats if target <= 2000 else max(2, repeats // 2)
+        compiled_seconds: Dict[str, float] = {}
+        for backend in backends:
 
             def solve_walk() -> None:
                 with auto_compile(False):
@@ -121,23 +150,52 @@ def measure_fig4(scale: float, repeats: int) -> Dict:
                                backend=backend)
 
             solve_walk()  # warm build_net/library caches
-            solve_compiled()  # warm the factory's scratch arena
-            walk, fast = _best_of_paired(solve_walk, solve_compiled, repeats)
+            solve_compiled()  # warm the factory's scratch arena/tape
+            walk, fast = _best_of_paired(solve_walk, solve_compiled,
+                                         point_repeats)
             ratio = walk / fast if fast else float("inf")
-            ratios.append(ratio)
+            walk_ratios.append(ratio)
+            compiled_seconds[backend] = fast
             points.append({
                 "positions": positions,
+                "target_positions": target,
                 "backend": backend,
                 "tree_walk_seconds": walk,
                 "compiled_seconds": fast,
                 "ratio": ratio,
             })
+        if "soa" in compiled_seconds:
+            # The PR4 headline: compiled object over compiled soa.
+            head = compiled_seconds["object"] / compiled_seconds["soa"]
+            for point in points[-len(backends):]:
+                point["soa_vs_object_compiled"] = head
     return {
         "algorithm": "fast",
         "library_size": LIBRARY_SIZE,
         "points": points,
-        "compiled_speedup": sum(ratios) / len(ratios),
+        "compiled_speedup": sum(walk_ratios) / len(walk_ratios),
     }
+
+
+def measure_op_profile(scale: float) -> Dict:
+    """The wire/merge/buffer wall-clock split (object backend)."""
+    spec = TABLE1_NETS[1] if scale == 1.0 else TABLE1_NETS[1].scale(scale)
+    tree = build_net(spec)
+    rows = []
+    for size in (8, LIBRARY_SIZE):
+        library = paper_library(size, jitter=0.03, seed=size)
+        for algorithm in ("lillis", "fast"):
+            profile = profile_operations(tree, library, algorithm=algorithm)
+            rows.append({
+                "net": spec.name,
+                "algorithm": algorithm,
+                "library_size": size,
+                "wire_seconds": profile.wire_seconds,
+                "merge_seconds": profile.merge_seconds,
+                "buffer_seconds": profile.buffer_seconds,
+                "buffer_fraction": profile.buffer_fraction,
+            })
+    return {"rows": rows}
 
 
 def measure_fig3(scale: float, repeats: int) -> Dict:
@@ -206,13 +264,15 @@ def collect(scale: float, repeats: int) -> Dict:
     """Every persisted measurement, as one JSON-ready dict."""
     return {
         "meta": {
-            "bench": "PR2 compiled solve schedules",
+            "bench": "PR4 zero-object SoA kernel engine",
             "scale": scale,
             "repeats": repeats,
             "python": sys.version.split()[0],
             "backends": _backends(),
         },
+        "ci_gate": dict(CI_GATE),
         "fig4": measure_fig4(scale, repeats),
+        "op_profile": measure_op_profile(scale),
         "fig3": measure_fig3(scale, repeats),
         "batch": measure_batch(scale, repeats),
     }
@@ -220,11 +280,11 @@ def collect(scale: float, repeats: int) -> Dict:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Persist the PR2 benchmark trajectory to JSON.")
+        description="Persist the PR4 benchmark trajectory to JSON.")
     parser.add_argument(
         "--out", type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_PR2.json",
-        help="output path (default: BENCH_PR2.json at the repo root)")
+        default=Path(__file__).resolve().parent.parent / "BENCH_PR4.json",
+        help="output path (default: BENCH_PR4.json at the repo root)")
     parser.add_argument(
         "--scale", type=float,
         default=float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
@@ -234,16 +294,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     payload = collect(args.scale, args.repeats)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     fig4 = payload["fig4"]
     print(f"fig4 trunk sweep (fast, b={fig4['library_size']}):")
     for point in fig4["points"]:
+        head = point.get("soa_vs_object_compiled")
+        suffix = (f"  soa-vs-obj {head:.2f}x"
+                  if head is not None and point["backend"] == "soa" else "")
         print(f"  n={point['positions']:>5} {point['backend']:<7}"
-              f" walk {point['tree_walk_seconds']*1e3:8.2f}ms"
-              f" compiled {point['compiled_seconds']*1e3:8.2f}ms"
-              f" ratio {point['ratio']:.2f}x")
+              f" walk {point['tree_walk_seconds']*1e3:9.2f}ms"
+              f" compiled {point['compiled_seconds']*1e3:9.2f}ms"
+              f" ratio {point['ratio']:.2f}x{suffix}")
     print(f"  mean compiled speedup: {fig4['compiled_speedup']:.2f}x")
+    for row in payload["op_profile"]["rows"]:
+        print(f"op split {row['algorithm']:<7} b={row['library_size']:<3}"
+              f" wire {row['wire_seconds']*1e3:7.2f}ms"
+              f" merge {row['merge_seconds']*1e3:7.2f}ms"
+              f" buffer {row['buffer_seconds']*1e3:7.2f}ms"
+              f" (buffer share {row['buffer_fraction']:.0%})")
     fig3 = payload["fig3"]
     print(f"fig3 cell b=16: lillis/fast = {fig3['speedup']:.2f}x")
     for row in payload["batch"]["backends"]:

@@ -64,6 +64,15 @@ def _init_worker(
         "backend": backend,
         "options": options,
     }
+    if backend != "object":
+        # Ship the precomputed plan arrays once per worker: the
+        # whole-library BufferPlan (one sort per process) and its SoA
+        # kernel vectors are built here, at pool start, so no solve
+        # pays them (no-op without NumPy).
+        from repro.core.dp import _full_library_plan
+        from repro.core.stores.soa import prime_plan_kernels
+
+        prime_plan_kernels([_full_library_plan(library.buffers)])
 
 
 def _solve_one(net: Union[RoutingTree, CompiledNet]) -> BufferingResult:

@@ -48,9 +48,19 @@ class BufferPlan:
             ``by_resistance_desc[i] for i in cap_order`` yields
             non-decreasing input capacitance (paper: "establish the
             order from buffer index i to the order in C_b" once).
+
+    Array backends additionally attach a *plan kernel* — the ``R`` /
+    ``C_in`` / intrinsic-delay / load-limit columns of
+    ``by_resistance_desc`` as NumPy vectors — via the two private slots
+    below.  The kernel is built lazily by
+    :func:`repro.core.stores.soa.plan_kernel` (or eagerly at
+    compile time by :func:`repro.core.schedule.compile_net`) and is
+    cached on the *owning* plan so every shared view reuses one copy;
+    this module itself never imports NumPy.
     """
 
-    __slots__ = ("node_id", "by_resistance_desc", "cap_order")
+    __slots__ = ("node_id", "by_resistance_desc", "cap_order",
+                 "_kernel", "_shared_from")
 
     def __init__(self, node_id: int, buffers: Sequence[BufferType]) -> None:
         self.node_id = node_id
@@ -63,6 +73,8 @@ class BufferPlan:
                 key=lambda i: self.by_resistance_desc[i].input_capacitance,
             )
         )
+        self._kernel = None
+        self._shared_from: Optional["BufferPlan"] = None
 
     @classmethod
     def shared_view(cls, node_id: int, full_plan: "BufferPlan") -> "BufferPlan":
@@ -72,12 +84,15 @@ class BufferPlan:
         only the ``node_id`` recorded in decisions differs.  This view
         reuses ``full_plan``'s tuples instead of re-sorting (the paper's
         one-off ``O(b log b)`` cost stays one-off), without re-running
-        ``__init__``.
+        ``__init__``.  The backlink also makes every view share the
+        owning plan's lazily-built kernel arrays.
         """
         plan = cls.__new__(cls)
         plan.node_id = node_id
         plan.by_resistance_desc = full_plan.by_resistance_desc
         plan.cap_order = full_plan.cap_order
+        plan._kernel = None
+        plan._shared_from = full_plan
         return plan
 
     def __len__(self) -> int:

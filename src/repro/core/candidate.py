@@ -108,6 +108,15 @@ def reconstruct_assignment(decision: Decision) -> Dict[int, BufferType]:
 
     Iterative (decision chains are as deep as the tree) and linear in the
     number of buffers plus merges.
+
+    Besides the three decision classes above, any object with an
+    ``expand(assignment, stack)`` method is accepted: it must write its
+    buffers into ``assignment`` directly (and may push further
+    :class:`Decision` nodes onto ``stack``).  This is the *deferred
+    provenance* hook — backends that record predecessor indices in a
+    compact tape instead of building decision objects per candidate
+    (:class:`repro.core.stores.soa.TapeRef`) expand only the winning
+    root candidate here, once per solve.
     """
     assignment: Dict[int, BufferType] = {}
     stack: List[Decision] = [decision]
@@ -119,6 +128,9 @@ def reconstruct_assignment(decision: Decision) -> Dict[int, BufferType]:
         elif isinstance(node, MergeDecision):
             stack.append(node.left)
             stack.append(node.right)
+        elif not isinstance(node, SinkDecision):
+            # Deferred-provenance reference (e.g. a SoA tape index).
+            node.expand(assignment, stack)
         # SinkDecision carries no buffers.
     return assignment
 

@@ -21,7 +21,15 @@ the engine operates on bare ``CandidateList`` objects exactly as the seed
 code did — including the legacy list-level ``add_buffer`` /
 ``add_wire`` / ``merge`` callables used by the instrumentation modules —
 while any other backend runs through the :class:`CandidateStore`
-protocol, with ``add_buffer`` receiving the store.
+protocol, with ``add_buffer`` receiving the store (the built-in
+algorithms route it to the store's fused
+:meth:`~repro.core.stores.base.CandidateStore.apply_buffer`).  Store
+ops may mutate in place and return the same store; the engine's
+release bookkeeping only recycles operands that were actually
+replaced.  Provenance may be deferred: the winning root candidate's
+``decision`` can be a backend handle (the SoA tape reference) that
+:func:`~repro.core.candidate.reconstruct_assignment` expands once, at
+the end of the solve.
 
 So is the *execution strategy* (:mod:`repro.core.schedule`):
 :func:`run_dynamic_program` accepts either a plain

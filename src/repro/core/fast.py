@@ -48,26 +48,14 @@ def _add_buffer_destructive(
 
 
 def _store_add_buffer_keep_all(store, plan: BufferPlan):
-    hull = store.convex_hull()
-    new = store.generate_hull(plan, hull=hull)
-    result = store.insert(new)
-    # Scratch hygiene: the hull and beta stores are dead once merged
-    # (the engine releases `store` itself when this returns).
-    hull.release()
-    if new is not result and new is not store:
-        new.release()
-    return result
+    # One fused kernel per position: hull, broadcast walk, beta prune,
+    # sorted insertion (kernel backends override apply_buffer; others
+    # inherit the composed default from the store protocol).
+    return store.apply_buffer(plan, generator="hull", destructive=False)
 
 
 def _store_add_buffer_destructive(store, plan: BufferPlan):
-    hull = store.convex_hull()
-    new = store.generate_hull(plan, hull=hull)
-    result = hull.insert(new)
-    if hull is not result:
-        hull.release()
-    if new is not result and new is not store and new is not hull:
-        new.release()
-    return result
+    return store.apply_buffer(plan, generator="hull", destructive=True)
 
 
 @register_algorithm("fast")

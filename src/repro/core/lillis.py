@@ -26,13 +26,10 @@ def _add_buffer(candidates: CandidateList, plan: BufferPlan) -> CandidateList:
 
 
 def _store_add_buffer(store, plan: BufferPlan):
-    new = store.generate_scan(plan)
-    result = store.insert(new)
-    # The beta store is dead once merged; recycle its arrays (the
-    # engine releases `store` itself when this returns).
-    if new is not result and new is not store:
-        new.release()
-    return result
+    # One fused scan-generate + insert kernel per position (kernel
+    # backends override apply_buffer; others inherit the composed
+    # default from the store protocol).
+    return store.apply_buffer(plan, generator="scan")
 
 
 @register_algorithm("lillis")

@@ -106,11 +106,71 @@ def verify_polarities(
     )
 
 
+class _PolarityOps:
+    """The backend-specific operation kit of the polarity DP.
+
+    The DP body below is written against this small vocabulary so it
+    runs unchanged over bare candidate lists (the object backend's
+    fast path) or any registered :class:`~repro.core.stores.base.StoreFactory`
+    backend (e.g. the SoA kernel engine) — the same pluggability the
+    main engine gets from :func:`repro.core.dp._resolve_ops`.
+    """
+
+    __slots__ = ("sink", "empty", "wire", "merge", "generate", "insert",
+                 "best", "release")
+
+    def __init__(self, sink, empty, wire, merge, generate, insert, best,
+                 release) -> None:
+        self.sink = sink
+        self.empty = empty
+        self.wire = wire
+        self.merge = merge
+        self.generate = generate
+        self.insert = insert
+        self.best = best
+        self.release = release
+
+
+def _object_ops(algorithm: str) -> _PolarityOps:
+    generate = generate_fast if algorithm == "fast" else generate_lillis
+    return _PolarityOps(
+        sink=lambda node_id, q, c: [
+            Candidate(q=q, c=c, decision=SinkDecision(node_id))
+        ],
+        empty=lambda: [],
+        wire=add_wire,
+        merge=merge_branches,
+        generate=generate,
+        insert=insert_candidates,
+        best=best_candidate_for_driver,
+        release=lambda lst: None,
+    )
+
+
+def _store_ops(factory, algorithm: str) -> _PolarityOps:
+    factory.begin_solve()
+    if algorithm == "fast":
+        generate = lambda store, plan: store.generate_hull(plan)  # noqa: E731
+    else:
+        generate = lambda store, plan: store.generate_scan(plan)  # noqa: E731
+    return _PolarityOps(
+        sink=factory.sink,
+        empty=factory.empty,
+        wire=lambda store, r, c: store.add_wire(r, c),
+        merge=lambda left, right: left.merge(right),
+        generate=generate,
+        insert=lambda store, new: store.insert(new),
+        best=lambda store, resistance: store.best_for_driver(resistance),
+        release=lambda store: store.release(),
+    )
+
+
 def insert_buffers_with_inverters(
     tree: RoutingTree,
     library: BufferLibrary,
     driver: Optional[Driver] = None,
     algorithm: str = "fast",
+    backend: str = "object",
 ) -> BufferingResult:
     """Maximum-slack buffering honouring inverters and sink polarities.
 
@@ -122,6 +182,9 @@ def insert_buffers_with_inverters(
         algorithm: ``"fast"`` (hull walk per polarity list, the
             DATE-2005 operation) or ``"lillis"`` (exhaustive scan) —
             both exact, used to cross-check each other in tests.
+        backend: Candidate-store backend name or ``"auto"``
+            (:func:`repro.core.stores.resolve_backend`); results are
+            bit-identical across backends, like the main engine's.
 
     Returns:
         The optimal :class:`BufferingResult`; its assignment is
@@ -131,16 +194,20 @@ def insert_buffers_with_inverters(
     Raises:
         InfeasibleError: If no buffering can deliver every sink its
             required polarity (e.g. negative sinks, no inverters).
-        AlgorithmError: Unknown ``algorithm`` or invalid tree.
+        AlgorithmError: Unknown ``algorithm``/``backend`` or invalid
+            tree.
     """
-    if algorithm == "fast":
-        generate = generate_fast
-    elif algorithm == "lillis":
-        generate = generate_lillis
-    else:
+    from repro.core.stores import get_store_backend, resolve_backend
+
+    if algorithm not in ("fast", "lillis"):
         raise AlgorithmError(
             f"unknown algorithm {algorithm!r}; choose 'fast' or 'lillis'"
         )
+    backend = resolve_backend(backend)
+    if backend == "object":
+        ops = _object_ops(algorithm)
+    else:
+        ops = _store_ops(get_store_backend(backend)(), algorithm)
 
     try:
         tree.validate()
@@ -158,58 +225,71 @@ def insert_buffers_with_inverters(
     for node_id in tree.postorder():
         node = tree.node(node_id)
         if node.is_sink:
-            seed = Candidate(
-                q=node.required_arrival,
-                c=node.capacitance,
-                decision=SinkDecision(node_id),
+            lists: PolarityLists = {1: ops.empty(), -1: ops.empty()}
+            lists[node.polarity] = ops.sink(
+                node_id, node.required_arrival, node.capacitance
             )
-            lists: PolarityLists = {1: [], -1: []}
-            lists[node.polarity] = [seed]
             candidates_generated += 1
         else:
             branch_states: List[PolarityLists] = []
             for child in tree.children_of(node_id):
                 edge = tree.edge_to(child)
                 child_lists = states.pop(child)
-                branch_states.append(
-                    {
-                        p: add_wire(child_lists[p], edge.resistance,
-                                    edge.capacitance)
-                        for p in _POLARITIES
-                    }
-                )
+                wired: PolarityLists = {}
+                for p in _POLARITIES:
+                    out = ops.wire(child_lists[p], edge.resistance,
+                                   edge.capacitance)
+                    if out is not child_lists[p]:
+                        ops.release(child_lists[p])
+                    wired[p] = out
+                branch_states.append(wired)
             lists = branch_states[0]
             for other in branch_states[1:]:
                 combined: PolarityLists = {}
                 for p in _POLARITIES:
-                    if lists[p] and other[p]:
-                        combined[p] = merge_branches(lists[p], other[p])
-                        candidates_generated += len(combined[p])
+                    if len(lists[p]) and len(other[p]):
+                        merged = ops.merge(lists[p], other[p])
+                        candidates_generated += len(merged)
+                        if merged is not lists[p]:
+                            ops.release(lists[p])
+                        if merged is not other[p]:
+                            ops.release(other[p])
+                        combined[p] = merged
                     else:
                         # One branch cannot accept this arriving
                         # polarity: nor can the merged subtree.
-                        combined[p] = []
+                        ops.release(lists[p])
+                        ops.release(other[p])
+                        combined[p] = ops.empty()
                 lists = combined
 
             plan = plans.get(node_id)
             if plan is not None:
-                new_by_polarity: Dict[int, List[CandidateList]] = {1: [], -1: []}
+                new_by_polarity: Dict[int, list] = {1: [], -1: []}
                 for p in _POLARITIES:
-                    if not lists[p]:
+                    if not len(lists[p]):
                         continue
                     if plan.non_inverting is not None:
                         new_by_polarity[p].append(
-                            generate(lists[p], plan.non_inverting)
+                            ops.generate(lists[p], plan.non_inverting)
                         )
                     if plan.inverting is not None:
                         new_by_polarity[-p].append(
-                            generate(lists[p], plan.inverting)
+                            ops.generate(lists[p], plan.inverting)
                         )
                 for p in _POLARITIES:
                     for new_candidates in new_by_polarity[p]:
-                        if new_candidates:
-                            lists[p] = insert_candidates(lists[p], new_candidates)
-                            candidates_generated += len(new_candidates)
+                        if len(new_candidates):
+                            count = len(new_candidates)
+                            out = ops.insert(lists[p], new_candidates)
+                            candidates_generated += count
+                            if out is not lists[p]:
+                                ops.release(lists[p])
+                            if out is not new_candidates:
+                                ops.release(new_candidates)
+                            lists[p] = out
+                        elif new_candidates is not lists[p]:
+                            ops.release(new_candidates)
 
         for p in _POLARITIES:
             if len(lists[p]) > peak_length:
@@ -217,7 +297,7 @@ def insert_buffers_with_inverters(
         states[node_id] = lists
 
     root_positive = states[tree.root_id][1]
-    if not root_positive:
+    if not len(root_positive):
         negative_sinks = [s.node_id for s in tree.sinks() if s.polarity == -1]
         raise InfeasibleError(
             "no polarity-correct buffering exists: sinks "
@@ -226,7 +306,7 @@ def insert_buffers_with_inverters(
         )
 
     resistance = driver.resistance if driver is not None else 0.0
-    best = best_candidate_for_driver(root_positive, resistance)
+    best = ops.best(root_positive, resistance)
     assert best is not None
     slack = best.q - (driver.delay(best.c) if driver is not None else 0.0)
 
@@ -238,6 +318,7 @@ def insert_buffers_with_inverters(
         peak_list_length=peak_length,
         candidates_generated=candidates_generated,
         runtime_seconds=time.perf_counter() - started,
+        backend=backend,
     )
     return BufferingResult(
         slack=slack,

@@ -18,7 +18,7 @@ Two prunes appear in the algorithms:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.core.candidate import Candidate, CandidateList
 
@@ -76,6 +76,83 @@ def convex_prune(candidates: Sequence[Candidate]) -> CandidateList:
         ):
             hull.pop()
         hull.append(candidate)
+    return hull
+
+
+def prune_dominated_indices(q: Sequence[float], c: Sequence[float]) -> List[int]:
+    """Index form of :func:`prune_dominated` over parallel ``q``/``c``.
+
+    The same one-pass stack algorithm, tracking positions instead of
+    candidate objects, so array backends (:mod:`repro.core.stores.soa`)
+    share this selection logic instead of keeping a scalar twin: no
+    arithmetic is involved, only comparisons on the given values, so the
+    surviving set is bit-for-bit the one :func:`prune_dominated` keeps.
+    """
+    # Preallocated index store with a depth counter: the scan mutates no
+    # list structure (no append/pop), only slots — measurably faster on
+    # the hot mid-size lists this serves.
+    kept: List[int] = [0] * len(q)
+    depth = 0
+    last_q = last_c = 0.0
+    for i, qi in enumerate(q):
+        ci = c[i]
+        if depth:
+            if ci == last_c and qi > last_q:
+                depth -= 1
+                if depth:
+                    j = kept[depth - 1]
+                    last_q = q[j]
+                    last_c = c[j]
+                else:
+                    kept[0] = i
+                    depth = 1
+                    last_q = qi
+                    last_c = ci
+                    continue
+            if qi > last_q:
+                kept[depth] = i
+                depth += 1
+                last_q = qi
+                last_c = ci
+        else:
+            kept[0] = i
+            depth = 1
+            last_q = qi
+            last_c = ci
+    del kept[depth:]
+    return kept
+
+
+def hull_indices(q: Sequence[float], c: Sequence[float]) -> List[int]:
+    """Index form of :func:`convex_prune` over parallel ``q``/``c``.
+
+    Graham's scan on a nonredundant (strictly increasing ``q`` and
+    ``c``) point sequence, tracking positions; shared by the array
+    backends for the same reason as :func:`prune_dominated_indices`.
+    """
+    # Preallocated index store plus the last two hull points' coordinates
+    # in locals: the popping loop's predicate reads no list elements and
+    # mutates no list structure.
+    hull: List[int] = [0] * len(q)
+    q1 = c1 = q2 = c2 = 0.0
+    depth = 0
+    for i, qi in enumerate(q):
+        ci = c[i]
+        while depth >= 2 and (q1 - q2) * (ci - c1) <= (qi - q1) * (c1 - c2):
+            depth -= 1
+            q1 = q2
+            c1 = c2
+            if depth >= 2:
+                j = hull[depth - 2]
+                q2 = q[j]
+                c2 = c[j]
+        hull[depth] = i
+        depth += 1
+        q2 = q1
+        c2 = c1
+        q1 = qi
+        c1 = ci
+    del hull[depth:]
     return hull
 
 

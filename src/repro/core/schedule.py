@@ -161,6 +161,9 @@ class CompiledNet:
                         if b.name in allowed_names
                     ]
                     plans.append(BufferPlan(node_id, allowed))
+            from repro.core.stores.soa import prime_plan_kernels
+
+            prime_plan_kernels(plans)
             self._plans = plans
         return self._plans
 
@@ -199,6 +202,22 @@ class CompiledNet:
             factory = get_store_backend(backend)()
             self._factories[backend] = factory
         return factory
+
+    def factory_stats(self) -> Dict[str, Dict]:
+        """Health counters of this net's per-backend store factories.
+
+        Keyed by backend name; each value is the factory's
+        :meth:`~repro.core.stores.base.StoreFactory.stats` dict (the
+        SoA backend reports solve counts, scratch-arena block pools and
+        provenance-tape capacity).  Only backends that have actually
+        solved through this compiled net appear.  The serving layer
+        aggregates this over its compiled-net cache for ``/stats``.
+        """
+        return {
+            backend: factory.stats()
+            for backend, factory in self._factories.items()
+            if hasattr(factory, "stats")
+        }
 
     def payload_nbytes(self) -> int:
         """Approximate resident/wire footprint of the compiled payloads.
@@ -387,7 +406,13 @@ def compile_net(
     )
     # The plans just walked are the plan table; seed the lazy cache so
     # in-process solves never rebuild it (pickles still rebuild from
-    # the specs).
+    # the specs).  Plan kernels — the R / C_in / intrinsic-delay
+    # vectors the SoA buffer kernel broadcasts against — are built here
+    # too, so they are part of the compiled artifact's warm state
+    # rather than a first-solve cost (no-op without NumPy).
+    from repro.core.stores.soa import prime_plan_kernels
+
+    prime_plan_kernels(plan_table)
     compiled._plans = plan_table
     return compiled
 

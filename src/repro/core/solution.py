@@ -46,7 +46,11 @@ class BufferingResult:
 
     Attributes:
         slack: The maximized slack at the driver output, seconds.
-        assignment: ``{node_id: buffer_type}`` for every inserted buffer.
+        assignment: ``{node_id: buffer_type}`` for every inserted
+            buffer — always a fully materialized plain dict, even for
+            backends that defer provenance during the solve (the SoA
+            tape is backtraced before the result is constructed, so a
+            result never references per-solve storage).
         driver_load: Capacitance the winning candidate presents to the
             driver, farads.
         stats: :class:`DPStats` for the run.

@@ -29,10 +29,11 @@ Invariants every store must preserve, matching the object backend:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import ClassVar, NamedTuple, Optional
+from typing import ClassVar, Dict, NamedTuple, Optional
 
 from repro.core.buffer_ops import BufferPlan
 from repro.core.candidate import Decision
+from repro.errors import AlgorithmError
 
 
 class BestCandidate(NamedTuple):
@@ -80,6 +81,41 @@ class CandidateStore(ABC):
     def best_for_driver(self, resistance: float) -> Optional[BestCandidate]:
         """Min-c argmax of ``q - R c``, or ``None`` when empty."""
 
+    def apply_buffer(
+        self, plan: BufferPlan, generator: str = "hull",
+        destructive: bool = False,
+    ) -> "CandidateStore":
+        """The whole add-buffer step of one position, as one operation.
+
+        ``generator`` selects how the betas are produced — ``"hull"``
+        (convex prune + monotone hull walk, the paper's O(k + b) step)
+        or ``"scan"`` (the exhaustive O(b k) Lillis scan) — and
+        ``destructive`` (hull only) reproduces the paper's literal
+        pseudocode by inserting into the hull instead of the full list.
+
+        This default composes the fine-grained primitives above, so any
+        backend gets it for free; kernel backends override it with a
+        fused implementation (:meth:`repro.core.stores.soa.SoAStore.apply_buffer`)
+        that must keep the exact data flow — and therefore results — of
+        this composition.  The returned store may be ``self`` mutated
+        in place; consumed intermediates are released here.
+        """
+        if generator == "scan":
+            new = self.generate_scan(plan)
+            result = self.insert(new)
+            if new is not result and new is not self:
+                new.release()
+            return result
+        hull = self.convex_hull()
+        new = self.generate_hull(plan, hull=hull)
+        target = hull if destructive else self
+        result = target.insert(new)
+        if hull is not result and hull is not self:
+            hull.release()
+        if new is not result and new is not self and new is not hull:
+            new.release()
+        return result
+
     def release(self) -> None:
         """Hand this store's storage back to its factory.
 
@@ -109,6 +145,27 @@ class StoreFactory(ABC):
     @abstractmethod
     def sink(self, node_id: int, q: float, c: float) -> CandidateStore:
         """The single base candidate of a sink node."""
+
+    def empty(self) -> CandidateStore:
+        """A store holding no candidates.
+
+        The polarity-aware DP (:mod:`repro.core.polarity`) seeds one
+        store per signal phase, one of which starts empty.  Backends
+        that do not implement it simply cannot run that extension.
+        """
+        raise AlgorithmError(
+            f"the {self.backend or type(self).__name__!r} candidate-store "
+            "backend does not provide empty stores (required by the "
+            "polarity-aware dynamic program)"
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Backend health counters for the serving layer's ``/stats``.
+
+        The default is empty; the SoA backend reports its scratch-arena
+        block pools and provenance-tape capacity here.
+        """
+        return {}
 
     def begin_solve(self) -> None:
         """Reset per-solve state (decision arenas, scratch buffers).

@@ -80,3 +80,6 @@ class ObjectStoreFactory(StoreFactory):
 
     def sink(self, node_id: int, q: float, c: float) -> ObjectStore:
         return ObjectStore([Candidate(q=q, c=c, decision=SinkDecision(node_id))])
+
+    def empty(self) -> ObjectStore:
+        return ObjectStore([])

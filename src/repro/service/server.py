@@ -128,6 +128,10 @@ class BufferServer:
             "worker_dispatches": 0,
             "errors": 0,
         }
+        # Nets actually solved (cache misses), per resolved candidate-
+        # store backend — with the kernel/arena health in /stats this is
+        # what makes production pool sizing debuggable.
+        self.solves_by_backend: Dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -249,9 +253,44 @@ class BufferServer:
         compiled_bytes = sum(
             net.payload_nbytes() for net, _ in self.compiled.values()
         )
+        # Kernel-engine health, aggregated over the compiled-net
+        # cache's per-backend store factories: inline (jobs=1) pools
+        # solve through these factories, so their scratch-arena block
+        # pools and provenance-tape capacities show up here.  Worker
+        # processes (jobs > 1) hold private factories the parent cannot
+        # see; their activity is still visible via solves_by_backend.
+        kernels: Dict[str, Dict[str, int]] = {}
+        factories: Dict[str, int] = {}
+        for net, _ in self.compiled.values():
+            for backend, stats in net.factory_stats().items():
+                bucket = kernels.setdefault(backend, {
+                    "solves": 0,
+                    "arena_free_blocks": 0,
+                    "arena_lent_blocks": 0,
+                    "arena_pooled_bytes": 0,
+                    "tape_entries": 0,
+                    "tape_capacity": 0,
+                })
+                factories[backend] = factories.get(backend, 0) + 1
+                bucket["solves"] += stats.get("solves", 0)
+                arena = stats.get("arena", {})
+                bucket["arena_free_blocks"] += (
+                    arena.get("free_blocks_f8", 0)
+                    + arena.get("free_blocks_ip", 0)
+                    + arena.get("free_blocks_pair", 0)
+                )
+                bucket["arena_lent_blocks"] += arena.get("lent_blocks", 0)
+                bucket["arena_pooled_bytes"] += arena.get("pooled_bytes", 0)
+                tape = stats.get("tape", {})
+                bucket["tape_entries"] += tape.get("entries", 0)
+                bucket["tape_capacity"] += tape.get("capacity", 0)
+        for backend, bucket in kernels.items():
+            bucket["factories"] = factories[backend]
         return 200, {
             "uptime_seconds": time.monotonic() - self._started,
             "counters": dict(self.counters),
+            "solves_by_backend": dict(self.solves_by_backend),
+            "kernels": kernels,
             "cache": self.results.stats().as_dict(),
             "compiled_cache": dict(
                 self.compiled.stats().as_dict(),
@@ -366,6 +405,10 @@ class BufferServer:
             to_solve = [net for net, _ in unique.values()]
             self.counters["worker_dispatches"] += 1
             self.counters["nets_solved"] += len(to_solve)
+            backend = entry.pool.backend
+            self.solves_by_backend[backend] = (
+                self.solves_by_backend.get(backend, 0) + len(to_solve)
+            )
             loop = asyncio.get_running_loop()
             # in_flight bookkeeping happens on the event loop thread
             # (before and after the await), so LRU eviction never

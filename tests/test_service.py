@@ -237,6 +237,22 @@ class TestStats:
             "in_flight": 0,
         }]
 
+    def test_stats_kernel_health(self, harness, net, library):
+        """Scratch-arena/tape health and per-backend solve counters."""
+        from repro.core.stores import resolve_backend
+
+        backend = resolve_backend("auto")
+        harness.client.solve(net, library)
+        harness.client.solve(net, library)  # cache hit: no new solve
+        stats = harness.client.stats()
+        assert stats["solves_by_backend"] == {backend: 1}
+        if backend == "soa":
+            kernels = stats["kernels"]["soa"]
+            assert kernels["solves"] == 1
+            assert kernels["factories"] == 1
+            assert kernels["arena_pooled_bytes"] >= 0
+            assert kernels["tape_capacity"] >= 0
+
 
 class TestTTLIntegration:
     def test_expired_entry_is_resolved(self, net, library):

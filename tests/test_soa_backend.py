@@ -113,15 +113,13 @@ def test_vectorized_paths_match_scalar_on_long_lists():
     from repro.core.candidate import Candidate, SinkDecision
     from repro.core.pruning import convex_prune, prune_dominated
     from repro.core.stores.soa import (
-        _SCALAR_CUTOFF,
-        _VECTOR_HULL_CUTOFF,
         _hull_indices,
         _nonredundant_indices,
+        kernel_cutoff,
     )
 
     rng = random.Random(7)
-    count = 2 * _VECTOR_HULL_CUTOFF + 17
-    assert count > _SCALAR_CUTOFF
+    count = 4 * kernel_cutoff() + 17
     raw = sorted(
         (rng.uniform(0.0, 1e-12), rng.uniform(-1e-9, 0.0))
         for _ in range(count)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""CI perf smoke gate over a freshly generated ``BENCH_PR4.json``.
+
+Fails (exit 1) when the compiled SoA backend is slower than the
+compiled object backend on any Figure 4 trunk point at or above the
+gated position count — the PR2 regression shape this repository's
+kernel engine exists to keep reversed.  Thresholds are read from the
+benchmark file itself (``ci_gate``), so the bench and its gate cannot
+drift apart:
+
+* ``ci_gate.min_positions`` — points with at least this many *actual*
+  positions are gated (the CI job runs at ``REPRO_BENCH_SCALE=0.25``,
+  so the gated points are the top of the scaled sweep);
+* ``ci_gate.max_soa_over_object`` — compiled-soa seconds must be at
+  most this multiple of compiled-object seconds.
+
+Usage::
+
+    python tools/perf_gate.py BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def check(path: Path) -> int:
+    payload = json.loads(path.read_text())
+    gate = payload.get("ci_gate")
+    if not gate:
+        print(f"perf gate: {path} has no ci_gate section")
+        return 1
+    min_positions = gate["min_positions"]
+    max_ratio = gate["max_soa_over_object"]
+
+    by_position = {}
+    for point in payload["fig4"]["points"]:
+        by_position.setdefault(point["positions"], {})[point["backend"]] = (
+            point["compiled_seconds"]
+        )
+
+    gated = {
+        positions: seconds
+        for positions, seconds in by_position.items()
+        if positions >= min_positions and "soa" in seconds
+    }
+    if not gated:
+        print(
+            f"perf gate: no fig4 points with >= {min_positions} positions "
+            "and a soa measurement — nothing to gate (is numpy installed "
+            "and the scale high enough?)"
+        )
+        return 1
+
+    failures = 0
+    for positions in sorted(gated):
+        seconds = gated[positions]
+        ratio = seconds["soa"] / seconds["object"]
+        verdict = "ok" if ratio <= max_ratio else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(
+            f"perf gate: n={positions:>5}  object "
+            f"{seconds['object']*1e3:9.2f}ms  soa {seconds['soa']*1e3:9.2f}ms"
+            f"  soa/object {ratio:.3f} (limit {max_ratio:.3f})  {verdict}"
+        )
+    if failures:
+        print(
+            f"perf gate: {failures} point(s) regressed — compiled soa is "
+            "slower than compiled object in the gated range"
+        )
+        return 1
+    print("perf gate: pass")
+    return 0
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    return check(Path(argv[1]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
