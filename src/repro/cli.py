@@ -1,16 +1,21 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the workflow a user needs without writing code:
+Six subcommands cover the workflow a user needs without writing code:
 
 * ``generate`` — synthesize a net and/or a buffer library to JSON;
 * ``buffer``   — run an insertion algorithm on saved net + library and
   print the report (optionally saving the assignment);
 * ``batch``    — buffer many saved nets in one run, optionally across
   worker processes (``--jobs``);
+* ``edit``     — replay an ECO edit script against a saved net with the
+  incremental engine (:mod:`repro.incremental`), re-solving only the
+  dirty path per step; ``--verify`` cross-checks every step against a
+  from-scratch solve;
 * ``info``     — describe a saved net;
 * ``serve``    — run the HTTP serving layer (:mod:`repro.service`):
-  ``/solve``, ``/batch``, ``/healthz``, ``/stats`` with canonical-hash
-  result caching and a persistent worker pool.
+  ``/solve``, ``/batch``, ``/session`` (stateful incremental ECO
+  sessions), ``/healthz``, ``/stats`` with canonical-hash result
+  caching and a persistent worker pool.
 
 Algorithms and candidate-store backends are enumerated from their
 registries (:mod:`repro.core.registry`, :mod:`repro.core.stores`), so a
@@ -23,6 +28,8 @@ Example session (see ``docs/cli.md`` for full transcripts)::
     python -m repro buffer --net net.json --library lib.json --algorithm fast
     python -m repro batch --nets a.json b.json c.json --library lib.json \\
                           --jobs 4
+    python -m repro edit --net net.json --library lib.json \\
+                         --edits eco.json --verify
     python -m repro info --net net.json
     python -m repro serve --port 8080 --jobs 4
 """
@@ -118,6 +125,29 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--output", type=Path,
                        help="write per-net results JSON here")
 
+    edit = sub.add_parser(
+        "edit",
+        help="replay an ECO edit script with incremental re-solving")
+    edit.add_argument("--net", type=Path, required=True)
+    edit.add_argument("--library", type=Path, required=True)
+    edit.add_argument("--edits", type=Path, required=True,
+                      help="JSON file: a list of edit objects "
+                           '(e.g. [{"op": "set_sink_rat", "node": 3, '
+                           '"required_arrival": 9e-10}, ...]); node ids '
+                           "are the loaded net's ids (see 'repro info')")
+    edit.add_argument("--algorithm", choices=algorithm_names(),
+                      default="fast", help=_algorithm_help())
+    edit.add_argument("--backend",
+                      choices=("auto",) + store_backend_names(),
+                      default="auto",
+                      help="candidate-store backend; 'auto' (default) "
+                           "picks soa when NumPy is available")
+    edit.add_argument("--verify", action="store_true",
+                      help="cross-check every step against a from-scratch "
+                           "solve (bit-identical slack and assignment)")
+    edit.add_argument("--output", type=Path,
+                      help="write per-step results JSON here")
+
     info = sub.add_parser("info", help="describe a saved net")
     info.add_argument("--net", type=Path, required=True)
 
@@ -137,6 +167,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: no expiry)")
     serve.add_argument("--max-pools", type=int, default=4,
                        help="distinct solve contexts kept warm (default 4)")
+    serve.add_argument("--max-sessions", type=int, default=32,
+                       help="live incremental ECO sessions kept resident; "
+                            "least recently used beyond this are evicted "
+                            "(default 32)")
+    serve.add_argument("--session-ttl", type=float, default=3600.0,
+                       help="seconds an idle session stays alive "
+                            "(default 3600; <= 0 disables expiry)")
     return parser
 
 
@@ -252,6 +289,110 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_edit(args: argparse.Namespace) -> int:
+    from repro.core.schedule import auto_compile
+    from repro.errors import EditError, ReproError
+    from repro.incremental import IncrementalSolver, edit_from_dict
+
+    tree = load_tree(args.net)
+    library = library_from_dict(json.loads(args.library.read_text()))
+    try:
+        edit_specs = json.loads(args.edits.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"edit: {args.edits} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(edit_specs, list) or not edit_specs:
+        print("edit: the edit script must be a non-empty JSON list",
+              file=sys.stderr)
+        return 2
+    try:
+        edits = [edit_from_dict(spec) for spec in edit_specs]
+    except EditError as exc:
+        print(f"edit: {exc}", file=sys.stderr)
+        return 2
+
+    solver = IncrementalSolver(tree, library, algorithm=args.algorithm,
+                               backend=args.backend)
+    started = time.perf_counter()
+    baseline = solver.resolve()
+    baseline_seconds = time.perf_counter() - started
+    print(f"baseline: slack {to_ps(baseline.slack):.1f} ps, "
+          f"{baseline.num_buffers} buffers "
+          f"({baseline_seconds * 1e3:.1f} ms full solve, "
+          f"algorithm={args.algorithm}, backend={solver.backend})")
+
+    header = (f"{'step':>5}  {'edit':<34}{'slack (ps)':>12}{'buffers':>9}"
+              f"{'resolve (ms)':>14}{'dirty %':>9}")
+    print(header)
+    print("-" * len(header))
+    steps = []
+    mismatches = 0
+    for number, (edit, spec) in enumerate(zip(edits, edit_specs), start=1):
+        try:
+            solver.apply(edit)
+        except (EditError, ReproError) as exc:
+            print(f"edit: step {number} rejected: {exc}", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        result = solver.resolve()
+        elapsed = time.perf_counter() - started
+        verified = None
+        if args.verify:
+            with auto_compile(False):
+                scratch = insert_buffers(tree, library,
+                                         algorithm=args.algorithm,
+                                         backend=args.backend)
+            verified = (
+                scratch.slack == result.slack
+                and scratch.assignment == result.assignment
+            )
+            if not verified:
+                mismatches += 1
+        summary = edit.describe()
+        if len(summary) > 32:
+            summary = summary[:31] + "…"
+        flag = "" if verified is None else ("  ok" if verified else "  MISMATCH")
+        print(f"{number:>5}  {summary:<34}{to_ps(result.slack):>12.1f}"
+              f"{result.num_buffers:>9}{elapsed * 1e3:>14.2f}"
+              f"{solver.last_executed_fraction * 100:>8.1f}%{flag}")
+        steps.append({
+            "edit": spec,
+            "slack_seconds": result.slack,
+            "num_buffers": result.num_buffers,
+            "resolve_seconds": elapsed,
+            "executed_fraction": solver.last_executed_fraction,
+            "spliced_subtrees": solver.last_spliced_subtrees,
+            **({} if verified is None else {"verified": verified}),
+        })
+
+    cache = solver.stats()["frontier_cache"]
+    print(f"\n{len(edits)} edits; frontier cache: {cache['hits']} hits / "
+          f"{cache['misses']} misses ({cache['hit_rate']:.0%}), "
+          f"{cache['bytes'] / 1024:.0f} KiB resident")
+    if args.output is not None:
+        final = steps[-1] if steps else {}
+        payload = {
+            "algorithm": args.algorithm,
+            "backend": solver.backend,
+            "baseline_slack_seconds": baseline.slack,
+            "steps": steps,
+            "final_assignment": {
+                str(node_id): buffer.name
+                for node_id, buffer in sorted(
+                    solver.resolve().assignment.items()
+                )
+            },
+            "final_slack_seconds": final.get("slack_seconds", baseline.slack),
+        }
+        args.output.write_text(json.dumps(payload, indent=2))
+        print(f"wrote results -> {args.output}")
+    if mismatches:
+        print(f"edit: {mismatches} step(s) FAILED verification",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     tree = load_tree(args.net)
     print(describe_net(tree))
@@ -270,11 +411,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: --cache-ttl must be > 0, got {args.cache_ttl}",
               file=sys.stderr)
         return 2
+    if args.max_sessions < 1:
+        print(f"serve: --max-sessions must be >= 1, got {args.max_sessions}",
+              file=sys.stderr)
+        return 2
     from repro.service.server import serve
 
+    session_ttl = args.session_ttl if args.session_ttl > 0 else None
     serve(host=args.host, port=args.port, jobs=args.jobs,
           cache_size=args.cache_size, cache_ttl=args.cache_ttl,
-          max_pools=args.max_pools)
+          max_pools=args.max_pools, max_sessions=args.max_sessions,
+          session_ttl=session_ttl)
     return 0
 
 
@@ -287,6 +434,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_buffer(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "edit":
+        return _cmd_edit(args)
     if args.command == "info":
         return _cmd_info(args)
     if args.command == "serve":

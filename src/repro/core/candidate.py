@@ -69,6 +69,30 @@ class MergeDecision:
         return "MergeDecision(...)"
 
 
+class ExpandedDecision:
+    """A decision pre-expanded to its final ``{node id: buffer}`` form.
+
+    Produced when a deferred-provenance chain is *flattened*: the
+    incremental engine's spliced frontiers reference earlier solves'
+    provenance (tape archives, translation wrappers), and without a
+    bound those references could chain one per re-solve.  Once a chain
+    reaches the cap it is collapsed into this terminal form — O(answer)
+    once, after which expansion is a dict update and retains nothing
+    but buffer types.
+    """
+
+    __slots__ = ("assignment",)
+
+    def __init__(self, assignment: Dict[int, BufferType]) -> None:
+        self.assignment = assignment
+
+    def expand(self, assignment: Dict[int, "BufferType"], stack: list) -> None:
+        assignment.update(self.assignment)
+
+    def __repr__(self) -> str:
+        return f"ExpandedDecision({len(self.assignment)} buffers)"
+
+
 Decision = Union[SinkDecision, BufferDecision, MergeDecision]
 
 

@@ -40,6 +40,17 @@ trees compile themselves transparently: the first solve walks the tree
 and caches a schedule, repeat solves run the interpreter.  Both paths
 perform the same IEEE-754 operations on the same inputs in dependency
 order, so their results are bit-identical.
+
+There is a third executor of the same contract outside this module:
+the incremental engine (:mod:`repro.incremental.engine`) runs its own
+interpreter over a ``CompiledNet``'s instruction stream, skipping
+clean subtree ranges and splicing memoized frontiers onto the stack.
+It builds its per-backend operations with :func:`_resolve_ops` and
+finishes through :func:`_finish`, so those two helpers — together with
+the instruction semantics of ``_execute_schedule`` and the engine's
+release discipline (a consumed store is released the moment it is no
+longer reachable from the stack) — are a load-bearing internal
+contract: change them in lockstep with that engine.
 """
 
 from __future__ import annotations
@@ -132,6 +143,8 @@ def _resolve_ops(
     Returns ``(sink_op, wire_op, merge_op, best_op, release_op)``.
     ``factory`` is only used (and created when ``None``) for non-object
     backends; reusing one across solves keeps its scratch state warm.
+    Shared with the incremental engine's splice interpreter (see the
+    module docstring), which passes its session-owned factory here.
     """
     if backend == "object":
         from repro.core.merge import merge_branches as default_merge

@@ -69,6 +69,27 @@ class FastAlgorithm(InsertionAlgorithm):
     )
     options = frozenset({"destructive_pruning"})
 
+    def add_buffer_op(
+        self,
+        backend: str,
+        library: BufferLibrary,
+        destructive_pruning: bool = False,
+    ):
+        if backend == "object":
+            return (
+                _add_buffer_destructive
+                if destructive_pruning
+                else _add_buffer_keep_all
+            )
+        return (
+            _store_add_buffer_destructive
+            if destructive_pruning
+            else _store_add_buffer_keep_all
+        )
+
+    def stats_label(self, destructive_pruning: bool = False) -> str:
+        return "fast-destructive" if destructive_pruning else "fast"
+
     def run(
         self,
         tree: RoutingTree,
@@ -77,22 +98,13 @@ class FastAlgorithm(InsertionAlgorithm):
         backend: str = "object",
         destructive_pruning: bool = False,
     ) -> BufferingResult:
-        if backend == "object":
-            add_buffer = (
-                _add_buffer_destructive
-                if destructive_pruning
-                else _add_buffer_keep_all
-            )
-        else:
-            add_buffer = (
-                _store_add_buffer_destructive
-                if destructive_pruning
-                else _store_add_buffer_keep_all
-            )
-        name = "fast-destructive" if destructive_pruning else "fast"
+        add_buffer = self.add_buffer_op(
+            backend, library, destructive_pruning=destructive_pruning
+        )
         return run_dynamic_program(
-            tree, library, add_buffer, algorithm=name, driver=driver,
-            backend=backend,
+            tree, library, add_buffer,
+            algorithm=self.stats_label(destructive_pruning=destructive_pruning),
+            driver=driver, backend=backend,
         )
 
 

@@ -42,6 +42,9 @@ class LillisAlgorithm(InsertionAlgorithm):
         "whole candidate list"
     )
 
+    def add_buffer_op(self, backend: str, library: BufferLibrary):
+        return _add_buffer if backend == "object" else _store_add_buffer
+
     def run(
         self,
         tree: RoutingTree,
@@ -49,7 +52,7 @@ class LillisAlgorithm(InsertionAlgorithm):
         driver: Optional[Driver] = None,
         backend: str = "object",
     ) -> BufferingResult:
-        add_buffer = _add_buffer if backend == "object" else _store_add_buffer
+        add_buffer = self.add_buffer_op(backend, library)
         return run_dynamic_program(
             tree, library, add_buffer, algorithm="lillis", driver=driver,
             backend=backend,

@@ -65,6 +65,34 @@ class InsertionAlgorithm(ABC):
     ) -> BufferingResult:
         """Solve one instance and return the optimal buffering."""
 
+    def add_buffer_op(
+        self, backend: str, library: BufferLibrary, **options
+    ) -> Callable:
+        """The algorithm's add-buffer operation as a bare callable.
+
+        This is what makes a strategy *incrementally re-solvable*: the
+        engine of :mod:`repro.incremental` drives the shared dynamic
+        program itself (splicing memoized subtree frontiers into the
+        instruction stream) and only needs the one operation the
+        algorithms differ in.  The returned callable follows the
+        :data:`repro.core.dp.AddBufferOp` contract for ``backend``.
+        The built-ins all implement this; strategies that don't simply
+        cannot be used in an :class:`~repro.incremental.engine.IncrementalSolver`.
+
+        Raises:
+            AlgorithmError: The strategy does not expose its add-buffer
+                operation (default), or ``library``/``options`` are
+                invalid for it.
+        """
+        raise AlgorithmError(
+            f"algorithm {self.name!r} does not expose add_buffer_op and "
+            "therefore cannot be re-solved incrementally"
+        )
+
+    def stats_label(self, **options) -> str:
+        """The ``DPStats.algorithm`` label a run with ``options`` reports."""
+        return self.name
+
     def validate_options(self, options: Dict[str, object]) -> None:
         """Reject unknown keyword options with the canonical message."""
         unknown = set(options) - set(self.options)

@@ -125,6 +125,9 @@ class CompiledNet:
         num_nodes: int,
         num_sinks: int,
         num_buffer_positions: int,
+        start_of_node: Optional[Dict[int, int]] = None,
+        final_of_node: Optional[Dict[int, int]] = None,
+        wire_index_of: Optional[Dict[int, int]] = None,
     ) -> None:
         self.ops = ops
         self.args = args
@@ -139,9 +142,20 @@ class CompiledNet:
         self.num_nodes = num_nodes
         self.num_sinks = num_sinks
         self.num_buffer_positions = num_buffer_positions
+        #: Per-node instruction ranges: node ``v``'s subtree occupies
+        #: instructions ``[start_of_node[v], final_of_node[v]]`` (the
+        #: final one carries :data:`OP_FINAL` and leaves v's completed
+        #: frontier on top of the stack).  The incremental engine skips
+        #: and splices whole subtrees through these; plain solves never
+        #: read them.
+        self.start_of_node = start_of_node or {}
+        self.final_of_node = final_of_node or {}
+        #: ``child node id -> index into wire_r/wire_c`` (payload patching).
+        self.wire_index_of = wire_index_of or {}
         self._plans: Optional[List[BufferPlan]] = None
         self._factories: Dict[str, object] = {}
         self._runtime: Optional[tuple] = None
+        self._sink_index_of: Optional[Dict[int, int]] = None
 
     # -- solve-time accessors ------------------------------------------
 
@@ -219,6 +233,44 @@ class CompiledNet:
             if hasattr(factory, "stats")
         }
 
+    # -- in-place payload patching (the incremental engine's surface) --
+
+    def patch_sink(self, node_id: int, q: float, c: float) -> None:
+        """Overwrite one sink's ``(required arrival, capacitance)``.
+
+        An O(1) edit to the compiled payloads — no re-validate, no
+        re-flatten.  Callers own the consistency contract: the tree this
+        schedule was compiled from must have received the same edit
+        (:class:`repro.incremental.engine.IncrementalSolver` does both
+        sides).  Patch a *shared* schedule (the auto-compile cache, the
+        server's compiled-net cache) and every other user sees the edit;
+        the incremental engine therefore always compiles privately.
+        """
+        if self._sink_index_of is None:
+            self._sink_index_of = {
+                node: index for index, node in enumerate(self.sink_node)
+            }
+        index = self._sink_index_of[node_id]
+        self.sink_q[index] = q
+        self.sink_c[index] = c
+        if self._runtime is not None:
+            self._runtime[4][index] = q
+            self._runtime[5][index] = c
+
+    def patch_wire(
+        self, child_id: int, resistance: float, capacitance: float
+    ) -> None:
+        """Overwrite the parasitics of the edge reaching ``child_id``.
+
+        Same contract as :meth:`patch_sink`.
+        """
+        index = self.wire_index_of[child_id]
+        self.wire_r[index] = resistance
+        self.wire_c[index] = capacitance
+        if self._runtime is not None:
+            self._runtime[1][index] = resistance
+            self._runtime[2][index] = capacitance
+
     def payload_nbytes(self) -> int:
         """Approximate resident/wire footprint of the compiled payloads.
 
@@ -237,12 +289,14 @@ class CompiledNet:
         """Whether ``tree`` still looks like the tree compiled here.
 
         Guards the repeat-solve cache against in-place mutation: the
-        structure (via ``num_nodes`` — trees only grow), the driver and
-        every sink's ``(required_arrival, capacitance)`` payload are
-        compared.  Edges are immutable (:class:`~repro.tree.routing_tree.Edge`
-        is frozen), so wire parasitics cannot drift; mutating a node's
-        private buffer-position fields in place is the one hole left,
-        and callers doing that must recompile explicitly.
+        structure (via ``num_nodes``), the driver and every sink's
+        ``(required_arrival, capacitance)`` payload are compared.  Wire
+        edits (:meth:`~repro.tree.routing_tree.RoutingTree.set_edge`)
+        are invisible here, but every tree mutation also evicts the
+        cache entry eagerly (:func:`invalidate_schedule`), so a stale
+        schedule can no longer be looked up; mutating a node's private
+        buffer-position fields by hand is the one hole left, and
+        callers doing that must recompile explicitly.
         """
         if self.num_nodes != tree.num_nodes or self.driver != tree.driver:
             return False
@@ -274,6 +328,14 @@ class CompiledNet:
         state["_plans"] = None  # rebuilt lazily from plan_specs
         state["_factories"] = {}  # per-process solve state
         state["_runtime"] = None  # unboxed lazily per process
+        state["_sink_index_of"] = None  # rebuilt lazily on first patch
+        # The subtree-range/patch maps exist for the in-process
+        # incremental engine only (which compiles privately and never
+        # pickles); shipping ~3n dict entries to every batch worker
+        # would defeat this encoding's compact-payload point.
+        state["start_of_node"] = {}
+        state["final_of_node"] = {}
+        state["wire_index_of"] = {}
         return state
 
     def __len__(self) -> int:
@@ -340,6 +402,9 @@ def compile_net(
     plan_specs: List[Tuple[int, Optional[Tuple[str, ...]]]] = []
     plan_table: List[BufferPlan] = []
     emitted_children: Dict[int, int] = {}
+    start_of_node: Dict[int, int] = {}
+    final_of_node: Dict[int, int] = {}
+    wire_index_of: Dict[int, int] = {}
 
     def emit(op: int, arg: int = 0) -> None:
         ops.append(op)
@@ -347,8 +412,16 @@ def compile_net(
 
     for node_id in tree.postorder():
         node = tree.node(node_id)
+        children = tree.children_of(node_id)
+        # Post-order makes every subtree a contiguous instruction
+        # range: it starts where the first child's subtree started (or
+        # at this very instruction for a sink).
+        start_of_node[node_id] = (
+            start_of_node[children[0]] if children else len(ops)
+        )
         if node.is_sink:
             emit(OP_SINK | OP_FINAL, len(sink_node))
+            final_of_node[node_id] = len(ops) - 1
             sink_node.append(node_id)
             sink_q.append(node.required_arrival)
             sink_c.append(node.capacitance)
@@ -358,6 +431,7 @@ def compile_net(
             plan = plans.get(node_id)
             if plan is not None:
                 emit(OP_BUFFER | OP_FINAL, len(plan_table))
+                final_of_node[node_id] = len(ops) - 1
                 plan_table.append(plan)
                 allowed = node.allowed_buffers
                 plan_specs.append(
@@ -373,6 +447,7 @@ def compile_net(
         # merge order (and its decision-arena append order).
         edge = tree.edge_to(node_id)
         emit(OP_WIRE, len(wire_r))
+        wire_index_of[node_id] = len(wire_r)
         wire_r.append(edge.resistance)
         wire_c.append(edge.capacitance)
         rank = emitted_children.get(edge.parent, 0)
@@ -388,6 +463,7 @@ def compile_net(
             and edge.parent not in plans
         ):
             ops[-1] |= OP_FINAL
+            final_of_node[edge.parent] = len(ops) - 1
 
     compiled = CompiledNet(
         ops=bytes(ops),
@@ -403,6 +479,9 @@ def compile_net(
         num_nodes=tree.num_nodes,
         num_sinks=len(sink_node),
         num_buffer_positions=tree.num_buffer_positions,
+        start_of_node=start_of_node,
+        final_of_node=final_of_node,
+        wire_index_of=wire_index_of,
     )
     # The plans just walked are the plan table; seed the lazy cache so
     # in-process solves never rebuild it (pickles still rebuild from
@@ -491,3 +570,13 @@ def cache_schedule(
 def clear_schedule_cache() -> None:
     """Drop every cached schedule (benchmark hygiene)."""
     _SCHEDULE_CACHE.clear()
+
+
+def invalidate_schedule(tree: RoutingTree) -> None:
+    """Forget ``tree``'s cached schedule after an in-place edit.
+
+    Called by every :class:`~repro.tree.routing_tree.RoutingTree`
+    mutation, because a compiled schedule embeds wire parasitics that
+    :func:`cached_schedule`'s ``matches_tree`` guard cannot see.
+    """
+    _SCHEDULE_CACHE.pop(tree, None)

@@ -83,3 +83,21 @@ class ObjectStoreFactory(StoreFactory):
 
     def empty(self) -> ObjectStore:
         return ObjectStore([])
+
+    def snapshot(self, store: CandidateStore):
+        """Freeze a frontier: values are copied (add-wire mutates
+        candidates in place downstream), decisions are shared (the
+        decision DAG is immutable and already persistent)."""
+        assert isinstance(store, ObjectStore)
+        candidates = store.candidates
+        return (
+            [candidate.q for candidate in candidates],
+            [candidate.c for candidate in candidates],
+            [candidate.decision for candidate in candidates],
+        )
+
+    def from_snapshot(self, q, c, decisions) -> ObjectStore:
+        return ObjectStore([
+            Candidate(q=qi, c=ci, decision=di)
+            for qi, ci, di in zip(q, c, decisions)
+        ])

@@ -32,6 +32,15 @@ class VanGinnekenAlgorithm(InsertionAlgorithm):
         "algorithm (b = 1 only)"
     )
 
+    def add_buffer_op(self, backend: str, library: BufferLibrary):
+        if library.size != 1:
+            raise AlgorithmError(
+                "van Ginneken's algorithm handles exactly one buffer type; "
+                f"got a library of size {library.size}"
+            )
+        # With b = 1 the Lillis scan *is* van Ginneken's algorithm.
+        return LillisAlgorithm().add_buffer_op(backend, library)
+
     def run(
         self,
         tree: RoutingTree,

@@ -44,6 +44,10 @@ class ServiceError(ReproError):
     """A serving-layer request failed (transport error or non-200)."""
 
 
+class EditError(ReproError):
+    """An incremental edit is malformed or does not apply to the net."""
+
+
 class InfeasibleError(AlgorithmError):
     """The instance admits no solution candidate at all.
 

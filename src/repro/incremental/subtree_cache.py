@@ -1,0 +1,216 @@
+"""Digest-keyed memoization of subtree candidate frontiers.
+
+The bottom-up dynamic program is compositional: the candidate frontier
+at a vertex ``v`` depends only on the subtree under ``v`` (and the
+library / algorithm / backend / options context), never on anything
+above it.  :mod:`repro.service.canon` already computes a Merkle digest
+for every subtree; this module keys frozen frontiers on those digests,
+so an edited net re-pays only the dirty path while every unchanged
+subtree — and every *structurally repeated* subtree anywhere — is
+answered from memory.
+
+A cached :class:`FrontierSnapshot` must outlive the solve that produced
+it, across backends with very different lifetime rules:
+
+* the object backend's candidates are mutated in place by downstream
+  add-wire steps, so the ``(q, c)`` values are copied out; the decision
+  DAG is immutable and shared as-is;
+* the SoA backend's provenance lives on a per-solve tape that is
+  rewound between solves, so decisions are *materialized* into
+  persistent objects at capture time
+  (:meth:`repro.core.stores.soa.SoAStoreFactory.snapshot`) — a stale
+  :class:`~repro.core.stores.soa.TapeRef` can never reach the cache.
+
+Because decisions name the node ids of the tree they were captured
+from, each snapshot also records the capture-time
+:class:`~repro.service.canon.CanonicalNet` and subtree root: splicing
+into a *different* (but digest-identical) subtree translates ids
+through canonical indices at backtrace time (see
+:class:`~repro.incremental.engine.SplicedFrontierDecision`), which is
+what makes sibling subtrees that share a digest safe to serve from one
+entry.
+
+:class:`FrontierCache` is a thread-safe LRU bounded by **bytes** as
+well as entries — sessions on a server share one instance, so the bound
+is the serving layer's documented memory ceiling for frontier state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Dict, Hashable, Optional
+
+#: Fixed per-snapshot overhead estimate (object headers, slots, the
+#: cache entry itself), plus a per-candidate estimate covering the two
+#: value columns, the provenance column/reference and an amortized
+#: share of the per-resolve tape archive (archives are shared by all
+#: of a resolve's snapshots and die with their last snapshot, so exact
+#: per-entry attribution is impossible; the constant errs high).
+_SNAPSHOT_BASE_BYTES = 256
+_PER_CANDIDATE_BYTES = 128
+
+
+class FrontierSnapshot:
+    """One frozen subtree frontier, detached from any solve.
+
+    Attributes:
+        q / c: The candidates' slack / load columns (sequences of
+            floats in the store's sorted order; NumPy arrays for SoA
+            captures, lists for object captures).
+        decisions: Per-candidate persistent provenance (decision DAG
+            nodes) for object-backend captures; ``None`` for SoA
+            captures, which instead carry ``archive`` + ``d``.
+        archive / d: SoA deferred provenance: an immutable
+            :class:`~repro.core.stores.soa.TapeArchive` shared by the
+            capturing resolve's snapshots, plus this frontier's tape
+            indices into it.  Decision objects are only built when the
+            snapshot is spliced (:meth:`decision_list`).
+        canon: The capture-time preorder index
+            (:class:`~repro.incremental.engine.TreeIndex`) of the
+            *whole* net the subtree belonged to — the anchor id
+            translation needs; shared by all snapshots of one resolve.
+        root_id: The subtree root's node id in ``canon``'s tree.
+        peak / generated: The subtree's contribution to
+            :class:`~repro.core.solution.DPStats` — the max final-list
+            length and the candidates-generated sum over the subtree —
+            so an incremental solve reports stats identical to a
+            from-scratch one.
+    """
+
+    __slots__ = ("q", "c", "decisions", "archive", "d", "canon", "root_id",
+                 "peak", "generated", "nbytes")
+
+    def __init__(
+        self,
+        q,
+        c,
+        decisions: Optional[tuple],
+        canon: object,
+        root_id: int,
+        peak: int,
+        generated: int,
+        archive: object = None,
+        d=None,
+    ) -> None:
+        self.q = q
+        self.c = c
+        self.decisions = decisions
+        self.archive = archive
+        self.d = d
+        self.canon = canon
+        self.root_id = root_id
+        self.peak = peak
+        self.generated = generated
+        self.nbytes = _SNAPSHOT_BASE_BYTES + _PER_CANDIDATE_BYTES * len(q)
+
+    def decision_list(self):
+        """Per-candidate decision objects, built on demand for splicing."""
+        if self.decisions is not None:
+            return self.decisions
+        from repro.core.stores.soa import ArchivedDecision
+
+        archive = self.archive
+        return [
+            ArchivedDecision(archive, index) for index in self.d.tolist()
+        ]
+
+    def __len__(self) -> int:
+        return len(self.q)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrontierSnapshot(candidates={len(self.q)}, "
+            f"root={self.root_id}, peak={self.peak})"
+        )
+
+
+class FrontierCache:
+    """Thread-safe LRU over frontier snapshots, bounded in bytes.
+
+    Keys are ``(subtree digest, context)`` tuples — the context folds in
+    everything else a frontier depends on (library content, algorithm,
+    backend, options), so one cache instance can safely serve many
+    sessions with different solve contexts.
+
+    Args:
+        max_bytes: Total estimated snapshot bytes to retain; inserting
+            beyond it evicts least-recently-used entries.
+        max_entries: Entry-count cap (second bound; generous default).
+    """
+
+    def __init__(
+        self, max_bytes: int = 64 << 20, max_entries: int = 1 << 20
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, FrontierSnapshot]" = OrderedDict()
+        self._lock = Lock()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Optional[FrontierSnapshot]:
+        """The snapshot under ``key`` or ``None`` (counted either way)."""
+        with self._lock:
+            snapshot = self._entries.get(key)
+            if snapshot is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return snapshot
+
+    def put(self, key: Hashable, snapshot: FrontierSnapshot) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past bounds."""
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
+            self._entries[key] = snapshot
+            self._bytes += snapshot.nbytes
+            while self._entries and (
+                self._bytes > self.max_bytes
+                or len(self._entries) > self.max_entries
+            ):
+                if len(self._entries) == 1:
+                    # Never evict what was just inserted: a single
+                    # oversized frontier stays servable.
+                    break
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their totals)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-counting, non-LRU-touching membership probe (tests)."""
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready counters (the ``/stats`` ``incremental`` block)."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }

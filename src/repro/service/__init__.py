@@ -13,11 +13,13 @@ stateful front end a traffic-serving deployment needs:
   hit/miss/eviction counters, storing compact solution payloads keyed by
   canonical hash;
 * :mod:`repro.service.server` — an asyncio HTTP JSON server
-  (``repro serve``) with ``/solve``, ``/batch``, ``/healthz`` and
-  ``/stats`` endpoints that shards cache-miss work across a persistent
-  :class:`~repro.core.batch.SolverPool`;
-* :mod:`repro.service.client` — a small stdlib client used by the tests
-  and ``examples/serving.py``.
+  (``repro serve``) with ``/solve``, ``/batch``, stateful ``/session``
+  endpoints (incremental ECO re-solve, backed by
+  :mod:`repro.incremental`), ``/healthz`` and ``/stats``; cache-miss
+  work shards across a persistent :class:`~repro.core.batch.SolverPool`;
+* :mod:`repro.service.client` — a small stdlib client
+  (:class:`ServiceClient` / :class:`ServiceSession`) used by the tests,
+  ``examples/serving.py`` and ``examples/incremental_eco.py``.
 
 Everything here is standard library only (the compute kernel underneath
 may still use NumPy through the ``soa`` backend).
@@ -31,7 +33,7 @@ from repro.service.canon import (
     options_key,
     request_key,
 )
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, ServiceSession
 from repro.service.server import BufferServer, serve
 
 __all__ = [
@@ -44,6 +46,7 @@ __all__ = [
     "ResultCache",
     "SolutionPayload",
     "ServiceClient",
+    "ServiceSession",
     "BufferServer",
     "serve",
 ]

@@ -167,6 +167,15 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def discard(self, key: Hashable) -> bool:
+        """Remove ``key`` if present (non-counting); True when removed.
+
+        Explicit deletion, not eviction or expiry: the session store
+        uses this for ``DELETE /session/{id}``.
+        """
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
     def values(self) -> Tuple[object, ...]:
         """A snapshot of the live values, LRU-first (non-counting)."""
         with self._lock:

@@ -66,15 +66,26 @@ class CanonicalNet:
         node_of_index: ``node_of_index[i]`` is the tree's node id at
             canonical index ``i`` (pre-order over sorted-digest children).
         index_of_node: The inverse mapping, ``{node_id: canonical index}``.
+        subtree_keys: ``subtree_keys[i]`` is the Merkle digest of the
+            subtree rooted at canonical index ``i`` (so
+            ``subtree_keys[0] == key``).  Two equal entries — within one
+            net or across nets — denote structurally and electrically
+            interchangeable subtrees; the incremental engine
+            (:mod:`repro.incremental`) keys its frontier memo on these.
     """
 
     key: str
     node_of_index: Tuple[int, ...]
     index_of_node: Dict[int, int]
+    subtree_keys: Tuple[str, ...] = ()
 
     @property
     def num_nodes(self) -> int:
         return len(self.node_of_index)
+
+    def subtree_key(self, node_id: int) -> str:
+        """The Merkle digest of the subtree rooted at ``node_id``."""
+        return self.subtree_keys[self.index_of_node[node_id]]
 
 
 def _node_payload(tree: RoutingTree, node_id: int) -> str:
@@ -91,13 +102,40 @@ def _node_payload(tree: RoutingTree, node_id: int) -> str:
     return f"I(bp={int(node.is_buffer_position)},f=[{allowed_text}])"
 
 
-def canonicalize(tree: RoutingTree) -> CanonicalNet:
+def node_payload(tree: RoutingTree, node_id: int) -> str:
+    """The canonical payload text of one vertex (public for the
+    incremental engine, which recomputes digests along dirty paths)."""
+    return _node_payload(tree, node_id)
+
+
+def edge_entry(resistance: float, capacitance: float, digest: str) -> str:
+    """The edge-prefixed entry string a child contributes to its parent."""
+    return f"E(r={_f(resistance)},c={_f(capacitance)})" + digest
+
+
+def digest_body(body: str) -> str:
+    """Hash one canonical body text (the Merkle step, public form)."""
+    return _digest(body)
+
+
+def canonicalize(
+    tree: RoutingTree, memo: Optional[Dict[str, str]] = None
+) -> CanonicalNet:
     """Compute ``tree``'s canonical digest and node-index assignment.
 
     Runs in O(n log n) (one post-order pass hashing, one pre-order pass
     numbering; the log factor is the per-vertex child sort).  Both passes
     are iterative — path-shaped nets can be tens of thousands of vertices
     deep.
+
+    Args:
+        tree: The routing tree to canonicalize.
+        memo: Optional ``{body text: digest}`` table shared across
+            calls.  Structurally repeated subtrees produce the same
+            body text at every level, so sharing one memo over a batch
+            of nets hashes each repeated subtree once per request
+            instead of once per occurrence (the server's ``/batch``
+            path does this).
     """
     # Bottom-up: digest every subtree.  A child contributes through the
     # edge that reaches it, so moving a subtree to a different wire
@@ -111,12 +149,17 @@ def canonicalize(tree: RoutingTree) -> CanonicalNet:
         body = _node_payload(tree, node_id)
         if kids:
             body += "[" + "|".join(entry[child] for child in kids) + "]"
-        digest[node_id] = _digest(body)
+        if memo is None:
+            digest[node_id] = _digest(body)
+        else:
+            hashed = memo.get(body)
+            if hashed is None:
+                hashed = memo[body] = _digest(body)
+            digest[node_id] = hashed
         if node_id != tree.root_id:
             edge = tree.edge_to(node_id)
-            entry[node_id] = (
-                f"E(r={_f(edge.resistance)},c={_f(edge.capacitance)})"
-                + digest[node_id]
+            entry[node_id] = edge_entry(
+                edge.resistance, edge.capacitance, digest[node_id]
             )
 
     # Top-down: number nodes in pre-order, children in sorted order.
@@ -133,6 +176,7 @@ def canonicalize(tree: RoutingTree) -> CanonicalNet:
         index_of_node={
             node_id: index for index, node_id in enumerate(node_of_index)
         },
+        subtree_keys=tuple(digest[node_id] for node_id in node_of_index),
     )
 
 

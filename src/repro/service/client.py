@@ -142,3 +142,89 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         """``GET /stats``: request/cache counters and pool inventory."""
         return self._request("GET", "/stats")
+
+    def create_session(
+        self,
+        tree: _TreeSpec,
+        library: _LibrarySpec,
+        algorithm: str = "fast",
+        backend: str = "auto",
+        options: Optional[Dict[str, Any]] = None,
+    ) -> "ServiceSession":
+        """``POST /session``: open a stateful incremental ECO session.
+
+        The server keeps the net, its compiled schedule and its
+        memoized subtree frontiers resident; use the returned
+        :class:`ServiceSession` to apply edits and re-solve at
+        dirty-path cost.  Sessions expire after the server's idle TTL
+        and are evicted least recently used — callers should
+        :meth:`~ServiceSession.delete` when done.
+        """
+        answer = self._request("POST", "/session", {
+            "net": _net_spec(tree),
+            "library": _library_spec(library),
+            "algorithm": algorithm,
+            "backend": backend,
+            "options": options or {},
+        })
+        return ServiceSession(self, answer)
+
+
+def _edit_spec(edit: Any) -> Dict[str, Any]:
+    if isinstance(edit, dict):
+        return edit
+    # Typed edits from repro.incremental.edits serialize themselves.
+    from repro.incremental.edits import edit_to_dict
+
+    return edit_to_dict(edit)
+
+
+class ServiceSession:
+    """A handle to one server-side incremental session.
+
+    Obtained from :meth:`ServiceClient.create_session`.  Edits may be
+    passed as plain JSON dicts (``{"op": "set_sink_rat", ...}``) or as
+    typed :class:`repro.incremental.edits.Edit` objects; node ids are
+    the *serialized* ids of the net the session was created from
+    (``created`` labels returned by :meth:`edit` extend that
+    namespace).
+
+    Attributes:
+        session_id: The server-assigned session id.
+        info: The creation answer (``num_nodes``, ``algorithm``, ...).
+    """
+
+    def __init__(self, client: ServiceClient, info: Dict[str, Any]) -> None:
+        self._client = client
+        self.info = info
+        self.session_id: str = info["session"]
+
+    def edit(self, *edits: Any) -> Dict[str, Any]:
+        """``POST /session/{id}/edit``: apply one or more edits.
+
+        Returns ``{"applied", "created", "removed", "num_nodes"}``; no
+        solve happens until :meth:`resolve`.
+        """
+        return self._client._request(
+            "POST", f"/session/{self.session_id}/edit",
+            {"edits": [_edit_spec(edit) for edit in edits]},
+        )
+
+    def resolve(self) -> Dict[str, Any]:
+        """``POST /session/{id}/resolve``: incremental re-solve.
+
+        The answer has the ``/solve`` shape plus an ``incremental``
+        block (``executed_fraction``, ``spliced_subtrees``, ...).
+        """
+        return self._client._request(
+            "POST", f"/session/{self.session_id}/resolve"
+        )
+
+    def delete(self) -> Dict[str, Any]:
+        """``DELETE /session/{id}``: close the session server-side."""
+        return self._client._request(
+            "DELETE", f"/session/{self.session_id}"
+        )
+
+    def __repr__(self) -> str:
+        return f"ServiceSession({self.session_id!r})"

@@ -2,18 +2,42 @@
 
 A deliberately small HTTP/1.1 implementation over
 :func:`asyncio.start_server` — standard library only, one connection per
-request (``Connection: close``), JSON in and out.  Four endpoints:
+request (``Connection: close``), JSON in and out.  Endpoints:
 
-=============  ======  ====================================================
-path           method  purpose
-=============  ======  ====================================================
-``/solve``     POST    buffer one net; cached when an equivalent request
-                       was answered before
-``/batch``     POST    buffer many nets sharing one library in one round
-                       trip; misses are sharded across the worker pool
-``/healthz``   GET     liveness probe: version, uptime, worker count
-``/stats``     GET     request counters, cache counters, pool inventory
-=============  ======  ====================================================
+========================  ======  ==========================================
+path                      method  purpose
+========================  ======  ==========================================
+``/solve``                POST    buffer one net; cached when an equivalent
+                                  request was answered before
+``/batch``                POST    buffer many nets sharing one library in
+                                  one round trip; misses are sharded across
+                                  the worker pool
+``/session``              POST    open a stateful ECO session around one net
+``/session/{id}/edit``    POST    apply typed edits to a session's net
+``/session/{id}/resolve`` POST    incremental re-solve (dirty path only)
+``/session/{id}``         DELETE  close a session
+``/healthz``              GET     liveness probe: version, uptime, workers
+``/stats``                GET     request counters, cache counters, pool
+                                  inventory, incremental-engine health
+========================  ======  ==========================================
+
+**Sessions.**  A session wraps an
+:class:`~repro.incremental.engine.IncrementalSolver`: the server keeps
+the net, its compiled schedule and its memoized subtree frontiers
+resident between requests, so an edit-resolve round trip pays only the
+dirty path instead of a full solve.  Session memory is bounded by a
+documented two-part policy: (1) at most ``max_sessions`` sessions live
+at once — beyond that the least recently *used* session is evicted, and
+sessions idle longer than ``session_ttl`` seconds expire (both via the
+same :class:`~repro.service.cache.ResultCache` machinery as results);
+(2) all sessions share one byte-bounded
+:class:`~repro.incremental.subtree_cache.FrontierCache`
+(``frontier_cache_bytes``), so total frontier memory cannot grow with
+session count — and structurally repeated subtrees *across* sessions
+share entries.  Session solves always run inline in the serving
+process (their state is in-process by construction), in the default
+executor so the event loop stays responsive; concurrent requests to
+one session serialize on a per-session lock.
 
 Request flow for ``/solve`` (``/batch`` is the same per net):
 
@@ -43,7 +67,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
+import uuid
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -51,7 +77,7 @@ from repro.core.batch import SolverPool
 from repro.core.registry import get_algorithm
 from repro.core.schedule import CompiledNet, compile_net
 from repro.core.stores import resolve_backend
-from repro.errors import ReproError
+from repro.errors import EditError, ReproError
 from repro.library.library import BufferLibrary
 from repro.service.cache import ResultCache, SolutionPayload
 from repro.service.canon import (
@@ -91,6 +117,14 @@ class BufferServer:
         max_pools: Distinct (library, algorithm, backend, options)
             contexts to keep warm; the least recently used pool beyond
             this is closed.
+        max_sessions: Live incremental sessions to keep; the least
+            recently used beyond this is evicted (its memory is
+            reclaimed by garbage collection).
+        session_ttl: Seconds an idle session stays alive; ``None``
+            keeps sessions until evicted.
+        frontier_cache_bytes: Byte bound of the frontier cache shared
+            by every session (see the module docstring's memory
+            policy).
     """
 
     def __init__(
@@ -101,9 +135,14 @@ class BufferServer:
         cache_size: int = 1024,
         cache_ttl: Optional[float] = None,
         max_pools: int = 4,
+        max_sessions: int = 32,
+        session_ttl: Optional[float] = 3600.0,
+        frontier_cache_bytes: int = 64 << 20,
     ) -> None:
         if max_pools < 1:
             raise ValueError(f"max_pools must be >= 1, got {max_pools}")
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         if jobs is None:
             import os
 
@@ -115,6 +154,13 @@ class BufferServer:
         self.jobs = jobs
         self.results = ResultCache(maxsize=cache_size, ttl=cache_ttl)
         self.compiled = ResultCache(maxsize=max(cache_size // 4, 16))
+        # Imported here, not at module top: the incremental engine uses
+        # repro.service.canon's digest helpers, so a module-level import
+        # would close a cycle through this package's __init__.
+        from repro.incremental.subtree_cache import FrontierCache
+
+        self.sessions = ResultCache(maxsize=max_sessions, ttl=session_ttl)
+        self.frontiers = FrontierCache(max_bytes=frontier_cache_bytes)
         self._pools: "OrderedDict[Tuple, _PoolEntry]" = OrderedDict()
         self._max_pools = max_pools
         self._server: Optional[asyncio.AbstractServer] = None
@@ -126,8 +172,15 @@ class BufferServer:
             "nets_requested": 0,
             "nets_solved": 0,
             "worker_dispatches": 0,
+            "session_creates": 0,
+            "session_edits": 0,
+            "session_resolves": 0,
             "errors": 0,
         }
+        # Aggregated dirty-instruction fractions over session re-solves
+        # (the /stats "incremental" block's mean).
+        self._session_fraction_sum = 0.0
+        self._session_fraction_last = 0.0
         # Nets actually solved (cache misses), per resolved candidate-
         # store backend — with the kernel/arena health in /stats this is
         # what makes production pool sizing debuggable.
@@ -225,17 +278,42 @@ class BufferServer:
         routes = {
             "/solve": ("POST", self._handle_solve),
             "/batch": ("POST", self._handle_batch),
+            "/session": ("POST", self._handle_session_create),
             "/healthz": ("GET", self._handle_healthz),
             "/stats": ("GET", self._handle_stats),
         }
         route = routes.get(path)
-        if route is None:
-            return 404, {"error": f"unknown path {path!r}",
-                         "paths": sorted(routes)}
-        expected_method, handler = route
-        if method != expected_method:
-            return 405, {"error": f"{path} requires {expected_method}"}
-        return await handler(body)
+        if route is not None:
+            expected_method, handler = route
+            if method != expected_method:
+                return 405, {"error": f"{path} requires {expected_method}"}
+            return await handler(body)
+        if path.startswith("/session/"):
+            return await self._dispatch_session(method, path, body)
+        return 404, {"error": f"unknown path {path!r}",
+                     "paths": sorted(routes) + ["/session/{id}"]}
+
+    async def _dispatch_session(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        parts = path.strip("/").split("/")
+        # parts[0] == "session"; parts[1] = id; optional parts[2] = verb.
+        if len(parts) == 2:
+            if method != "DELETE":
+                return 405, {"error": "/session/{id} requires DELETE"}
+            return self._handle_session_delete(parts[1])
+        if len(parts) == 3 and parts[2] in ("edit", "resolve"):
+            if method != "POST":
+                return 405, {"error": f"/session/{{id}}/{parts[2]} requires POST"}
+            session = self._session(parts[1])
+            if parts[2] == "edit":
+                return await self._handle_session_edit(session, body)
+            return await self._handle_session_resolve(session)
+        return 404, {
+            "error": f"unknown session path {path!r}",
+            "paths": ["/session/{id}", "/session/{id}/edit",
+                      "/session/{id}/resolve"],
+        }
 
     # -- endpoints -----------------------------------------------------
 
@@ -286,6 +364,9 @@ class BufferServer:
                 bucket["tape_capacity"] += tape.get("capacity", 0)
         for backend, bucket in kernels.items():
             bucket["factories"] = factories[backend]
+        session_stats = self.sessions.stats()
+        live_sessions = tuple(self.sessions.values())
+        resolves = self.counters["session_resolves"]
         return 200, {
             "uptime_seconds": time.monotonic() - self._started,
             "counters": dict(self.counters),
@@ -296,6 +377,26 @@ class BufferServer:
                 self.compiled.stats().as_dict(),
                 payload_bytes=compiled_bytes,
             ),
+            "incremental": {
+                "frontier_cache": self.frontiers.stats(),
+                "sessions": {
+                    "live": session_stats.size,
+                    "max": session_stats.maxsize,
+                    "created": self.counters["session_creates"],
+                    "expired": session_stats.expirations,
+                    "evicted": session_stats.evictions,
+                    "ttl_seconds": session_stats.ttl,
+                    "resident_bytes": sum(
+                        session.nbytes() for session in live_sessions
+                    ),
+                },
+                "resolves": resolves,
+                "edits": self.counters["session_edits"],
+                "last_executed_fraction": self._session_fraction_last,
+                "mean_executed_fraction": (
+                    self._session_fraction_sum / resolves if resolves else 0.0
+                ),
+            },
             "pools": [
                 {
                     "algorithm": entry.pool.algorithm,
@@ -328,6 +429,92 @@ class BufferServer:
         answers = await self._answer(request, net_specs)
         return 200, {"results": answers}
 
+    # -- stateful sessions (incremental ECO re-solve) ------------------
+
+    def _session(self, sid: str) -> "_Session":
+        session = self.sessions.get(sid)
+        if session is None:
+            raise _BadRequest(
+                f"unknown or expired session {sid!r} (sessions expire "
+                "after the configured TTL and are evicted least recently "
+                "used beyond max_sessions)"
+            )
+        # Re-stamp on every access: the TTL is an *idle* timeout (the
+        # cache stamps entries at put time only), so an actively used
+        # session must never expire mid-workflow.
+        self.sessions.put(sid, session)
+        return session
+
+    async def _handle_session_create(self, body: bytes) -> Tuple[int, Dict]:
+        spec = _parse_body(body)
+        net_spec = _require(spec, "net", dict)
+        context = _SolveContext.from_spec(spec)
+        try:
+            tree, id_map = tree_from_dict(net_spec, with_id_map=True)
+        except ReproError as exc:
+            raise _BadRequest(f"invalid net: {exc}") from exc
+        from repro.incremental.engine import IncrementalSolver
+
+        loop = asyncio.get_running_loop()
+        try:
+            # Construction validates, compiles and digests the net —
+            # O(n) work that belongs off the event loop.
+            solver = await loop.run_in_executor(None, lambda: IncrementalSolver(
+                tree, context.library, algorithm=context.algorithm,
+                backend=context.backend, cache=self.frontiers,
+                **context.options,
+            ))
+        except ReproError as exc:
+            raise _BadRequest(str(exc)) from exc
+        session = _Session(uuid.uuid4().hex[:16], solver, id_map)
+        self.sessions.put(session.sid, session)
+        self.counters["session_creates"] += 1
+        return 200, {
+            "session": session.sid,
+            "num_nodes": tree.num_nodes,
+            "num_sinks": tree.num_sinks,
+            "algorithm": context.algorithm,
+            "backend": solver.backend,
+        }
+
+    async def _handle_session_edit(
+        self, session: "_Session", body: bytes
+    ) -> Tuple[int, Dict]:
+        spec = _parse_body(body)
+        edit_specs = _require(spec, "edits", list)
+        if not edit_specs:
+            raise _BadRequest("'edits' must contain at least one edit")
+        loop = asyncio.get_running_loop()
+        try:
+            answer = await loop.run_in_executor(
+                None, lambda: session.apply_edits(edit_specs)
+            )
+        except (EditError, ReproError) as exc:
+            raise _BadRequest(str(exc)) from exc
+        self.counters["session_edits"] += len(edit_specs)
+        return 200, answer
+
+    async def _handle_session_resolve(
+        self, session: "_Session"
+    ) -> Tuple[int, Dict]:
+        loop = asyncio.get_running_loop()
+        try:
+            answer = await loop.run_in_executor(None, session.resolve)
+        except ReproError as exc:
+            raise _BadRequest(str(exc)) from exc
+        self.counters["session_resolves"] += 1
+        fraction = session.solver.last_executed_fraction
+        self._session_fraction_sum += fraction
+        self._session_fraction_last = fraction
+        return 200, answer
+
+    def _handle_session_delete(self, sid: str) -> Tuple[int, Dict]:
+        session = self.sessions.get(sid)
+        if session is None:
+            raise _BadRequest(f"unknown or expired session {sid!r}")
+        self.sessions.discard(sid)
+        return 200, {"deleted": True, "session": sid}
+
     # -- the serving core ----------------------------------------------
 
     async def _answer(
@@ -336,6 +523,10 @@ class BufferServer:
         """Answer every net of one request: cache hits + sharded misses."""
         records: List[_NetRecord] = []
         misses: List[_NetRecord] = []
+        # One digest memo per request: structurally repeated subtrees —
+        # within one net or across a batch's nets — hash once instead
+        # of once per occurrence (see canonicalize's ``memo``).
+        digest_memo: Dict[str, str] = {}
         for index, net_spec in enumerate(net_specs):
             if not isinstance(net_spec, dict):
                 raise _BadRequest(
@@ -348,7 +539,7 @@ class BufferServer:
                 tree, id_map = tree_from_dict(net_spec, with_id_map=True)
             except ReproError as exc:
                 raise _BadRequest(f"invalid net at index {index}: {exc}") from exc
-            canon = canonicalize(tree)
+            canon = canonicalize(tree, memo=digest_memo)
             record = _NetRecord(
                 key=request_key(
                     canon, request.library, algorithm=request.algorithm,
@@ -463,6 +654,140 @@ class BufferServer:
             if evicted.in_flight == 0:
                 evicted.pool.close()
         return entry
+
+
+class _Session:
+    """One live incremental session: solver + id translation + lock.
+
+    The request's serialized node ids (whatever labels its JSON used)
+    are the session's public namespace: edits arrive in it and answers
+    are rendered back into it, exactly like ``/solve``.  Nodes created
+    by structural edits get fresh serialized labels (the internal id
+    when free, ``"eco<id>"`` otherwise) returned from the edit call.
+
+    ``lock`` serializes apply/resolve across concurrent HTTP requests —
+    solver state is mutable and single-threaded by design.  It is held
+    inside executor threads, never on the event loop.
+    """
+
+    __slots__ = ("sid", "solver", "id_map", "serialized_of", "lock")
+
+    def __init__(self, sid: str, solver, id_map: Dict[Any, int]) -> None:
+        self.sid = sid
+        self.solver = solver
+        self.id_map = dict(id_map)
+        self.serialized_of = {new: old for old, new in id_map.items()}
+        self.lock = threading.Lock()
+
+    def _label_for(self, internal_id: int) -> Any:
+        label: Any = internal_id
+        if label in self.id_map:
+            label = f"eco{internal_id}"
+            suffix = 2
+            while label in self.id_map:
+                label = f"eco{internal_id}_{suffix}"
+                suffix += 1
+        return label
+
+    def apply_edits(self, edit_specs: List[Any]) -> Dict[str, Any]:
+        """Parse, translate and apply a batch of edits (executor side)."""
+        from repro.incremental.edits import edit_from_dict
+
+        edits = []
+        for index, edit_spec in enumerate(edit_specs):
+            if not isinstance(edit_spec, dict):
+                raise _BadRequest(
+                    f"edits[{index}] must be an edit object, "
+                    f"got {type(edit_spec).__name__}"
+                )
+            translated = dict(edit_spec)
+            for field in ("node", "parent"):
+                if field in translated:
+                    serialized = translated[field]
+                    internal = self.id_map.get(serialized)
+                    if internal is None:
+                        raise _BadRequest(
+                            f"edits[{index}]: unknown node id "
+                            f"{serialized!r}"
+                        )
+                    translated[field] = internal
+            edits.append(edit_from_dict(translated))
+        created: List[Any] = []
+        removed: List[Any] = []
+        applied = 0
+        with self.lock:
+            for edit in edits:
+                try:
+                    impact = self.solver.apply(edit)
+                except ReproError as exc:
+                    # Earlier edits of the batch are already applied
+                    # (edits are not transactional); the error must say
+                    # so — above all it must hand over any labels of
+                    # nodes those edits created, or the client could
+                    # never address them (and a blind full-batch retry
+                    # would double-apply).
+                    raise _BadRequest(
+                        f"edits[{applied}] rejected: {exc} "
+                        f"(the {applied} preceding edit(s) of this batch "
+                        f"were applied; created={created!r}, "
+                        f"removed={removed!r})"
+                    ) from exc
+                applied += 1
+                for internal in impact.created:
+                    label = self._label_for(internal)
+                    self.id_map[label] = internal
+                    self.serialized_of[internal] = label
+                    created.append(label)
+                for internal in impact.removed:
+                    label = self.serialized_of.pop(internal, None)
+                    if label is not None:
+                        del self.id_map[label]
+                        removed.append(label)
+            num_nodes = self.solver.tree.num_nodes
+        return {
+            "session": self.sid,
+            "applied": applied,
+            "created": created,
+            "removed": removed,
+            "num_nodes": num_nodes,
+        }
+
+    def resolve(self) -> Dict[str, Any]:
+        """Incremental re-solve, rendered in serialized ids (executor side)."""
+        with self.lock:
+            result = self.solver.resolve()
+            solver = self.solver
+            return {
+                "session": self.sid,
+                "slack_seconds": result.slack,
+                "driver_load_farads": result.driver_load,
+                "num_buffers": result.num_buffers,
+                "assignment": {
+                    str(self.serialized_of[node_id]): buffer.name
+                    for node_id, buffer in sorted(result.assignment.items())
+                },
+                "algorithm": result.stats.algorithm,
+                "backend": result.stats.backend,
+                "stats": {
+                    "root_candidates": result.stats.root_candidates,
+                    "peak_list_length": result.stats.peak_list_length,
+                    "candidates_generated": result.stats.candidates_generated,
+                    "solve_runtime_seconds": result.stats.runtime_seconds,
+                    "num_buffer_positions": result.stats.num_buffer_positions,
+                    "library_size": result.stats.library_size,
+                },
+                "incremental": {
+                    "executed_fraction": solver.last_executed_fraction,
+                    "spliced_subtrees": solver.last_spliced_subtrees,
+                    "resolves": solver.resolves,
+                    "edits_applied": solver.edits_applied,
+                },
+            }
+
+    def nbytes(self) -> int:
+        """Approximate resident footprint (compiled payloads + tree)."""
+        solver = self.solver
+        return solver.compiled.payload_nbytes() + 200 * solver.num_nodes
 
 
 class _PoolEntry:
@@ -598,12 +923,16 @@ def serve(
     cache_size: int = 1024,
     cache_ttl: Optional[float] = None,
     max_pools: int = 4,
+    max_sessions: int = 32,
+    session_ttl: Optional[float] = 3600.0,
+    frontier_cache_bytes: int = 64 << 20,
     ready=None,
 ) -> None:
     """Run a :class:`BufferServer` until interrupted (the CLI's engine).
 
     Args:
-        host, port, jobs, cache_size, cache_ttl, max_pools: Forwarded to
+        host, port, jobs, cache_size, cache_ttl, max_pools,
+        max_sessions, session_ttl, frontier_cache_bytes: Forwarded to
             :class:`BufferServer`.
         ready: Optional callback invoked with the started server (tests
             use it to learn the ephemeral port and to retain a handle).
@@ -613,6 +942,8 @@ def serve(
         server = BufferServer(
             host=host, port=port, jobs=jobs, cache_size=cache_size,
             cache_ttl=cache_ttl, max_pools=max_pools,
+            max_sessions=max_sessions, session_ttl=session_ttl,
+            frontier_cache_bytes=frontier_cache_bytes,
         )
         bound_host, bound_port = await server.start()
         print(f"repro serve: listening on http://{bound_host}:{bound_port} "

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import NodeNotFoundError, TreeError, TreeStructureError
@@ -36,6 +36,11 @@ class Edge:
             )
 
 
+#: Lazily bound :func:`repro.core.schedule.invalidate_schedule` (the
+#: import is deferred to break the module cycle, then cached here).
+_invalidate_schedule = None
+
+
 class RoutingTree:
     """A rooted RC routing tree (paper Section 2).
 
@@ -53,7 +58,37 @@ class RoutingTree:
         self._edges: Dict[int, Edge] = {}  # keyed by child id
         self._children: Dict[int, List[int]] = {}
         self._next_id = 0
-        self.driver = driver
+        self._driver = driver
+
+    @property
+    def driver(self) -> Optional[Driver]:
+        """The source driver (assignable; swapping it invalidates any
+        cached compiled schedule, see :meth:`_mutated`)."""
+        return self._driver
+
+    @driver.setter
+    def driver(self, driver: Optional[Driver]) -> None:
+        self._driver = driver
+        self._mutated()
+
+    def _mutated(self) -> None:
+        """Drop any compiled schedule cached against this tree.
+
+        Every mutation funnels through here: a
+        :class:`~repro.core.schedule.CompiledNet` embeds wire
+        parasitics, sink payloads and the driver, so serving a cached
+        schedule after an in-place edit would solve the pre-edit net.
+        (``matches_tree`` re-checks sinks and the driver on lookup, but
+        wire edits are invisible to it — eager invalidation closes that
+        hole.)  Lazy import: :mod:`repro.core.schedule` imports this
+        module.
+        """
+        global _invalidate_schedule
+        if _invalidate_schedule is None:
+            from repro.core.schedule import invalidate_schedule
+
+            _invalidate_schedule = invalidate_schedule
+        _invalidate_schedule(self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -84,15 +119,21 @@ class RoutingTree:
             raise TreeStructureError(
                 f"cannot attach node under sink {parent}: sinks are leaves"
             )
-        node_id = self._add_node(node)
-        self._edges[node_id] = Edge(
+        # Build (and thereby validate) the edge *before* registering the
+        # node: a rejected attach must leave the tree untouched — no
+        # dangling vertex — which is what lets the incremental edit
+        # surface promise "the net is left untouched" on failure.
+        edge = Edge(
             parent=parent,
-            child=node_id,
+            child=node.node_id,
             resistance=edge_resistance,
             capacitance=edge_capacitance,
             length=length,
         )
+        node_id = self._add_node(node)
+        self._edges[node_id] = edge
         self._children[parent].append(node_id)
+        self._mutated()
         return node_id
 
     def add_sink(
@@ -152,6 +193,162 @@ class RoutingTree:
             position=position,
         )
         return self._attach(parent, edge_resistance, edge_capacitance, node, length)
+
+    # ------------------------------------------------------------------
+    # In-place edits (the ECO surface; see repro.incremental.edits)
+    # ------------------------------------------------------------------
+
+    def set_sink(
+        self,
+        node_id: int,
+        capacitance: Optional[float] = None,
+        required_arrival: Optional[float] = None,
+        polarity: Optional[int] = None,
+    ) -> None:
+        """Update a sink's electrical payload in place.
+
+        Only the passed fields change.  The node object is rebuilt so
+        :class:`~repro.tree.node.Node`'s validation re-runs (negative
+        capacitance, bad polarity), and any cached compiled schedule is
+        invalidated.
+
+        Raises:
+            TreeError: ``node_id`` is not a sink, or a value is invalid.
+        """
+        node = self.node(node_id)
+        if not node.is_sink:
+            raise TreeError(f"node {node_id} is not a sink")
+        self._nodes[node_id] = replace(
+            node,
+            capacitance=(
+                node.capacitance if capacitance is None else capacitance
+            ),
+            required_arrival=(
+                node.required_arrival
+                if required_arrival is None
+                else required_arrival
+            ),
+            polarity=node.polarity if polarity is None else polarity,
+        )
+        self._mutated()
+
+    def set_edge(
+        self,
+        child: int,
+        resistance: Optional[float] = None,
+        capacitance: Optional[float] = None,
+        length: Optional[float] = None,
+    ) -> None:
+        """Re-parasitize the wire reaching ``child`` in place.
+
+        Models the ECO moves "re-length this segment" and "re-route this
+        segment through a different layer": the tree topology is
+        untouched, only the lumped ``R``/``C`` (and optional physical
+        length) of one existing edge change.
+
+        Raises:
+            TreeError: Negative parasitics (edge validation re-runs).
+            NodeNotFoundError: ``child`` has no incoming edge.
+        """
+        edge = self.edge_to(child)
+        self._edges[child] = Edge(
+            parent=edge.parent,
+            child=child,
+            resistance=edge.resistance if resistance is None else resistance,
+            capacitance=(
+                edge.capacitance if capacitance is None else capacitance
+            ),
+            length=edge.length if length is None else length,
+        )
+        self._mutated()
+
+    def split_edge(
+        self,
+        child: int,
+        fraction: float = 0.5,
+        buffer_position: bool = True,
+        allowed_buffers: Optional[Iterable[str]] = None,
+        name: str = "",
+    ) -> int:
+        """Insert an internal vertex in the middle of the edge to ``child``.
+
+        The classic "add a buffer position" ECO: the edge splits at
+        ``fraction`` of its electrical extent — the upstream half gets
+        ``R * fraction`` / ``C * fraction``, the downstream half the
+        exact remainder (``R - R * fraction``), so total parasitics are
+        conserved bit-for-bit.  Returns the new vertex's id.
+
+        Raises:
+            TreeError: ``fraction`` outside ``(0, 1)``.
+            NodeNotFoundError: ``child`` has no incoming edge.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise TreeError(
+                f"split fraction must be inside (0, 1), got {fraction}"
+            )
+        edge = self.edge_to(child)
+        r_up = edge.resistance * fraction
+        c_up = edge.capacitance * fraction
+        len_up = edge.length * fraction
+        allowed: Optional[FrozenSet[str]] = (
+            frozenset(allowed_buffers) if allowed_buffers is not None else None
+        )
+        new_id = self._add_node(Node(
+            node_id=self._next_id,
+            kind=NodeKind.INTERNAL,
+            is_buffer_position=buffer_position,
+            allowed_buffers=allowed,
+            name=name or f"v{self._next_id}",
+        ))
+        self._children[new_id] = [child]
+        self._edges[new_id] = Edge(
+            parent=edge.parent, child=new_id,
+            resistance=r_up, capacitance=c_up, length=len_up,
+        )
+        self._edges[child] = Edge(
+            parent=new_id, child=child,
+            resistance=edge.resistance - r_up,
+            capacitance=edge.capacitance - c_up,
+            length=edge.length - len_up,
+        )
+        # The new vertex takes child's slot in the parent's child list,
+        # preserving sibling order (and therefore merge order).
+        siblings = self._children[edge.parent]
+        siblings[siblings.index(child)] = new_id
+        self._mutated()
+        return new_id
+
+    def remove_subtree(self, node_id: int) -> List[int]:
+        """Delete ``node_id`` and everything under it; returns the ids.
+
+        The parent must keep at least one other child, so the remaining
+        tree still satisfies "every leaf is a sink" without cascading
+        deletions.  Removed ids are never reused (``_next_id`` only
+        grows).
+
+        Raises:
+            TreeError: Removing the root, or the parent would become a
+                childless internal vertex.
+        """
+        if node_id == self.root_id:
+            raise TreeError("cannot remove the source vertex")
+        parent = self.edge_to(node_id).parent
+        if len(self._children[parent]) < 2:
+            raise TreeError(
+                f"removing node {node_id} would leave vertex {parent} "
+                "childless; remove a larger subtree instead"
+            )
+        removed: List[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            removed.append(current)
+            stack.extend(self._children.pop(current))
+            del self._nodes[current]
+            del self._edges[current]
+        self._children[parent].remove(node_id)
+        self._mutated()
+        return removed
 
     # ------------------------------------------------------------------
     # Accessors

@@ -1,0 +1,697 @@
+"""Incremental ECO engine tests.
+
+The headline contract is *bit-identity*: after any sequence of edits,
+:meth:`~repro.incremental.engine.IncrementalSolver.resolve` must return
+exactly — ``==``, not approx — the slack, assignment, driver load and
+DP statistics a from-scratch solve of the edited net returns, for every
+registered algorithm and every candidate-store backend.  The parity
+corpus below replays randomized edit sequences (payload, structural,
+polarity and driver edits mixed) against scratch solves at every step.
+
+The trickier corners get dedicated tests: sibling subtrees that share a
+digest (one cache entry must serve both, with node ids translated onto
+the right sibling), frontier-cache bounding/eviction, and the SoA
+backend's promise that no stale tape reference ever leaks into a cached
+frontier.
+"""
+
+import json
+import random
+
+import pytest
+
+from helpers import random_small_tree
+from repro import (
+    Driver,
+    insert_buffers,
+    paper_library,
+    random_tree_net,
+    two_pin_net,
+)
+from repro.core.registry import (
+    InsertionAlgorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.core.schedule import auto_compile, cached_schedule
+from repro.core.stores import resolve_backend
+from repro.errors import AlgorithmError, EditError
+from repro.incremental import (
+    AddSink,
+    FrontierCache,
+    FrontierSnapshot,
+    IncrementalSolver,
+    RemoveSubtree,
+    SetSinkCap,
+    SetSinkPolarity,
+    SetSinkRAT,
+    SetWire,
+    SplitWire,
+    SwapDriver,
+    edit_from_dict,
+    edit_to_dict,
+)
+from repro.tree.routing_tree import RoutingTree
+from repro.units import fF, ps
+
+BACKENDS = ("object", "soa") if resolve_backend("auto") == "soa" else ("object",)
+
+ALGORITHMS = ("fast", "lillis", "van_ginneken")
+
+
+def names(assignment):
+    return {node_id: buffer.name for node_id, buffer in assignment.items()}
+
+
+def scratch_solve(tree, library, algorithm, backend, **options):
+    # auto_compile(False): keep the global schedule cache out of the
+    # comparison; the walk and interpreter paths are themselves
+    # bit-identical (test_schedule.py).
+    with auto_compile(False):
+        return insert_buffers(
+            tree, library, algorithm=algorithm, backend=backend, **options
+        )
+
+
+def assert_parity(result, tree, library, algorithm, backend, **options):
+    expected = scratch_solve(tree, library, algorithm, backend, **options)
+    assert result.slack == expected.slack
+    assert result.driver_load == expected.driver_load
+    assert names(result.assignment) == names(expected.assignment)
+    assert result.stats.root_candidates == expected.stats.root_candidates
+    assert result.stats.peak_list_length == expected.stats.peak_list_length
+    assert (
+        result.stats.candidates_generated
+        == expected.stats.candidates_generated
+    )
+    assert result.stats.algorithm == expected.stats.algorithm
+
+
+def library_for(algorithm):
+    return paper_library(1) if algorithm == "van_ginneken" else paper_library(4)
+
+
+# ----------------------------------------------------------------------
+# Edit algebra
+# ----------------------------------------------------------------------
+
+
+class TestEditAlgebra:
+    @pytest.fixture
+    def tree(self):
+        return random_small_tree(13)
+
+    def test_sink_edit_rejects_non_sink(self, tree):
+        with pytest.raises(EditError, match="not a sink"):
+            SetSinkRAT(node=tree.root_id, required_arrival=ps(1.0)).apply(tree)
+
+    def test_unknown_node_is_edit_error(self, tree):
+        with pytest.raises(EditError, match="does not exist"):
+            SetSinkCap(node=999, capacitance=fF(1.0)).apply(tree)
+
+    def test_negative_cap_rejected_before_mutation(self, tree):
+        sink = tree.sinks()[0]
+        before = sink.capacitance
+        with pytest.raises(EditError, match=">= 0"):
+            SetSinkCap(node=sink.node_id, capacitance=-1.0).apply(tree)
+        assert tree.node(sink.node_id).capacitance == before
+
+    def test_wire_edit_rejects_root(self, tree):
+        with pytest.raises(EditError, match="no incoming wire"):
+            SetWire(node=tree.root_id, resistance=1.0, capacitance=1.0).apply(tree)
+
+    def test_split_fraction_bounds(self, tree):
+        sink = tree.sinks()[0].node_id
+        for fraction in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(EditError, match="fraction"):
+                SplitWire(node=sink, fraction=fraction).apply(tree)
+
+    def test_remove_rejects_root_and_last_child(self, tree):
+        with pytest.raises(EditError, match="no incoming wire"):
+            RemoveSubtree(node=tree.root_id).apply(tree)
+        # The source's single child cannot be removed.
+        only_child = tree.children_of(tree.root_id)[0]
+        with pytest.raises(EditError, match="childless"):
+            RemoveSubtree(node=only_child).apply(tree)
+
+    def test_polarity_values(self, tree):
+        sink = tree.sinks()[0].node_id
+        with pytest.raises(EditError, match="polarity"):
+            SetSinkPolarity(node=sink, polarity=0).apply(tree)
+
+    def test_codec_round_trip(self):
+        edits = [
+            SetSinkRAT(node=3, required_arrival=9e-10),
+            SetSinkCap(node=4, capacitance=2e-14),
+            SetSinkPolarity(node=4, polarity=-1),
+            SetWire(node=5, resistance=3.5, capacitance=1e-15, length=20.0),
+            SwapDriver(resistance=120.0, intrinsic_delay=1e-12),
+            SwapDriver(resistance=None),
+            AddSink(parent=2, edge_resistance=1.0, edge_capacitance=2e-15,
+                    capacitance=5e-15, required_arrival=8e-10, polarity=-1),
+            SplitWire(node=7, fraction=0.25, buffer_position=False,
+                      allowed_buffers=("b1", "b2")),
+            RemoveSubtree(node=9),
+        ]
+        for edit in edits:
+            assert edit_from_dict(edit_to_dict(edit)) == edit
+
+    def test_codec_rejects_unknown_op_and_fields(self):
+        with pytest.raises(EditError, match="unknown edit op"):
+            edit_from_dict({"op": "teleport", "node": 1})
+        with pytest.raises(EditError, match="unknown fields"):
+            edit_from_dict({"op": "set_sink_rat", "node": 1,
+                            "required_arrival": 1e-9, "bogus": 2})
+        with pytest.raises(EditError, match="must be an object"):
+            edit_from_dict(["set_sink_rat"])
+        with pytest.raises(EditError, match="bad 'set_sink_rat'"):
+            edit_from_dict({"op": "set_sink_rat", "node": 1})
+
+
+# ----------------------------------------------------------------------
+# Tree mutation API
+# ----------------------------------------------------------------------
+
+
+class TestTreeMutations:
+    def test_split_edge_conserves_parasitics_exactly(self):
+        tree = random_small_tree(5)
+        child = tree.sinks()[0].node_id
+        edge = tree.edge_to(child)
+        total_r, total_c = edge.resistance, edge.capacitance
+        new_id = tree.split_edge(child, fraction=0.3)
+        upper = tree.edge_to(new_id)
+        lower = tree.edge_to(child)
+        assert upper.resistance + lower.resistance == total_r
+        assert upper.capacitance + lower.capacitance == total_c
+        assert tree.edge_to(child).parent == new_id
+        tree.validate()
+
+    def test_split_edge_preserves_sibling_order(self):
+        tree = RoutingTree.with_source(driver=Driver(resistance=100.0))
+        a = tree.add_sink(0, 1.0, fF(1.0), capacitance=fF(5.0),
+                          required_arrival=ps(100.0))
+        b = tree.add_sink(0, 1.0, fF(1.0), capacitance=fF(5.0),
+                          required_arrival=ps(200.0))
+        new_id = tree.split_edge(a, fraction=0.5)
+        assert tree.children_of(0) == (new_id, b)
+
+    def test_remove_subtree_removes_whole_subtree(self):
+        tree = random_small_tree(8)
+        # Find a node with >= 2 children; remove one child's subtree.
+        victim = None
+        for node in tree.nodes():
+            children = tree.children_of(node.node_id)
+            if len(children) >= 2:
+                victim = children[0]
+                break
+        if victim is None:
+            pytest.skip("seed produced a pure chain")
+        before = tree.num_nodes
+        removed = tree.remove_subtree(victim)
+        assert tree.num_nodes == before - len(removed)
+        tree.validate()
+
+    def test_mutation_invalidates_cached_schedule(self, paper_lib8):
+        tree = random_small_tree(21)
+        insert_buffers(tree, paper_lib8)  # populates the schedule cache
+        assert cached_schedule(tree, paper_lib8) is not None
+        internal = tree.children_of(tree.root_id)[0]
+        edge = tree.edge_to(internal)
+        tree.set_edge(internal, resistance=edge.resistance * 2.0)
+        assert cached_schedule(tree, paper_lib8) is None
+        # And a repeat solve reflects the edit (no stale answer).
+        fresh = insert_buffers(tree, paper_lib8)
+        with auto_compile(False):
+            expected = insert_buffers(tree, paper_lib8)
+        assert fresh.slack == expected.slack
+
+    def test_driver_assignment_invalidates_schedule(self, paper_lib8):
+        tree = random_small_tree(22)
+        insert_buffers(tree, paper_lib8)
+        tree.driver = Driver(resistance=50.0)
+        assert cached_schedule(tree, paper_lib8) is None
+
+
+# ----------------------------------------------------------------------
+# Randomized edit-replay parity corpus
+# ----------------------------------------------------------------------
+
+
+def polarity_tree(seed):
+    """A random multi-pin net with a mix of sink polarities."""
+    rng = random.Random(seed)
+    tree = random_tree_net(
+        8, seed=seed, required_arrival=(ps(400.0), ps(2500.0)),
+        driver=Driver(resistance=rng.uniform(100.0, 400.0)),
+    )
+    for sink in tree.sinks()[::2]:
+        tree.set_sink(sink.node_id, polarity=-1)
+    return tree
+
+
+def random_edit(tree, rng):
+    """One random valid edit against the current tree state."""
+    sinks = [node.node_id for node in tree.sinks()]
+    non_root = [
+        node.node_id for node in tree.nodes() if node.node_id != tree.root_id
+    ]
+    parents = [node.node_id for node in tree.nodes() if not node.is_sink]
+    removable = [
+        node_id for node_id in non_root
+        if len(tree.children_of(tree.edge_to(node_id).parent)) >= 2
+    ]
+    choices = ["rat", "cap", "polarity", "wire", "wire", "driver", "split",
+               "add"]
+    if removable:
+        choices.append("remove")
+    kind = rng.choice(choices)
+    if kind == "rat":
+        return SetSinkRAT(node=rng.choice(sinks),
+                          required_arrival=ps(rng.uniform(100.0, 3000.0)))
+    if kind == "cap":
+        return SetSinkCap(node=rng.choice(sinks),
+                          capacitance=fF(rng.uniform(2.0, 50.0)))
+    if kind == "polarity":
+        return SetSinkPolarity(node=rng.choice(sinks),
+                               polarity=rng.choice((1, -1)))
+    if kind == "wire":
+        node = rng.choice(non_root)
+        edge = tree.edge_to(node)
+        return SetWire(
+            node=node,
+            resistance=edge.resistance * rng.uniform(0.5, 2.0),
+            capacitance=edge.capacitance * rng.uniform(0.5, 2.0),
+        )
+    if kind == "driver":
+        return SwapDriver(resistance=rng.uniform(50.0, 500.0))
+    if kind == "split":
+        return SplitWire(node=rng.choice(non_root),
+                         fraction=rng.uniform(0.2, 0.8))
+    if kind == "add":
+        return AddSink(
+            parent=rng.choice(parents),
+            edge_resistance=rng.uniform(1.0, 50.0),
+            edge_capacitance=fF(rng.uniform(1.0, 10.0)),
+            capacitance=fF(rng.uniform(2.0, 30.0)),
+            required_arrival=ps(rng.uniform(200.0, 2000.0)),
+            polarity=rng.choice((1, -1)),
+        )
+    return RemoveSubtree(node=rng.choice(removable))
+
+
+class TestReplayParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    def test_random_edit_replay(self, algorithm, backend, seed):
+        library = library_for(algorithm)
+        tree = polarity_tree(seed)
+        solver = IncrementalSolver(
+            tree, library, algorithm=algorithm, backend=backend
+        )
+        assert_parity(solver.resolve(), tree, library, algorithm, backend)
+        rng = random.Random(seed * 1000 + 7)
+        for _ in range(8):
+            for _ in range(rng.randrange(1, 3)):
+                solver.apply(random_edit(tree, rng))
+            assert_parity(
+                solver.resolve(), tree, library, algorithm, backend
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_trunk_replay(self, backend):
+        library = paper_library(4)
+        tree = two_pin_net(
+            length=8000.0, sink_capacitance=fF(20.0),
+            required_arrival=ps(900.0), driver=Driver(resistance=200.0),
+            num_segments=40,
+        )
+        solver = IncrementalSolver(tree, library, backend=backend)
+        solver.resolve()
+        rng = random.Random(99)
+        sink = tree.sinks()[0].node_id
+        internals = [
+            node.node_id for node in tree.nodes()
+            if not node.is_sink and not node.is_source
+        ]
+        for edit in (
+            SetWire(node=internals[3], resistance=12.0, capacitance=fF(9.0)),
+            SetSinkRAT(node=sink, required_arrival=ps(700.0)),
+            SwapDriver(resistance=111.0),
+            SetWire(node=internals[-2], resistance=1.0, capacitance=fF(1.0)),
+            SplitWire(node=internals[len(internals) // 2], fraction=0.5),
+        ):
+            solver.apply(edit)
+            assert_parity(solver.resolve(), tree, library, "fast", backend)
+        # Wire edits near the driver must not re-run the whole trunk.
+        solver.apply(SetWire(node=internals[0], resistance=2.0,
+                             capacitance=fF(2.0)))
+        solver.resolve()
+        assert solver.last_executed_fraction < 0.2
+        assert solver.last_spliced_subtrees >= 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_destructive_pruning_options_respected(self, backend):
+        library = paper_library(4)
+        tree = two_pin_net(
+            length=5000.0, sink_capacitance=fF(15.0),
+            required_arrival=ps(800.0), driver=Driver(resistance=150.0),
+            num_segments=16,
+        )
+        solver = IncrementalSolver(
+            tree, library, algorithm="fast", backend=backend,
+            destructive_pruning=True,
+        )
+        solver.apply(SetSinkRAT(node=tree.sinks()[0].node_id,
+                                required_arrival=ps(650.0)))
+        result = solver.resolve()
+        assert result.stats.algorithm == "fast-destructive"
+        assert_parity(result, tree, library, "fast", backend,
+                      destructive_pruning=True)
+
+    def test_rejected_add_sink_leaves_tree_untouched(self):
+        """A rejected attach must not leave a dangling vertex (the edit
+        contract: failure leaves the net untouched)."""
+        library = paper_library(4)
+        tree = polarity_tree(11)
+        solver = IncrementalSolver(tree, library)
+        solver.resolve()
+        before = tree.num_nodes
+        with pytest.raises(EditError, match=">= 0"):
+            solver.apply(AddSink(
+                parent=tree.root_id, edge_resistance=-1.0,
+                edge_capacitance=fF(1.0), capacitance=fF(5.0),
+                required_arrival=ps(800.0),
+            ))
+        assert tree.num_nodes == before
+        tree.validate()  # no dangling node
+        # Structural edits still work afterwards.
+        solver.apply(AddSink(
+            parent=tree.root_id, edge_resistance=1.0,
+            edge_capacitance=fF(1.0), capacitance=fF(5.0),
+            required_arrival=ps(800.0),
+        ))
+        assert_parity(solver.resolve(), tree, library, "fast",
+                      solver.backend)
+
+    def test_rejected_edit_leaves_session_consistent(self):
+        library = paper_library(4)
+        tree = polarity_tree(4)
+        solver = IncrementalSolver(tree, library)
+        solver.resolve()
+        with pytest.raises(EditError):
+            solver.apply(SetSinkCap(node=tree.root_id, capacitance=fF(1.0)))
+        solver.apply(SetSinkRAT(node=tree.sinks()[0].node_id,
+                                required_arrival=ps(555.0)))
+        assert_parity(solver.resolve(), tree, library, "fast",
+                      solver.backend)
+
+    def test_resolve_without_edits_returns_cached_result(self):
+        library = paper_library(4)
+        tree = polarity_tree(5)
+        solver = IncrementalSolver(tree, library)
+        first = solver.resolve()
+        assert solver.resolve() is first
+        assert solver.resolves == 1
+        solver.apply(SwapDriver(resistance=99.0))
+        assert solver.resolve() is not first
+
+    def test_algorithm_without_add_buffer_op_is_rejected(self):
+        class Opaque(InsertionAlgorithm):
+            complexity = "O(?)"
+            summary = "no add_buffer_op"
+
+            def run(self, tree, library, driver=None, backend="object",
+                    **options):  # pragma: no cover - never called
+                raise AssertionError
+
+        register_algorithm("_opaque_test")(Opaque)
+        try:
+            with pytest.raises(AlgorithmError, match="incrementally"):
+                IncrementalSolver(polarity_tree(6), paper_library(2),
+                                  algorithm="_opaque_test")
+        finally:
+            unregister_algorithm("_opaque_test")
+
+
+# ----------------------------------------------------------------------
+# Sibling subtrees sharing a digest
+# ----------------------------------------------------------------------
+
+
+def twin_arm_tree(arms=2):
+    """A root with ``arms`` structurally identical subtrees."""
+    tree = RoutingTree.with_source(driver=Driver(resistance=150.0))
+    for _ in range(arms):
+        v = tree.add_internal(0, 5.0, fF(4.0))
+        w = tree.add_internal(v, 3.0, fF(2.0))
+        tree.add_sink(w, 2.0, fF(1.0), capacitance=fF(10.0),
+                      required_arrival=ps(900.0))
+        tree.add_sink(w, 2.5, fF(1.5), capacitance=fF(12.0),
+                      required_arrival=ps(1100.0))
+    return tree
+
+
+class TestSiblingDigestSharing:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_edit_in_one_arm_translates_the_other(self, backend):
+        library = paper_library(4)
+        tree = twin_arm_tree()
+        solver = IncrementalSolver(tree, library, backend=backend)
+        solver.resolve()
+        # Dirty arm 1; arm 2 must be served from the digest-shared
+        # cache entry with its *own* node ids in the assignment.
+        first_sink = tree.sinks()[0].node_id
+        solver.apply(SetSinkRAT(node=first_sink, required_arrival=ps(600.0)))
+        result = solver.resolve()
+        assert solver.last_spliced_subtrees >= 1
+        assert_parity(result, tree, library, "fast", backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_three_identical_arms_one_execution(self, backend):
+        library = paper_library(4)
+        tree = twin_arm_tree(arms=3)
+        cache = FrontierCache()
+        solver = IncrementalSolver(tree, library, backend=backend,
+                                   cache=cache)
+        result = solver.resolve()
+        assert_parity(result, tree, library, "fast", backend)
+        # Make every arm dirty-adjacent in turn; each still matches.
+        for sink in [arm.node_id for arm in tree.sinks()][:3]:
+            solver.apply(SetSinkCap(node=sink, capacitance=fF(17.0)))
+            assert_parity(solver.resolve(), tree, library, "fast", backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_shared_cache_across_sessions(self, backend):
+        """Two sessions over identical nets share frontier entries."""
+        library = paper_library(4)
+        cache = FrontierCache()
+        first = IncrementalSolver(twin_arm_tree(), library, backend=backend,
+                                  cache=cache)
+        first.resolve()
+        hits_before = cache.stats()["hits"]
+        second = IncrementalSolver(twin_arm_tree(), library, backend=backend,
+                                   cache=cache)
+        result = second.resolve()
+        assert cache.stats()["hits"] > hits_before
+        assert_parity(result, second.tree, library, "fast", backend)
+
+
+# ----------------------------------------------------------------------
+# Frontier cache behavior
+# ----------------------------------------------------------------------
+
+
+class TestFrontierCache:
+    def snapshot(self, k=4):
+        return FrontierSnapshot(
+            tuple(float(i) for i in range(k)),
+            tuple(float(i) for i in range(k)),
+            (), None, 0, 1, 1,
+        )
+
+    def test_counters_and_hit_rate(self):
+        cache = FrontierCache()
+        assert cache.get("a") is None
+        snapshot = self.snapshot()
+        cache.put("a", snapshot)
+        assert cache.get("a") is snapshot
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries"] == 1
+        assert stats["bytes"] == snapshot.nbytes
+
+    def test_byte_bound_evicts_lru(self):
+        snapshot = self.snapshot()
+        cache = FrontierCache(max_bytes=3 * snapshot.nbytes)
+        for key in ("a", "b", "c"):
+            cache.put(key, self.snapshot())
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("d", self.snapshot())
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["bytes"] <= cache.max_bytes
+
+    def test_single_oversized_entry_survives(self):
+        cache = FrontierCache(max_bytes=1)
+        cache.put("big", self.snapshot(64))
+        assert "big" in cache
+
+    def test_entry_bound(self):
+        cache = FrontierCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, self.snapshot())
+        assert len(cache) == 2 and "a" not in cache
+
+    def test_refresh_replaces_bytes_exactly(self):
+        cache = FrontierCache()
+        cache.put("a", self.snapshot(4))
+        cache.put("a", self.snapshot(8))
+        assert cache.stats()["bytes"] == self.snapshot(8).nbytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrontierCache(max_bytes=0)
+        with pytest.raises(ValueError):
+            FrontierCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# SoA provenance safety
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif("soa" not in BACKENDS, reason="numpy not installed")
+class TestSoAProvenanceSafety:
+    def test_cached_frontiers_survive_many_resolves(self):
+        """Snapshots must never hold stale tape references: entries
+        captured long ago still splice and backtrace correctly."""
+        library = paper_library(4)
+        tree = polarity_tree(7)
+        solver = IncrementalSolver(tree, library, backend="soa")
+        solver.resolve()
+        sinks = [node.node_id for node in tree.sinks()]
+        # Many resolves — each rewinds the factory tape.
+        for index, sink in enumerate(sinks * 2):
+            solver.apply(SetSinkRAT(
+                node=sink, required_arrival=ps(500.0 + 37.0 * index)
+            ))
+            assert_parity(solver.resolve(), tree, library, "fast", "soa")
+
+    def test_provenance_chains_are_depth_bounded(self):
+        """Long sessions must not pin one tape archive per resolve: the
+        chain of archives reachable through spliced decisions is capped
+        (deep entries flatten to ExpandedDecision at archive time)."""
+        from repro.core.stores.soa import _CHAIN_LIMIT
+
+        library = paper_library(4)
+        tree = two_pin_net(
+            length=6000.0, sink_capacitance=fF(20.0),
+            required_arrival=ps(900.0), driver=Driver(resistance=180.0),
+            num_segments=24,
+        )
+        cache = FrontierCache()
+        solver = IncrementalSolver(tree, library, backend="soa",
+                                   cache=cache)
+        solver.resolve()
+        internals = [
+            node.node_id for node in tree.nodes()
+            if not node.is_sink and not node.is_source
+        ]
+        rng = random.Random(3)
+        # Alternate wire edits: each resolve splices frontiers captured
+        # by earlier resolves, which is exactly what builds chains.
+        for step in range(4 * _CHAIN_LIMIT):
+            node = rng.choice(internals)
+            edge = tree.edge_to(node)
+            solver.apply(SetWire(
+                node=node,
+                resistance=edge.resistance * rng.uniform(0.8, 1.25),
+                capacitance=edge.capacitance * rng.uniform(0.8, 1.25),
+            ))
+            assert_parity(solver.resolve(), tree, library, "fast", "soa")
+        depths = {
+            snapshot.archive.depth
+            for snapshot in cache._entries.values()
+            if snapshot.archive is not None
+        }
+        assert depths and max(depths) <= _CHAIN_LIMIT
+
+    def test_snapshot_decisions_are_persistent_objects(self):
+        from repro.core.stores.soa import ArchivedDecision, TapeRef
+
+        library = paper_library(4)
+        tree = twin_arm_tree()
+        cache = FrontierCache()
+        solver = IncrementalSolver(tree, library, backend="soa", cache=cache)
+        solver.resolve()
+        for snapshot in cache._entries.values():
+            decisions = snapshot.decision_list()
+            for decision in decisions:
+                assert not isinstance(decision, TapeRef)
+                assert isinstance(decision, ArchivedDecision)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestEditCLI:
+    def test_edit_replay_with_verify(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.tree.io import library_to_dict, save_tree
+
+        tree = polarity_tree(9)
+        net_path = tmp_path / "net.json"
+        save_tree(tree, net_path)
+        library_path = tmp_path / "lib.json"
+        library_path.write_text(
+            json.dumps(library_to_dict(paper_library(4)))
+        )
+        sink = tree.sinks()[0]
+        internal = tree.children_of(tree.root_id)[0]
+        edge = tree.edge_to(internal)
+        edits_path = tmp_path / "eco.json"
+        edits_path.write_text(json.dumps([
+            {"op": "set_sink_rat", "node": sink.node_id,
+             "required_arrival": sink.required_arrival * 0.8},
+            {"op": "set_wire", "node": internal,
+             "resistance": edge.resistance * 1.5,
+             "capacitance": edge.capacitance},
+            {"op": "swap_driver", "resistance": 77.0},
+        ]))
+        out_path = tmp_path / "out.json"
+        code = main([
+            "edit", "--net", str(net_path), "--library", str(library_path),
+            "--edits", str(edits_path), "--verify",
+            "--output", str(out_path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ok" in output and "MISMATCH" not in output
+        payload = json.loads(out_path.read_text())
+        assert len(payload["steps"]) == 3
+        assert all(step["verified"] for step in payload["steps"])
+        assert payload["final_assignment"]
+
+    def test_edit_rejects_bad_script(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.tree.io import library_to_dict, save_tree
+
+        tree = polarity_tree(10)
+        net_path = tmp_path / "net.json"
+        save_tree(tree, net_path)
+        library_path = tmp_path / "lib.json"
+        library_path.write_text(json.dumps(library_to_dict(paper_library(2))))
+        edits_path = tmp_path / "eco.json"
+        edits_path.write_text(json.dumps([{"op": "teleport"}]))
+        code = main([
+            "edit", "--net", str(net_path), "--library", str(library_path),
+            "--edits", str(edits_path),
+        ])
+        assert code == 2
+        assert "unknown edit op" in capsys.readouterr().err

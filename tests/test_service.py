@@ -303,3 +303,135 @@ class TestServeEntryPoint:
             holder["server"].stop(), holder["loop"]).result(10)
         thread.join(10)
         assert not thread.is_alive()
+
+
+class TestSessions:
+    """The stateful /session endpoints: the incremental ECO surface."""
+
+    def test_create_edit_resolve_matches_solve(self, harness, net, library):
+        session = harness.client.create_session(net, library)
+        assert session.info["num_nodes"] == net.num_nodes
+        baseline = session.resolve()
+        expected = harness.client.solve(net, library)
+        assert baseline["slack_seconds"] == expected["slack_seconds"]
+        assert baseline["assignment"] == expected["assignment"]
+        assert baseline["incremental"]["executed_fraction"] == 1.0
+
+        # Edit one sink, re-solve, and compare against /solve of the
+        # identically edited net — bit-identical through the cache-less
+        # incremental path.
+        sink = net.sinks()[0]
+        session.edit({"op": "set_sink_rat", "node": sink.node_id,
+                      "required_arrival": sink.required_arrival * 0.75})
+        updated = session.resolve()
+        import copy
+
+        edited = copy.deepcopy(net)
+        edited.set_sink(sink.node_id,
+                        required_arrival=sink.required_arrival * 0.75)
+        expected = harness.client.solve(edited, library)
+        assert updated["slack_seconds"] == expected["slack_seconds"]
+        assert updated["assignment"] == expected["assignment"]
+        assert updated["incremental"]["executed_fraction"] < 1.0
+        session.delete()
+
+    def test_typed_edits_and_created_labels(self, harness, net, library):
+        from repro.incremental import AddSink, SetWire
+
+        session = harness.client.create_session(net, library)
+        internal = net.children_of(net.root_id)[0]
+        answer = session.edit(
+            AddSink(parent=internal, edge_resistance=2.0,
+                    edge_capacitance=2e-15, capacitance=8e-15,
+                    required_arrival=9e-10),
+        )
+        assert answer["applied"] == 1
+        assert len(answer["created"]) == 1
+        created = answer["created"][0]
+        assert answer["num_nodes"] == net.num_nodes + 1
+        # The fresh label addresses the new node in later edits.
+        session.edit({"op": "set_sink_rat", "node": created,
+                      "required_arrival": 8e-10})
+        resolved = session.resolve()
+        assert resolved["num_buffers"] >= 0
+        edge = net.edge_to(internal)
+        session.edit(SetWire(node=internal, resistance=edge.resistance * 2.0,
+                             capacitance=edge.capacitance))
+        assert session.resolve()["session"] == session.session_id
+        session.delete()
+
+    def test_unknown_node_id_is_400(self, harness, net, library):
+        session = harness.client.create_session(net, library)
+        with pytest.raises(ServiceError, match="unknown node id"):
+            session.edit({"op": "set_sink_rat", "node": 10_000,
+                          "required_arrival": 1e-9})
+        session.delete()
+
+    def test_invalid_edit_is_400(self, harness, net, library):
+        session = harness.client.create_session(net, library)
+        with pytest.raises(ServiceError, match="unknown edit op"):
+            session.edit({"op": "teleport", "node": 1})
+        with pytest.raises(ServiceError, match="not a sink"):
+            session.edit({"op": "set_sink_rat", "node": net.root_id,
+                          "required_arrival": 1e-9})
+        session.delete()
+
+    def test_delete_then_use_is_rejected(self, harness, net, library):
+        session = harness.client.create_session(net, library)
+        assert session.delete()["deleted"] is True
+        with pytest.raises(ServiceError, match="unknown or expired"):
+            session.resolve()
+        with pytest.raises(ServiceError, match="unknown or expired"):
+            session.delete()
+
+    def test_session_expiry(self, net, library):
+        import time
+
+        harness = ServerHarness(jobs=1, session_ttl=0.05)
+        try:
+            session = harness.client.create_session(net, library)
+            session.resolve()
+            time.sleep(0.12)
+            with pytest.raises(ServiceError, match="unknown or expired"):
+                session.resolve()
+            stats = harness.client.stats()
+            assert stats["incremental"]["sessions"]["expired"] >= 1
+        finally:
+            harness.shutdown()
+
+    def test_session_eviction_bound(self, net, library):
+        harness = ServerHarness(jobs=1, max_sessions=2)
+        try:
+            sessions = [
+                harness.client.create_session(net, library)
+                for _ in range(3)
+            ]
+            stats = harness.client.stats()["incremental"]["sessions"]
+            assert stats["live"] == 2
+            assert stats["evicted"] == 1
+            with pytest.raises(ServiceError, match="unknown or expired"):
+                sessions[0].resolve()  # the LRU one was evicted
+        finally:
+            harness.shutdown()
+
+    def test_stats_incremental_block(self, harness, net, library):
+        session = harness.client.create_session(net, library)
+        session.resolve()
+        sink = net.sinks()[0]
+        session.edit({"op": "set_sink_cap", "node": sink.node_id,
+                      "capacitance": sink.capacitance * 1.5})
+        session.resolve()
+        stats = harness.client.stats()["incremental"]
+        cache = stats["frontier_cache"]
+        assert cache["entries"] > 0
+        assert cache["bytes"] > 0
+        assert cache["hits"] + cache["misses"] > 0
+        sessions = stats["sessions"]
+        assert sessions["live"] == 1
+        assert sessions["created"] == 1
+        assert sessions["resident_bytes"] > 0
+        assert stats["resolves"] == 2
+        assert stats["edits"] == 1
+        assert 0.0 < stats["last_executed_fraction"] < 1.0
+        assert 0.0 < stats["mean_executed_fraction"] <= 1.0
+        session.delete()

@@ -1,22 +1,25 @@
 #!/usr/bin/env python3
-"""CI perf smoke gate over a freshly generated ``BENCH_PR4.json``.
+"""CI perf smoke gate over freshly generated benchmark JSON files.
 
-Fails (exit 1) when the compiled SoA backend is slower than the
-compiled object backend on any Figure 4 trunk point at or above the
-gated position count — the PR2 regression shape this repository's
-kernel engine exists to keep reversed.  Thresholds are read from the
-benchmark file itself (``ci_gate``), so the bench and its gate cannot
-drift apart:
+Accepts any mix of the repository's benchmark trajectory files and
+dispatches on their content; exit 1 when any gated measurement
+regresses.  Thresholds always come from the benchmark file itself
+(``ci_gate``), so a bench and its gate cannot drift apart.
 
-* ``ci_gate.min_positions`` — points with at least this many *actual*
-  positions are gated (the CI job runs at ``REPRO_BENCH_SCALE=0.25``,
-  so the gated points are the top of the scaled sweep);
-* ``ci_gate.max_soa_over_object`` — compiled-soa seconds must be at
-  most this multiple of compiled-object seconds.
+* ``BENCH_PR4.json`` (has ``fig4``) — the kernel-engine gate: compiled
+  SoA must not be slower than compiled object on any Figure 4 trunk
+  point at or above ``ci_gate.min_positions`` (the PR2 regression shape
+  this repository's kernel engine exists to keep reversed).
+* ``BENCH_PR5.json`` (has ``incremental``) — the incremental-engine
+  gate: at every trunk point with at least ``ci_gate.min_positions``
+  actual positions, each backend's edit-replay headline (the geometric
+  mean of per-edit incremental-vs-scratch speedups; see
+  ``benchmarks/bench_incremental.py`` for the workload definition)
+  must be at least ``ci_gate.min_speedup``.
 
 Usage::
 
-    python tools/perf_gate.py BENCH_PR4.json
+    python tools/perf_gate.py BENCH_PR4.json [BENCH_PR5.json ...]
 """
 
 from __future__ import annotations
@@ -26,12 +29,8 @@ import sys
 from pathlib import Path
 
 
-def check(path: Path) -> int:
-    payload = json.loads(path.read_text())
-    gate = payload.get("ci_gate")
-    if not gate:
-        print(f"perf gate: {path} has no ci_gate section")
-        return 1
+def check_fig4(payload: dict, path: Path) -> int:
+    gate = payload["ci_gate"]
     min_positions = gate["min_positions"]
     max_ratio = gate["max_soa_over_object"]
 
@@ -71,16 +70,83 @@ def check(path: Path) -> int:
             f"perf gate: {failures} point(s) regressed — compiled soa is "
             "slower than compiled object in the gated range"
         )
+    return 1 if failures else 0
+
+
+def check_incremental(payload: dict, path: Path) -> int:
+    gate = payload["ci_gate"]
+    min_positions = gate["min_positions"]
+    min_speedup = gate["min_speedup"]
+    # The gate pins the production path (backend="auto" at generation
+    # time); other backends are reported ungated.
+    gate_backend = gate.get("backend")
+
+    points = payload["incremental"]["points"]
+    gated = [
+        point for point in points
+        if point["positions"] >= min_positions
+        and (gate_backend is None or point["backend"] == gate_backend)
+    ]
+    if not gated:
+        print(
+            f"perf gate: no incremental points with >= {min_positions} "
+            f"positions on backend {gate_backend!r} — nothing to gate "
+            "(is the scale high enough?)"
+        )
         return 1
-    print("perf gate: pass")
-    return 0
+
+    failures = 0
+    for point in points:
+        if point["positions"] < min_positions:
+            continue
+        speedup = point["geomean_speedup"]
+        if point in gated:
+            verdict = "ok" if speedup >= min_speedup else "FAIL"
+        else:
+            verdict = "(info)"
+        if verdict == "FAIL":
+            failures += 1
+        detail = "  ".join(
+            f"{name} {bucket['speedup_total']:.2f}x"
+            for name, bucket in point["classes"].items()
+        )
+        print(
+            f"perf gate: n={point['positions']:>5} {point['backend']:<7}"
+            f" edit-replay geomean {speedup:8.2f}x "
+            f"(floor {min_speedup:.1f}x)  {verdict}   [{detail}]"
+        )
+    if failures:
+        print(
+            f"perf gate: {failures} point(s) below the incremental "
+            "edit-replay speedup floor"
+        )
+    return 1 if failures else 0
+
+
+def check(path: Path) -> int:
+    payload = json.loads(path.read_text())
+    if not payload.get("ci_gate"):
+        print(f"perf gate: {path} has no ci_gate section")
+        return 1
+    print(f"perf gate: {path}")
+    if "incremental" in payload:
+        return check_incremental(payload, path)
+    if "fig4" in payload:
+        return check_fig4(payload, path)
+    print(f"perf gate: {path} has no recognized benchmark section")
+    return 1
 
 
 def main(argv) -> int:
-    if len(argv) != 2:
+    if len(argv) < 2:
         print(__doc__)
         return 2
-    return check(Path(argv[1]))
+    status = 0
+    for name in argv[1:]:
+        status |= check(Path(name))
+    if status == 0:
+        print("perf gate: pass")
+    return status
 
 
 if __name__ == "__main__":
