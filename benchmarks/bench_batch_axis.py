@@ -1,0 +1,216 @@
+"""Batch-axis group-solve benchmark: ``BENCH_PR6.json``.
+
+Measures the batch-axis engine (:mod:`repro.core.stores.batch_axis`)
+on its motivating workload — a multi-corner sweep: one net replicated
+across R/C process corners (:func:`~repro.experiments.workloads.corner_variants`),
+all replicas sharing one :func:`~repro.core.schedule.group_signature`.
+Each (group size, net size) cell times two ways of solving the same
+lanes:
+
+* ``sequential_seconds`` — the per-net compiled-soa path
+  (:func:`~repro.core.api.insert_buffers` over each lane in turn), the
+  production path before this engine existed;
+* ``batched_seconds`` — one :func:`~repro.core.stores.batch_axis.solve_group`
+  call on a warm :class:`~repro.core.stores.batch_axis.BatchedSoAFactory`,
+  fetching every compiled instruction once and executing it as a
+  vectorized kernel across all lanes.
+
+Both operate on the *same pre-compiled nets*, so the ratio isolates
+solve time (compilation amortizes identically for both callers).
+Bit-identity of every lane against its sequential solve is asserted
+before anything is timed — speedups can never come from solving a
+different problem.  ``speedup`` is sequential/batched (bigger is
+better for the batch axis).
+
+The net is the Figure 4 trunk (the paper's long-candidate-list
+regime) with library b = 32.  Expect the speedup to grow with lanes —
+more lanes amortize instruction fetch and kernel launch — and to
+taper with net size at fixed lanes: the batched add-buffer spends
+O(b·k) arithmetic per op (the hull-free argmax walk) where the
+sequential path spends O(k) hull construction plus an O(b) walk, so
+longer candidate lists trade launch amortization against raw
+arithmetic.  Small nets at small group sizes sit near 1x — the
+engine's overhead floor — which is why
+:class:`~repro.core.batch.SolverPool` only groups, never splits, and
+why the gate below only applies where batching is meant to win.
+
+``ci_gate`` thresholds are embedded in the output and enforced by
+``tools/perf_gate.py`` against a freshly generated file: every point
+with at least ``min_positions`` actual positions *and* at least
+``min_group`` lanes must reach ``min_speedup``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_batch_axis.py \\
+        [--out BENCH_PR6.json] [--scale 1.0] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.api import insert_buffers
+from repro.core.schedule import compile_net, group_signature
+from repro.core.stores.batch_axis import BatchedSoAFactory, solve_group
+from repro.experiments.workloads import (
+    FIG4_NET,
+    build_net,
+    corner_variants,
+)
+from repro.library.generators import paper_library
+
+#: Lanes per group (the multi-corner counts a signoff flow sees).
+GROUP_SIZES = (4, 16, 64)
+
+#: Figure 4 trunk position targets at scale 1.0.
+POSITION_SWEEP = (100, 1000, 8000)
+
+LIBRARY_SIZE = 32
+
+CI_GATE = {
+    # Points with at least this many *actual* positions ...
+    "min_positions": 1000,
+    # ... and at least this many lanes are gated: the regime the
+    # engine exists for.  Smaller cells are recorded as overhead-floor
+    # context, not gated (a 4-lane group of 100-position nets is
+    # dominated by fixed per-op cost on both paths).
+    "min_group": 16,
+    # Floor on sequential/batched wall-clock in the gated cells.
+    "min_speedup": 1.5,
+}
+
+
+def measure_point(
+    positions: int, lanes: int, library, repeats: int
+) -> Dict:
+    """One (net size, group size) cell: parity check, then timing."""
+    tree = build_net(FIG4_NET, positions_override=positions)
+    compiled = [
+        compile_net(variant, library)
+        for _, variant in corner_variants(tree, lanes)
+    ]
+    signature = group_signature(compiled[0])
+    assert all(group_signature(net) == signature for net in compiled[1:])
+
+    factory = BatchedSoAFactory(lanes)
+    # Warm-up doubles as the honesty guard: every lane must be
+    # bit-identical to its own sequential compiled-soa solve.
+    batched = solve_group(compiled, library, factory=factory)
+    for net, lane_result in zip(compiled, batched):
+        reference = insert_buffers(net, library, backend="soa")
+        if (lane_result.slack != reference.slack
+                or lane_result.assignment != reference.assignment):
+            raise AssertionError(
+                f"batched/sequential mismatch at n={positions} "
+                f"lanes={lanes}: {lane_result.slack} != {reference.slack}"
+            )
+
+    sequential_best = float("inf")
+    batched_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for net in compiled:
+            insert_buffers(net, library, backend="soa")
+        sequential_best = min(
+            sequential_best, time.perf_counter() - started)
+        started = time.perf_counter()
+        solve_group(compiled, library, factory=factory)
+        batched_best = min(batched_best, time.perf_counter() - started)
+
+    stats = factory.stats()
+    return {
+        "positions": positions,
+        "lanes": lanes,
+        "sequential_seconds": sequential_best,
+        "batched_seconds": batched_best,
+        "per_lane_batched_seconds": batched_best / lanes,
+        "speedup": sequential_best / batched_best,
+        "baseline_slack_seconds": batched[0].slack,
+        "arena_pooled_bytes": stats["arena"]["pooled_bytes"],
+    }
+
+
+def collect(scale: float, repeats: int) -> Dict:
+    library = paper_library(LIBRARY_SIZE, jitter=0.03, seed=LIBRARY_SIZE)
+    points: List[Dict] = []
+    for target in POSITION_SWEEP:
+        positions = max(int(target * scale), 30)
+        for lanes in GROUP_SIZES:
+            # The largest cell sequentially solves lanes full-size
+            # nets per repeat; budget repeats by total work so the
+            # sweep stays affordable without starving small cells.
+            effective = repeats if positions * lanes <= 64_000 else 1
+            point = measure_point(positions, lanes, library, effective)
+            point["target_positions"] = target
+            point["repeats"] = effective
+            points.append(point)
+    return {
+        "meta": {
+            "bench": "PR6 batch-axis group solver",
+            "scale": scale,
+            "repeats": repeats,
+            "python": sys.version.split()[0],
+            "net": FIG4_NET.name,
+            "algorithm": "fast",
+            "library_size": LIBRARY_SIZE,
+            "workload": (
+                "multi-corner group: one Figure 4 trunk replicated "
+                "across R/C corners, solve_group (one vectorized "
+                "interpreter pass over all lanes) vs per-net "
+                "compiled-soa insert_buffers, bit-identity asserted "
+                "per lane before timing; timings best-of-repeats on "
+                "pre-compiled nets and a warm factory"
+            ),
+        },
+        "ci_gate": dict(CI_GATE),
+        "batch_axis": {
+            "net": FIG4_NET.name,
+            "algorithm": "fast",
+            "library_size": LIBRARY_SIZE,
+            "points": points,
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Persist the PR6 batch-axis trajectory to JSON.")
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_PR6.json",
+        help="output path (default: BENCH_PR6.json at the repo root)")
+    parser.add_argument(
+        "--scale", type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+        help="instance scale factor (default: $REPRO_BENCH_SCALE or 1.0)")
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of repeats per cell (default 3; the largest cells "
+             "drop to 1 automatically)")
+    args = parser.parse_args(argv)
+
+    payload = collect(args.scale, args.repeats)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"batch-axis group solve ({FIG4_NET.name}, fast, "
+          f"b={LIBRARY_SIZE}):")
+    for point in payload["batch_axis"]["points"]:
+        print(
+            f"  n={point['positions']:>5} lanes={point['lanes']:>3}"
+            f"  sequential {point['sequential_seconds']*1e3:9.1f}ms"
+            f"  batched {point['batched_seconds']*1e3:9.1f}ms"
+            f"  speedup {point['speedup']:6.2f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

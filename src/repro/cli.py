@@ -122,6 +122,11 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--jobs", type=int, default=1,
                        help="worker processes, >= 1 (default 1; pass your "
                             "CPU count for one worker per core)")
+    batch.add_argument("--corners", type=int, default=0, metavar="N",
+                       help="replicate every net across N R/C process "
+                            "corners and buffer all replicas (corner "
+                            "groups ride the batch-axis engine on the "
+                            "soa backend)")
     batch.add_argument("--output", type=Path,
                        help="write per-net results JSON here")
 
@@ -246,8 +251,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"batch: net file(s) not found: {', '.join(missing)}",
               file=sys.stderr)
         return 2
+    if args.corners < 0:
+        print(f"batch: --corners must be >= 0, got {args.corners}",
+              file=sys.stderr)
+        return 2
     library = library_from_dict(json.loads(args.library.read_text()))
-    trees = [load_tree(path) for path in args.nets]
+    loaded = [load_tree(path) for path in args.nets]
+    if args.corners >= 1:
+        from repro.experiments.workloads import corner_variants
+
+        labels = []
+        trees = []
+        for path, tree in zip(args.nets, loaded):
+            for corner, variant in corner_variants(tree, args.corners):
+                labels.append(f"{path.name}@{corner}")
+                trees.append(variant)
+    else:
+        labels = [path.name for path in args.nets]
+        trees = loaded
     jobs = args.jobs
     started = time.perf_counter()
     results = solve_many(trees, library, algorithm=args.algorithm,
@@ -257,23 +278,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     header = f"{'net':<28}{'n':>7}{'slack (ps)':>13}{'buffers':>9}"
     print(header)
     print("-" * len(header))
-    for path, tree, result in zip(args.nets, trees, results):
-        print(f"{path.name:<28}{tree.num_buffer_positions:>7}"
+    for label, tree, result in zip(labels, trees, results):
+        print(f"{label:<28}{tree.num_buffer_positions:>7}"
               f"{to_ps(result.slack):>13.1f}{result.num_buffers:>9}")
     rate = len(trees) / elapsed if elapsed > 0 else float("inf")
+    corner_note = (
+        f", corners={args.corners}" if args.corners >= 1 else ""
+    )
     print(f"\n{len(trees)} nets in {elapsed:.3f}s "
           f"({rate:.1f} nets/s, algorithm={args.algorithm}, "
-          f"backend={args.backend}, jobs={args.jobs})")
+          f"backend={args.backend}, jobs={args.jobs}{corner_note})")
 
     if args.output is not None:
         payload = {
             "algorithm": args.algorithm,
             "backend": args.backend,
             "jobs": args.jobs,
+            "corners": args.corners,
             "elapsed_seconds": elapsed,
             "results": [
                 {
-                    "net": str(path),
+                    "net": label,
                     "slack_seconds": result.slack,
                     "num_buffers": result.num_buffers,
                     "assignment": {
@@ -281,7 +306,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                         for node_id, buffer in sorted(result.assignment.items())
                     },
                 }
-                for path, result in zip(args.nets, results)
+                for label, result in zip(labels, results)
             ],
         }
         args.output.write_text(json.dumps(payload, indent=2))

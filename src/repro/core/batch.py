@@ -26,6 +26,18 @@ Results come back in input order and are identical to a serial loop
 (asserted by ``tests/test_batch.py``); ``jobs=1`` *is* a serial loop,
 with no multiprocessing import cost at all.
 
+On top of the process axis sits the **batch axis**: when the pool's
+context resolves to the ``soa`` backend (NumPy present, store-driving
+algorithm), nets sharing a structural
+:func:`~repro.core.schedule.group_signature` — same op stream and
+buffer positions, arbitrary parasitics/RATs/drivers, i.e. multi-corner
+replicas — are solved by one vectorized
+:func:`~repro.core.schedule.run_compiled_group` dispatch instead of N
+interpreter runs, bit-identical per net (see
+:mod:`repro.core.stores.batch_axis`).  Grouping is transparent:
+singletons, mixed structures and unsupported contexts take the per-net
+path, and :meth:`SolverPool.batch_axis_stats` reports what happened.
+
 :func:`parallel_map` is the underlying generic helper, reused by the
 experiment harness to parallelize Table 1 / figure sweep cells.
 """
@@ -33,10 +45,12 @@ experiment harness to parallelize Table 1 / figure sweep cells.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
-from repro.core.schedule import CompiledNet, compile_net
+from repro.core.schedule import CompiledNet, compile_net, group_signature
 from repro.core.solution import BufferingResult
+from repro.errors import AlgorithmError
 from repro.library.library import BufferLibrary
 from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
@@ -88,6 +102,41 @@ def _solve_one(net: Union[RoutingTree, CompiledNet]) -> BufferingResult:
         backend=context["backend"],
         **context["options"],
     )
+
+
+def _solve_task(nets: List[CompiledNet]) -> List[BufferingResult]:
+    """One worker task: a structural group (batched) or a single net.
+
+    The parent only forms multi-net tasks when its context supports the
+    batch-axis engine, so the worker can dispatch on length alone.
+    """
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker used before initialization"
+    if len(nets) == 1:
+        return [_solve_one(nets[0])]
+    from repro.core.schedule import run_compiled_group
+
+    return run_compiled_group(
+        nets,
+        context["library"],
+        algorithm=context["algorithm"],
+        driver=context["driver"],
+        options=context["options"],
+    )
+
+
+def _group_indices(compiled: Sequence[CompiledNet]) -> List[List[int]]:
+    """Input indices grouped by structural signature, in first-seen order.
+
+    A group is every net sharing one
+    :func:`~repro.core.schedule.group_signature` — identical op stream
+    and buffer-position structure, arbitrary parasitics/RATs/drivers
+    (the multi-corner case).  Singleton groups stay on the per-net path.
+    """
+    groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+    for index, net in enumerate(compiled):
+        groups.setdefault(group_signature(net), []).append(index)
+    return list(groups.values())
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
@@ -196,6 +245,18 @@ class SolverPool:
         self.options = dict(options)
         self._pool = None  # created lazily on the first multi-process solve
         self._closed = False
+        self._batch_axis = self._context_supports_batch_axis()
+        self._batch_stats = {
+            "groups": 0,
+            "lanes_histogram": {},
+            "batched_solves": 0,
+            "scalar_solves": 0,
+        }
+        # Warm batch-axis factories, one per lane count (LRU-capped):
+        # reusing a factory keeps its grown arena blocks and tape
+        # capacity across solves, exactly like the single-net factory
+        # the compiled-net cache holds on to.
+        self._factories: "OrderedDict[int, object]" = OrderedDict()
         # Guards the inline path: concurrent callers (server handler
         # threads) may pass the *same* CompiledNet, whose factory scratch
         # arenas are not thread-safe.  The multi-process path only needs
@@ -205,6 +266,77 @@ class SolverPool:
         # Guards lazy pool creation: without it, two threads' first
         # solves would each spawn a worker pool and leak one.
         self._create_lock = threading.Lock()
+
+    #: Distinct lane counts whose warm factories a pool keeps around.
+    _MAX_FACTORIES = 4
+
+    def _context_supports_batch_axis(self) -> bool:
+        """Whether this pool's context can legally dispatch groups.
+
+        Requires the resolved ``soa`` backend (the batched store packs
+        SoA columns), NumPy, and an algorithm that drives candidate
+        stores through the ``add_buffer_op`` seam for this library and
+        these options — the exact preconditions of
+        :func:`repro.core.stores.batch_axis.solve_group`.  Anything
+        else falls back to the per-net path, never errors.
+        """
+        if self.backend != "soa":
+            return False
+        from repro.core.stores.batch_axis import batch_axis_available
+
+        if not batch_axis_available():
+            return False
+        from repro.core.registry import get_algorithm
+
+        try:
+            get_algorithm(self.algorithm).add_buffer_op(
+                "soa", self.library, **self.options
+            )
+        except AlgorithmError:
+            return False
+        return True
+
+    def _factory_for(self, lanes: int):
+        factory = self._factories.get(lanes)
+        if factory is None:
+            from repro.core.stores.batch_axis import BatchedSoAFactory
+
+            factory = BatchedSoAFactory(lanes)
+            self._factories[lanes] = factory
+        self._factories.move_to_end(lanes)
+        while len(self._factories) > self._MAX_FACTORIES:
+            self._factories.popitem(last=False)
+        return factory
+
+    def _record_group(self, lanes: int) -> None:
+        stats = self._batch_stats
+        stats["groups"] += 1
+        stats["batched_solves"] += lanes
+        histogram = stats["lanes_histogram"]
+        histogram[lanes] = histogram.get(lanes, 0) + 1
+
+    def batch_axis_stats(self) -> dict:
+        """Batch-axis grouping counters for this pool.
+
+        ``groups``/``lanes_histogram``/``batched_solves`` count nets
+        that went through :func:`~repro.core.schedule.run_compiled_group`
+        (inline or in a worker); ``scalar_solves`` counts nets that took
+        the per-net path.  ``arena_pooled_bytes`` reports the resident
+        bytes of this process's warm batched factories (worker-process
+        factories are private to the workers, like the single-net ones).
+        """
+        arena_bytes = 0
+        for factory in self._factories.values():
+            stats = factory.stats()
+            arena_bytes += stats["arena"].get("pooled_bytes", 0)
+            arena_bytes += stats["cells"].get("pooled_bytes", 0)
+        return dict(
+            self._batch_stats,
+            lanes_histogram=dict(self._batch_stats["lanes_histogram"]),
+            enabled=self._batch_axis,
+            factories=len(self._factories),
+            arena_pooled_bytes=arena_bytes,
+        )
 
     def compile(
         self, net: Union[RoutingTree, CompiledNet]
@@ -226,27 +358,68 @@ class SolverPool:
         :func:`solve_many`, a multi-process pool dispatches even a
         single net to a worker — the worker already holds the solve
         context, which is the point of keeping the pool warm.
+
+        When the context supports the batch-axis engine (``soa``
+        backend with NumPy and a store-driving algorithm), nets sharing
+        a structural :func:`~repro.core.schedule.group_signature` are
+        solved as one vectorized group — bit-identical per net to the
+        per-net path, just amortizing every kernel launch over the
+        group.  Results always come back in input order.
         """
         if self._closed:
             raise RuntimeError("SolverPool is closed")
         compiled = [self.compile(net) for net in nets]
+        if self._batch_axis and len(compiled) > 1:
+            groups = _group_indices(compiled)
+        else:
+            groups = [[index] for index in range(len(compiled))]
         if self.jobs == 1 or not compiled:
-            from repro.core.api import insert_buffers
-
             with self._serial_lock:
-                return [
-                    insert_buffers(
-                        net, self.library, algorithm=self.algorithm,
-                        driver=self.driver, backend=self.backend,
-                        **self.options,
-                    )
-                    for net in compiled
-                ]
+                return self._solve_inline(compiled, groups)
+        items = [[compiled[index] for index in indices] for indices in groups]
         if chunksize is None:
-            chunksize = max(1, len(compiled) // (self.jobs * 4))
-        return self._ensure_pool().map(
-            _solve_one, compiled, chunksize=chunksize
+            chunksize = max(1, len(items) // (self.jobs * 4))
+        nested = self._ensure_pool().map(
+            _solve_task, items, chunksize=chunksize
         )
+        results: List[Optional[BufferingResult]] = [None] * len(compiled)
+        with self._serial_lock:
+            for indices, group_results in zip(groups, nested):
+                for index, result in zip(indices, group_results):
+                    results[index] = result
+                if len(indices) > 1:
+                    self._record_group(len(indices))
+                else:
+                    self._batch_stats["scalar_solves"] += 1
+        return results  # type: ignore[return-value]
+
+    def _solve_inline(
+        self, compiled: List[CompiledNet], groups: List[List[int]]
+    ) -> List[BufferingResult]:
+        """The ``jobs=1`` path: batched groups + per-net singletons."""
+        from repro.core.api import insert_buffers
+        from repro.core.schedule import run_compiled_group
+
+        results: List[Optional[BufferingResult]] = [None] * len(compiled)
+        for indices in groups:
+            if len(indices) > 1:
+                lanes = len(indices)
+                group_results = run_compiled_group(
+                    [compiled[index] for index in indices], self.library,
+                    algorithm=self.algorithm, driver=self.driver,
+                    options=self.options, factory=self._factory_for(lanes),
+                )
+                for index, result in zip(indices, group_results):
+                    results[index] = result
+                self._record_group(lanes)
+            else:
+                results[indices[0]] = insert_buffers(
+                    compiled[indices[0]], self.library,
+                    algorithm=self.algorithm, driver=self.driver,
+                    backend=self.backend, **self.options,
+                )
+                self._batch_stats["scalar_solves"] += 1
+        return results  # type: ignore[return-value]
 
     def _ensure_pool(self):
         with self._create_lock:
@@ -349,15 +522,13 @@ def solve_many(
         nets = list(trees)
 
     if jobs == 1 or len(nets) <= 1:
-        from repro.core.api import insert_buffers
-
-        return [
-            insert_buffers(
-                net, library, algorithm=algorithm, driver=driver,
-                backend=backend, **options,
-            )
-            for net in nets
-        ]
+        # A one-shot inline pool: no workers, but structural groups
+        # still ride the batch-axis engine when the context allows.
+        with SolverPool(
+            library, algorithm=algorithm, jobs=1, driver=driver,
+            backend=backend, **options,
+        ) as pool:
+            return pool.solve(nets)
 
     # jobs > 1 and len(nets) > 1: a one-shot pool, torn down on return.
     with SolverPool(

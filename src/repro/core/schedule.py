@@ -156,6 +156,7 @@ class CompiledNet:
         self._factories: Dict[str, object] = {}
         self._runtime: Optional[tuple] = None
         self._sink_index_of: Optional[Dict[int, int]] = None
+        self._group_signature: Optional[tuple] = None
 
     # -- solve-time accessors ------------------------------------------
 
@@ -329,6 +330,7 @@ class CompiledNet:
         state["_factories"] = {}  # per-process solve state
         state["_runtime"] = None  # unboxed lazily per process
         state["_sink_index_of"] = None  # rebuilt lazily on first patch
+        state["_group_signature"] = None  # recomputed lazily per process
         # The subtree-range/patch maps exist for the in-process
         # incremental engine only (which compiles privately and never
         # pickles); shipping ~3n dict entries to every batch worker
@@ -580,3 +582,68 @@ def invalidate_schedule(tree: RoutingTree) -> None:
     :func:`cached_schedule`'s ``matches_tree`` guard cannot see.
     """
     _SCHEDULE_CACHE.pop(tree, None)
+
+
+# ----------------------------------------------------------------------
+# Batch-axis grouping
+# ----------------------------------------------------------------------
+
+
+def group_signature(compiled: CompiledNet) -> tuple:
+    """The structural identity that makes two schedules batchable.
+
+    Two compiled nets with equal signatures execute the *same*
+    instruction stream against the *same* plan table: same opcodes and
+    arguments, same sink placement, same buffer-position specs, same
+    vertex count.  Everything that may differ per lane is deliberately
+    excluded — wire parasitics, sink required arrivals and loads (the
+    multi-corner case), and the driver (evaluated per lane at the
+    root).  The library is also excluded: group consumers solve a whole
+    group against one caller-chosen library and
+    :meth:`CompiledNet.check_library` rejects mismatched lanes.
+
+    Cheap to compare (tuple of bytes) and cached per instance, so group
+    formation over a batch is O(total instructions) once.
+    """
+    signature = compiled._group_signature
+    if signature is None:
+        signature = (
+            compiled.ops,
+            compiled.args.tobytes(),
+            compiled.sink_node.tobytes(),
+            tuple(
+                (node_id, allowed if allowed is None else tuple(allowed))
+                for node_id, allowed in compiled.plan_specs
+            ),
+            compiled.num_nodes,
+        )
+        compiled._group_signature = signature
+    return signature
+
+
+def run_compiled_group(
+    nets: List[CompiledNet],
+    library: BufferLibrary,
+    algorithm: str = "fast",
+    driver: Optional[Driver] = None,
+    options: Optional[Dict[str, object]] = None,
+    factory=None,
+) -> list:
+    """Solve structurally identical compiled nets as one batched walk.
+
+    The batch-axis entry point: every instruction is fetched once and
+    dispatched as one vectorized kernel across all lanes (see
+    :mod:`repro.core.stores.batch_axis`).  ``nets`` must share one
+    :func:`group_signature`.  Returns per-lane
+    :class:`~repro.core.solution.BufferingResult`\\ s in input order,
+    bit-identical to solving each net individually on the compiled-soa
+    path.  Requires NumPy and an algorithm with a store ``add_buffer``
+    op (:class:`repro.core.batch.SolverPool` probes both and falls back
+    to per-net solves when either is missing).
+    """
+    from repro.core.stores.batch_axis import solve_group
+
+    return solve_group(
+        nets, library, algorithm=algorithm, driver=driver,
+        options=options, factory=factory,
+    )

@@ -97,7 +97,10 @@ _NEG_INF = float("-inf")
 #: Selection involves no arithmetic, so the cutoff can never change
 #: results — only which identical-output code path computes them.  The
 #: default is tuned by ``benchmarks/bench_kernel_cutoff.py`` (see
-#: docs/benchmarks.md).
+#: docs/benchmarks.md).  The batch-axis engine shares the same knob,
+#: comparing ``lanes * width`` (whole-group element count) against it;
+#: the tuning bench's batched sweep confirms 48 sits on the optimum
+#: plateau there too.
 _KERNEL_CUTOFF = 48
 
 #: Hull crossover as a multiple of the kernel cutoff (one knob governs
@@ -364,6 +367,19 @@ class ProvenanceTape:
         base = self._reserve(1)
         self.op[base] = _TAPE_SINK
         self.a[base] = node_id
+        return base
+
+    def append_sinks(self, node_id: int, count: int) -> int:
+        """Bulk-record ``count`` sink candidates at one tree vertex.
+
+        The batch-axis engine starts every lane of a group at the same
+        sink instruction; one reserve covers the whole group.  Returns
+        the first record's index (lane ``i`` owns ``base + i``).
+        """
+        base = self._reserve(count)
+        end = base + count
+        self.op[base:end] = _TAPE_SINK
+        self.a[base:end] = node_id
         return base
 
     def append_merges(self, left, right) -> int:
@@ -842,6 +858,192 @@ def _walk_pointers_dense(r, hull_q, hull_c):
     return pointers, vals
 
 
+def _merge_pairs(lq, lc, rq, rc):
+    """The MERGE pairing kernel on raw columns (store-independent).
+
+    The two-pointer walk emits the pair (i, j) exactly when
+    ``max(lq[i-1], rq[j-1]) < min(lq[i], rq[j])``.  Split by binding
+    side: left-binding pairs (``lq[i] <= rq[j]``) pair each ``i`` with
+    the first ``j`` whose ``rq[j] >= lq[i]``; right-binding pairs
+    (strict, so cross-list q ties are not emitted twice) symmetrically.
+
+    Returns ``(pair_i, pair_j, pair_q, pair_c, keep)`` where ``keep``
+    is the dominance-prune result of :func:`_keep_indices` — ``None``
+    when every pair survives — already applied to ``pair_i`` /
+    ``pair_j`` but **not** to ``pair_q`` / ``pair_c``, so callers can
+    compose the prune gather with their own output placement (the
+    store's arena write, the batched store's row write).  Shared by
+    :meth:`SoAStore.merge` and the batch-axis engine so the two paths
+    cannot drift.
+    """
+    left_partner = rq.searchsorted(lq, side="left")
+    left_valid = left_partner < len(rq)
+    right_partner = lq.searchsorted(rq, side="left")
+    right_valid = right_partner < len(lq)
+    right_valid &= lq[np.minimum(right_partner, len(lq) - 1)] != rq
+    pair_i = np.concatenate(
+        (left_valid.nonzero()[0], right_partner[right_valid])
+    )
+    pair_j = np.concatenate(
+        (left_partner[left_valid], right_valid.nonzero()[0])
+    )
+    pair_q = np.concatenate((lq[left_valid], rq[right_valid]))
+    # Emission order is increasing binding q (all values distinct:
+    # within-list q is strictly increasing, cross-list ties were
+    # routed to the left-binding side).
+    order = pair_q.argsort(kind="stable")
+    pair_i = pair_i[order]
+    pair_j = pair_j[order]
+    pair_q = pair_q[order]
+    pair_c = lc[pair_i] + rc[pair_j]
+    keep = _keep_indices(pair_q, pair_c)
+    if keep is not None:
+        pair_i = pair_i[keep]
+        pair_j = pair_j[keep]
+    return pair_i, pair_j, pair_q, pair_c, keep
+
+
+def _best_under_load(q, c, resistance: float, limit: float, scratch_f8):
+    """First argmax of ``q - R c`` over the ``c <= limit`` prefix.
+
+    Returns ``(index, value)`` or ``(-1, -inf)`` when nothing is
+    drivable — the vectorized twin of ``buffer_ops._scan_best``, on raw
+    columns so the single-net and batch-axis stores share it.
+    """
+    count = int(c.searchsorted(limit, side="right"))
+    if count == 0:
+        return -1, _NEG_INF
+    values = scratch_f8(count)
+    np.multiply(c[:count], resistance, out=values)
+    np.subtract(q[:count], values, out=values)
+    index = int(values.argmax())
+    return index, float(values[index])
+
+
+def _generate_betas(q, c, d, plan: BufferPlan, tape: "ProvenanceTape",
+                    scratch_f8, iota, scan: bool, hull_arrays=None):
+    """The pruned, tape-registered buffered candidates of ``plan``.
+
+    The store-independent core of :meth:`SoAStore._betas`, operating on
+    raw ``q`` / ``c`` / ``d`` columns so the batch-axis engine can run
+    it per lane (the load-capped and scan paths) against the shared
+    group tape.  Returns ``(q, c, d)`` arrays (``d`` freshly minted
+    tape indices) or ``None`` when no type emits a candidate.  ``scan``
+    selects the exhaustive per-type argmax over the full list (Lillis);
+    otherwise ``hull_arrays = (hull_q, hull_c, hull_d)`` drives the
+    broadcast hull walk (the paper's O(k + b) step, executed as one
+    (b × h) kernel).  The caller owns ``hull_arrays``.
+    """
+    kern = plan_kernel(plan)
+    n = len(q)
+    size = kern.size
+
+    if scan:
+        # All types at once: V[i, j] = q[j] - R_i * c[j] over the
+        # whole list, load caps masked to -inf (never the argmax of
+        # a non-empty prefix, matching the scan's strict-improvement
+        # rule which likewise never selects -inf).
+        values = np.multiply.outer(kern.r, c)
+        np.subtract(q, values, out=values)
+        if kern.has_caps:
+            counts = c.searchsorted(kern.limits, side="right")
+            masked = iota(n) >= counts[:, None]
+            values[masked] = _NEG_INF
+        else:
+            counts = None
+        best = values.argmax(axis=1)
+        vals = values[kern.iota_b, best]
+        beta_q = vals - kern.k
+        below = d.take(best)
+        valid = vals > _NEG_INF
+        if counts is not None:
+            valid &= counts > 0
+        if not valid.all():
+            order = kern.cap_order
+            ordered = order[valid[order]]
+            if len(ordered) == 0:
+                return None
+            bq = beta_q[ordered]
+            bc = kern.c_in[ordered]
+        elif kern.cap_identity:
+            ordered = kern.iota_b
+            bq = beta_q
+            bc = kern.c_in
+        else:
+            ordered = kern.cap_order
+            bq = beta_q[ordered]
+            bc = kern.c_in_cap
+    else:
+        hull_q, hull_c, hull_d = hull_arrays
+        if not kern.has_caps:
+            # The common DATE-2005 case (no load caps): one
+            # broadcast replay of the walk over all b types.
+            pointers, vals = _walk_pointers_dense(kern.r, hull_q,
+                                                  hull_c)
+            beta_q = vals - kern.k
+            below = hull_d.take(pointers)
+            if kern.cap_identity:
+                ordered = kern.iota_b
+                bq = beta_q
+            else:
+                ordered = kern.cap_order
+                bq = beta_q[ordered]
+            bc = kern.c_in_cap
+        else:
+            beta_q = np.empty(size, dtype=np.float64)
+            below = np.empty(size, dtype=np.intp)
+            valid = np.zeros(size, dtype=bool)
+            uncapped = kern.uncapped
+            if len(uncapped):
+                pointers, vals = _walk_pointers_dense(
+                    kern.r_uncapped, hull_q, hull_c
+                )
+                beta_q[uncapped] = vals - kern.k_uncapped
+                below[uncapped] = hull_d[pointers]
+                # Unconditional, exactly like the object walk: an
+                # uncapped type always emits its hull candidate.
+                valid[uncapped] = True
+            # Load-capped types cannot use the hull shortcut (the
+            # constrained optimum may be an interior point): prefix
+            # scan of the full list, per type.
+            buffers = plan.by_resistance_desc
+            for position in range(size):
+                buffer = buffers[position]
+                if buffer.max_load is None:
+                    continue
+                index, value = _best_under_load(
+                    q, c, buffer.driving_resistance, buffer.max_load,
+                    scratch_f8,
+                )
+                if index < 0 or not value > _NEG_INF:
+                    continue
+                beta_q[position] = value - buffer.intrinsic_delay
+                below[position] = d[index]
+                valid[position] = True
+            order = kern.cap_order
+            ordered = order[valid[order]]
+            if len(ordered) == 0:
+                return None
+            bq = beta_q[ordered]
+            bc = kern.c_in[ordered]
+
+    # Emit in non-decreasing C_in order and prune (paper: the betas
+    # are inserted as one sorted nonredundant batch).
+    keep = prune_dominated_indices(bq.tolist(), bc.tolist())
+    if len(keep) != len(ordered):
+        ordered = ordered[keep]
+        bq = bq[keep]
+        bc = bc[keep]
+        tape_below = below.take(ordered)
+    elif ordered is kern.iota_b:
+        tape_below = below
+    else:
+        tape_below = below.take(ordered)
+    base = tape.append_buffers(tape_below, ordered, plan)
+    kept = len(ordered)
+    return bq, bc, np.arange(base, base + kept, dtype=np.intp)
+
+
 class SoAStore(CandidateStore):
     """Candidates as a packed ``(2, k)`` value array plus a tape column.
 
@@ -1002,35 +1204,7 @@ class SoAStore(CandidateStore):
         rq = other.z[0, : other.n]
         rc = other.z[1, : other.n]
         rd = other.d[: other.n]
-        # The two-pointer walk emits the pair (i, j) exactly when
-        # max(lq[i-1], rq[j-1]) < min(lq[i], rq[j]).  Split by binding
-        # side: left-binding pairs (lq[i] <= rq[j]) pair each i with the
-        # first j whose rq[j] >= lq[i]; right-binding pairs (strict, so
-        # cross-list q ties are not emitted twice) symmetrically.
-        left_partner = rq.searchsorted(lq, side="left")
-        left_valid = left_partner < len(rq)
-        right_partner = lq.searchsorted(rq, side="left")
-        right_valid = right_partner < len(lq)
-        right_valid &= lq[np.minimum(right_partner, len(lq) - 1)] != rq
-        pair_i = np.concatenate(
-            (left_valid.nonzero()[0], right_partner[right_valid])
-        )
-        pair_j = np.concatenate(
-            (left_partner[left_valid], right_valid.nonzero()[0])
-        )
-        pair_q = np.concatenate((lq[left_valid], rq[right_valid]))
-        # Emission order is increasing binding q (all values distinct:
-        # within-list q is strictly increasing, cross-list ties were
-        # routed to the left-binding side).
-        order = pair_q.argsort(kind="stable")
-        pair_i = pair_i[order]
-        pair_j = pair_j[order]
-        pair_q = pair_q[order]
-        pair_c = lc[pair_i] + rc[pair_j]
-        keep = _keep_indices(pair_q, pair_c)
-        if keep is not None:
-            pair_i = pair_i[keep]
-            pair_j = pair_j[keep]
+        pair_i, pair_j, pair_q, pair_c, keep = _merge_pairs(lq, lc, rq, rc)
         # Deferred provenance: the surviving pairs' predecessor indices
         # go to the tape as two gathered bulk writes — no decision
         # objects, no per-pair Python.
@@ -1054,145 +1228,19 @@ class SoAStore(CandidateStore):
         n = self.n
         return self._take(_hull_indices(self.z[0, :n], self.z[1, :n]))
 
-    def _best_under_load(self, resistance: float, limit: float):
-        """First argmax of ``q - R c`` over the ``c <= limit`` prefix.
-
-        Returns ``(index, value)`` or ``(-1, -inf)`` when nothing is
-        drivable — the vectorized twin of ``buffer_ops._scan_best``.
-        """
-        n = self.n
-        c = self.z[1, :n]
-        count = int(c.searchsorted(limit, side="right"))
-        if count == 0:
-            return -1, _NEG_INF
-        values = self.factory.scratch_f8(count)
-        np.multiply(c[:count], resistance, out=values)
-        np.subtract(self.z[0, :count], values, out=values)
-        index = int(values.argmax())
-        return index, float(values[index])
-
     def _betas(self, plan: BufferPlan, scan: bool, hull_arrays=None):
         """The pruned, tape-registered buffered candidates of ``plan``.
 
-        Returns ``(q, c, d)`` arrays (``d`` freshly minted tape
-        indices) or ``None`` when no type emits a candidate.  ``scan``
-        selects the exhaustive per-type argmax over the full list
-        (Lillis); otherwise ``hull_arrays = (hull_q, hull_c, hull_d)``
-        drives the broadcast hull walk (the paper's O(k + b) step,
-        executed as one (b × h) kernel).  The caller owns
-        ``hull_arrays``.
+        Thin binding of :func:`_generate_betas` to this store's columns
+        and its factory's tape/scratch (see there for the contract).
         """
-        kern = plan_kernel(plan)
         n = self.n
-        q = self.z[0, :n]
-        c = self.z[1, :n]
-        d = self.d[:n]
-        size = kern.size
-
-        if scan:
-            # All types at once: V[i, j] = q[j] - R_i * c[j] over the
-            # whole list, load caps masked to -inf (never the argmax of
-            # a non-empty prefix, matching the scan's strict-improvement
-            # rule which likewise never selects -inf).
-            values = np.multiply.outer(kern.r, c)
-            np.subtract(q, values, out=values)
-            if kern.has_caps:
-                counts = c.searchsorted(kern.limits, side="right")
-                masked = self.factory.arena.iota(n) >= counts[:, None]
-                values[masked] = _NEG_INF
-            else:
-                counts = None
-            best = values.argmax(axis=1)
-            vals = values[kern.iota_b, best]
-            beta_q = vals - kern.k
-            below = d.take(best)
-            valid = vals > _NEG_INF
-            if counts is not None:
-                valid &= counts > 0
-            if not valid.all():
-                order = kern.cap_order
-                ordered = order[valid[order]]
-                if len(ordered) == 0:
-                    return None
-                bq = beta_q[ordered]
-                bc = kern.c_in[ordered]
-            elif kern.cap_identity:
-                ordered = kern.iota_b
-                bq = beta_q
-                bc = kern.c_in
-            else:
-                ordered = kern.cap_order
-                bq = beta_q[ordered]
-                bc = kern.c_in_cap
-        else:
-            hull_q, hull_c, hull_d = hull_arrays
-            h = len(hull_q)
-            if not kern.has_caps:
-                # The common DATE-2005 case (no load caps): one
-                # broadcast replay of the walk over all b types.
-                pointers, vals = _walk_pointers_dense(kern.r, hull_q,
-                                                      hull_c)
-                beta_q = vals - kern.k
-                below = hull_d.take(pointers)
-                if kern.cap_identity:
-                    ordered = kern.iota_b
-                    bq = beta_q
-                else:
-                    ordered = kern.cap_order
-                    bq = beta_q[ordered]
-                bc = kern.c_in_cap
-            else:
-                beta_q = np.empty(size, dtype=np.float64)
-                below = np.empty(size, dtype=np.intp)
-                valid = np.zeros(size, dtype=bool)
-                uncapped = kern.uncapped
-                if len(uncapped):
-                    pointers, vals = _walk_pointers_dense(
-                        kern.r_uncapped, hull_q, hull_c
-                    )
-                    beta_q[uncapped] = vals - kern.k_uncapped
-                    below[uncapped] = hull_d[pointers]
-                    # Unconditional, exactly like the object walk: an
-                    # uncapped type always emits its hull candidate.
-                    valid[uncapped] = True
-                # Load-capped types cannot use the hull shortcut (the
-                # constrained optimum may be an interior point): prefix
-                # scan of the full list, per type.
-                buffers = plan.by_resistance_desc
-                for position in range(size):
-                    buffer = buffers[position]
-                    if buffer.max_load is None:
-                        continue
-                    index, value = self._best_under_load(
-                        buffer.driving_resistance, buffer.max_load
-                    )
-                    if index < 0 or not value > _NEG_INF:
-                        continue
-                    beta_q[position] = value - buffer.intrinsic_delay
-                    below[position] = d[index]
-                    valid[position] = True
-                order = kern.cap_order
-                ordered = order[valid[order]]
-                if len(ordered) == 0:
-                    return None
-                bq = beta_q[ordered]
-                bc = kern.c_in[ordered]
-
-        # Emit in non-decreasing C_in order and prune (paper: the betas
-        # are inserted as one sorted nonredundant batch).
-        keep = prune_dominated_indices(bq.tolist(), bc.tolist())
-        if len(keep) != len(ordered):
-            ordered = ordered[keep]
-            bq = bq[keep]
-            bc = bc[keep]
-            tape_below = below.take(ordered)
-        elif ordered is kern.iota_b:
-            tape_below = below
-        else:
-            tape_below = below.take(ordered)
-        base = self.factory.tape.append_buffers(tape_below, ordered, plan)
-        kept = len(ordered)
-        return bq, bc, np.arange(base, base + kept, dtype=np.intp)
+        factory = self.factory
+        return _generate_betas(
+            self.z[0, :n], self.z[1, :n], self.d[:n], plan,
+            factory.tape, factory.scratch_f8, factory.arena.iota,
+            scan, hull_arrays,
+        )
 
     def _insert_arrays(self, nq, nc, nd) -> None:
         """Theorem-2 sorted insertion plus the final prune, in place.

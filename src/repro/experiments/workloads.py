@@ -9,15 +9,23 @@ of pure Python rather than the minutes of the authors' C code.
 
 Every spec is deterministic: the net is produced by a seeded generator
 and wire segmenting to the target position count.
+
+Beyond the paper's single-corner tables, :func:`corner_variants`
+replicates any net across an R/C process-corner grid
+(:func:`make_corners`) — the multi-corner workload the batch-axis
+engine (:mod:`repro.core.stores.batch_axis`) was built for, used by
+``benchmarks/bench_batch_axis.py`` and ``repro batch --corners``.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Tuple
+from typing import List, Tuple
 
 from repro.tree.builders import random_tree_net, two_pin_net
+from repro.tree.io import tree_from_dict, tree_to_dict
 from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
 from repro.tree.segmenting import segment_to_position_count
@@ -102,6 +110,69 @@ FIG4_NET: NetSpec = NetSpec(
     die_size=60_000.0,
     topology="trunk",
 )
+
+
+#: The named process-corner grid multi-corner workloads start from:
+#: ``(name, resistance_scale, capacitance_scale)``.  Interconnect
+#: corners move wire R and C together but not in lockstep (metal
+#: thickness trades one against the other), hence the skewed pairs.
+DEFAULT_CORNERS: Tuple[Tuple[str, float, float], ...] = (
+    ("tt", 1.00, 1.00),
+    ("ff", 0.85, 0.93),
+    ("ss", 1.18, 1.09),
+    ("fs", 0.91, 1.05),
+)
+
+
+def make_corners(count: int) -> Tuple[Tuple[str, float, float], ...]:
+    """``count`` deterministic ``(name, r_scale, c_scale)`` corners.
+
+    The first four are the named grid (:data:`DEFAULT_CORNERS`); beyond
+    that, extra corners interpolate deterministically between the slow
+    and fast extremes (``pvt4``, ``pvt5``, ...), so any requested group
+    size yields distinct, reproducible parasitics.
+    """
+    if count < 1:
+        raise ValueError(f"corner count must be >= 1, got {count}")
+    corners = list(DEFAULT_CORNERS[:count])
+    for index in range(len(corners), count):
+        # Walk the ss..ff diagonal in golden-ratio steps: dense,
+        # non-repeating coverage for arbitrarily large groups.
+        fraction = (index * 0.61803398875) % 1.0
+        corners.append((
+            f"pvt{index}",
+            0.85 + 0.33 * fraction,
+            1.09 - 0.16 * fraction,
+        ))
+    return tuple(corners)
+
+
+def corner_variants(
+    tree: RoutingTree, count: int
+) -> List[Tuple[str, RoutingTree]]:
+    """``count`` corner replicas of ``tree``: same topology, scaled R/C.
+
+    Replicas are built through the serialization round trip
+    (:func:`~repro.tree.io.tree_to_dict` /
+    :func:`~repro.tree.io.tree_from_dict`), which re-assigns node ids
+    pre-order — every variant therefore compiles to the same op stream
+    and shares a :func:`~repro.core.schedule.group_signature`, making a
+    corner sweep the canonical batch-axis group (only wire parasitics
+    differ; structure, sinks and driver are untouched).
+
+    Returns ``(corner_name, tree)`` pairs, ``tt`` (unscaled) first.
+    """
+    base = tree_to_dict(tree)
+    variants: List[Tuple[str, RoutingTree]] = []
+    for name, r_scale, c_scale in make_corners(count):
+        spec = copy.deepcopy(base)
+        for node in spec["nodes"]:
+            edge = node.get("edge")
+            if edge is not None:
+                edge["resistance"] *= r_scale
+                edge["capacitance"] *= c_scale
+        variants.append((name, tree_from_dict(spec)))
+    return variants
 
 
 @lru_cache(maxsize=32)

@@ -18,7 +18,8 @@ path                      method  purpose
 ``/session/{id}``         DELETE  close a session
 ``/healthz``              GET     liveness probe: version, uptime, workers
 ``/stats``                GET     request counters, cache counters, pool
-                                  inventory, incremental-engine health
+                                  inventory, batch-axis grouping and
+                                  incremental-engine health
 ========================  ======  ==========================================
 
 **Sessions.**  A session wraps an
@@ -61,6 +62,13 @@ keeps accepting requests while the kernel works; with ``jobs > 1`` the
 pool additionally fans a batch's misses across worker processes, each of
 which holds the library plan resident (see
 :class:`~repro.core.batch.SolverPool`).
+
+A ``/batch`` whose deduped misses contain structurally identical nets
+under different parasitics or RATs (the multi-corner case) is solved
+lane-parallel by the pool's batch-axis engine
+(:mod:`repro.core.stores.batch_axis`): one vectorized interpreter pass
+over the whole group instead of one per net, bit-identical per net.
+``/stats`` reports the grouping under its ``batch_axis`` block.
 """
 
 from __future__ import annotations
@@ -364,6 +372,30 @@ class BufferServer:
                 bucket["tape_capacity"] += tape.get("capacity", 0)
         for backend, bucket in kernels.items():
             bucket["factories"] = factories[backend]
+        # Batch-axis health, aggregated over the warm pools: how much
+        # of the traffic actually formed structural groups (the /batch
+        # multi-corner case) versus falling back to per-net solves.
+        batch_axis: Dict[str, Any] = {
+            "pools_enabled": 0,
+            "groups": 0,
+            "lanes_histogram": {},
+            "batched_solves": 0,
+            "scalar_solves": 0,
+            "arena_pooled_bytes": 0,
+        }
+        for entry in self._pools.values():
+            pool_stats = entry.pool.batch_axis_stats()
+            batch_axis["pools_enabled"] += 1 if pool_stats["enabled"] else 0
+            batch_axis["groups"] += pool_stats["groups"]
+            batch_axis["batched_solves"] += pool_stats["batched_solves"]
+            batch_axis["scalar_solves"] += pool_stats["scalar_solves"]
+            batch_axis["arena_pooled_bytes"] += (
+                pool_stats["arena_pooled_bytes"]
+            )
+            histogram = batch_axis["lanes_histogram"]
+            for lanes, count in pool_stats["lanes_histogram"].items():
+                key = str(lanes)  # stable JSON schema: string keys
+                histogram[key] = histogram.get(key, 0) + count
         session_stats = self.sessions.stats()
         live_sessions = tuple(self.sessions.values())
         resolves = self.counters["session_resolves"]
@@ -372,6 +404,7 @@ class BufferServer:
             "counters": dict(self.counters),
             "solves_by_backend": dict(self.solves_by_backend),
             "kernels": kernels,
+            "batch_axis": batch_axis,
             "cache": self.results.stats().as_dict(),
             "compiled_cache": dict(
                 self.compiled.stats().as_dict(),

@@ -128,6 +128,39 @@ def test_batch_empty_nets_is_a_clean_error(tmp_path, capsys):
     assert "at least one net file" in capsys.readouterr().err
 
 
+def test_batch_corners_expands_and_labels(tmp_path, capsys):
+    net_path, lib_path = _batch_fixture(tmp_path, capsys)
+    out_path = tmp_path / "batch.json"
+    assert main(["batch", "--nets", str(net_path),
+                 "--library", str(lib_path), "--corners", "5",
+                 "--output", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "5 nets in" in out and "corners=5" in out
+    for corner in ("tt", "ff", "ss", "fs", "pvt4"):
+        assert f"net.json@{corner}" in out
+
+    payload = json.loads(out_path.read_text())
+    assert payload["corners"] == 5
+    labels = [entry["net"] for entry in payload["results"]]
+    assert labels == [f"net.json@{c}"
+                      for c in ("tt", "ff", "ss", "fs", "pvt4")]
+    # The tt corner is the unscaled net: same answer as a plain batch.
+    plain = tmp_path / "plain.json"
+    main(["batch", "--nets", str(net_path), "--library", str(lib_path),
+          "--output", str(plain)])
+    capsys.readouterr()
+    baseline = json.loads(plain.read_text())["results"][0]
+    assert payload["results"][0]["slack_seconds"] == \
+        baseline["slack_seconds"]
+
+
+def test_batch_negative_corners_is_a_clean_error(tmp_path, capsys):
+    net_path, lib_path = _batch_fixture(tmp_path, capsys)
+    assert main(["batch", "--nets", str(net_path),
+                 "--library", str(lib_path), "--corners", "-1"]) == 2
+    assert "--corners must be >= 0" in capsys.readouterr().err
+
+
 def test_batch_jobs_zero_is_a_clean_error(tmp_path, capsys):
     # Regression: --jobs 0 used to reach multiprocessing setup and
     # traceback; now it is rejected up front with a clear message.

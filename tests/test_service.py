@@ -253,6 +253,31 @@ class TestStats:
             assert kernels["arena_pooled_bytes"] >= 0
             assert kernels["tape_capacity"] >= 0
 
+    def test_stats_batch_axis_block(self, harness, library):
+        """A multi-corner /batch forms one lane group, visible in
+        /stats, and every lane's answer matches the in-process solve."""
+        from repro.core.stores import resolve_backend
+        from repro.experiments.workloads import corner_variants
+
+        tree = random_small_tree(7)
+        nets = [variant for _, variant in corner_variants(tree, 4)]
+        answers = harness.client.solve_batch(nets, library)
+        for net, answer in zip(nets, answers):
+            expected = insert_buffers(net, library)
+            assert answer["slack_seconds"] == expected.slack
+
+        block = harness.client.stats()["batch_axis"]
+        assert set(block) == {
+            "pools_enabled", "groups", "lanes_histogram",
+            "batched_solves", "scalar_solves", "arena_pooled_bytes",
+        }
+        if resolve_backend("auto") == "soa":
+            assert block["pools_enabled"] == 1
+            assert block["groups"] == 1
+            assert block["batched_solves"] == 4
+            assert block["scalar_solves"] == 0
+            assert block["lanes_histogram"] == {"4": 1}
+
 
 class TestTTLIntegration:
     def test_expired_entry_is_resolved(self, net, library):

@@ -16,6 +16,13 @@ regresses.  Thresholds always come from the benchmark file itself
   mean of per-edit incremental-vs-scratch speedups; see
   ``benchmarks/bench_incremental.py`` for the workload definition)
   must be at least ``ci_gate.min_speedup``.
+* ``BENCH_PR6.json`` (has ``batch_axis``) — the batch-axis gate: every
+  multi-corner group cell with at least ``ci_gate.min_positions``
+  actual positions and at least ``ci_gate.min_group`` lanes must solve
+  at least ``ci_gate.min_speedup`` times faster through one
+  ``solve_group`` call than through per-net sequential solves of the
+  same pre-compiled lanes (see ``benchmarks/bench_batch_axis.py``).
+  Smaller cells are printed as ungated context.
 
 Usage::
 
@@ -123,6 +130,51 @@ def check_incremental(payload: dict, path: Path) -> int:
     return 1 if failures else 0
 
 
+def check_batch_axis(payload: dict, path: Path) -> int:
+    gate = payload["ci_gate"]
+    min_positions = gate["min_positions"]
+    min_group = gate["min_group"]
+    min_speedup = gate["min_speedup"]
+
+    points = payload["batch_axis"]["points"]
+    gated = [
+        point for point in points
+        if point["positions"] >= min_positions
+        and point["lanes"] >= min_group
+    ]
+    if not gated:
+        print(
+            f"perf gate: no batch-axis cells with >= {min_positions} "
+            f"positions and >= {min_group} lanes — nothing to gate "
+            "(is the scale high enough?)"
+        )
+        return 1
+
+    failures = 0
+    for point in points:
+        speedup = point["speedup"]
+        if point in gated:
+            verdict = "ok" if speedup >= min_speedup else "FAIL"
+        else:
+            verdict = "(info)"
+        if verdict == "FAIL":
+            failures += 1
+        print(
+            f"perf gate: n={point['positions']:>5} "
+            f"lanes={point['lanes']:>3}"
+            f"  sequential {point['sequential_seconds']*1e3:9.1f}ms"
+            f"  batched {point['batched_seconds']*1e3:9.1f}ms"
+            f"  speedup {speedup:6.2f}x (floor {min_speedup:.1f}x)  "
+            f"{verdict}"
+        )
+    if failures:
+        print(
+            f"perf gate: {failures} cell(s) below the batch-axis "
+            "group-solve speedup floor"
+        )
+    return 1 if failures else 0
+
+
 def check(path: Path) -> int:
     payload = json.loads(path.read_text())
     if not payload.get("ci_gate"):
@@ -133,6 +185,8 @@ def check(path: Path) -> int:
         return check_incremental(payload, path)
     if "fig4" in payload:
         return check_fig4(payload, path)
+    if "batch_axis" in payload:
+        return check_batch_axis(payload, path)
     print(f"perf gate: {path} has no recognized benchmark section")
     return 1
 
