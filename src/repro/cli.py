@@ -102,6 +102,11 @@ def _build_parser() -> argparse.ArgumentParser:
     buf.add_argument("--paper-pseudocode", action="store_true",
                      help="use the paper's destructive Convexpruning "
                           "(exact on 2-pin nets only)")
+    buf.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for a partitioned solve of "
+                          "this single net, >= 1 (default 1 = serial; "
+                          "large nets are cut into balanced subtrees "
+                          "solved concurrently, bit-identical result)")
     buf.add_argument("--output", type=Path,
                      help="write the buffer assignment JSON here")
     buf.add_argument("--show-tree", action="store_true",
@@ -179,6 +184,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--session-ttl", type=float, default=3600.0,
                        help="seconds an idle session stays alive "
                             "(default 3600; <= 0 disables expiry)")
+    serve.add_argument("--parallel-threshold", type=int, default=None,
+                       metavar="N",
+                       help="instruction count above which a single "
+                            "/solve net is partitioned across the "
+                            "pool's workers (default: calibrated; "
+                            "needs --jobs > 1)")
     return parser
 
 
@@ -207,6 +218,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_buffer(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"buffer: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
     tree = load_tree(args.net)
     library = library_from_dict(json.loads(args.library.read_text()))
     options = {}
@@ -216,8 +231,26 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         options["destructive_pruning"] = True
-    result = insert_buffers(tree, library, algorithm=args.algorithm,
-                            backend=args.backend, **options)
+    if args.jobs > 1:
+        from repro.parallel import solve_partitioned
+
+        report: dict = {}
+        result = solve_partitioned(
+            tree, library, algorithm=args.algorithm, backend=args.backend,
+            jobs=args.jobs, options=options, report=report,
+        )
+        if report["engaged"]:
+            print(f"partitioned solve: {report['partitions']} partitions "
+                  f"across {report['workers']} workers, "
+                  f"coverage {report['coverage']:.0%}, "
+                  f"pool utilization {report['pool_utilization']:.0%}")
+        else:
+            print(f"partitioned solve fell back to serial: "
+                  f"{report['reason']}")
+        print()
+    else:
+        result = insert_buffers(tree, library, algorithm=args.algorithm,
+                                backend=args.backend, **options)
     print(full_report(tree, result))
     if args.show_tree:
         print()
@@ -440,13 +473,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: --max-sessions must be >= 1, got {args.max_sessions}",
               file=sys.stderr)
         return 2
+    if args.parallel_threshold is not None and args.parallel_threshold < 1:
+        print(f"serve: --parallel-threshold must be >= 1, "
+              f"got {args.parallel_threshold}", file=sys.stderr)
+        return 2
     from repro.service.server import serve
 
     session_ttl = args.session_ttl if args.session_ttl > 0 else None
     serve(host=args.host, port=args.port, jobs=args.jobs,
           cache_size=args.cache_size, cache_ttl=args.cache_ttl,
           max_pools=args.max_pools, max_sessions=args.max_sessions,
-          session_ttl=session_ttl)
+          session_ttl=session_ttl,
+          parallel_threshold=args.parallel_threshold)
     return 0
 
 

@@ -213,6 +213,15 @@ class SolverPool:
             ``os.cpu_count()``.
         driver: Optional driver override applied to every net.
         backend: Candidate-store backend name, or ``"auto"``.
+        parallel: Single-net partitioned-solve policy (``jobs > 1``
+            only): ``"auto"`` (default) partitions nets whose compiled
+            schedule reaches ``parallel_threshold`` instructions,
+            ``"always"`` partitions every locally compiled net,
+            ``"never"`` disables partitioning.  See
+            :func:`repro.parallel.solver.solve_partitioned`.
+        parallel_threshold: Instruction-count floor for ``"auto"``;
+            defaults to
+            :data:`repro.parallel.solver.DEFAULT_PARALLEL_THRESHOLD`.
         **options: Algorithm-specific flags.
 
     Raises:
@@ -228,6 +237,8 @@ class SolverPool:
         jobs: Optional[int] = 1,
         driver: Optional[Driver] = None,
         backend: str = "auto",
+        parallel: str = "auto",
+        parallel_threshold: Optional[int] = None,
         **options,
     ) -> None:
         from repro.core.registry import get_algorithm
@@ -236,12 +247,29 @@ class SolverPool:
         get_algorithm(algorithm).validate_options(options)
         backend = resolve_backend(backend)
         get_store_backend(backend)
+        if parallel not in ("auto", "always", "never"):
+            raise ValueError(
+                f"parallel must be 'auto', 'always' or 'never', "
+                f"got {parallel!r}"
+            )
+        if parallel_threshold is None:
+            from repro.parallel.solver import DEFAULT_PARALLEL_THRESHOLD
+
+            parallel_threshold = DEFAULT_PARALLEL_THRESHOLD
 
         self.library = library
         self.algorithm = algorithm
         self.jobs = _resolve_jobs(jobs)
         self.driver = driver
         self.backend = backend
+        self.parallel = parallel
+        self.parallel_threshold = parallel_threshold
+        self._parallel_stats: dict = {
+            "parallel_solves": 0,
+            "fallback_solves": 0,
+            "partitions_total": 0,
+            "last": None,
+        }
         self.options = dict(options)
         self._pool = None  # created lazily on the first multi-process solve
         self._closed = False
@@ -365,10 +393,47 @@ class SolverPool:
         solved as one vectorized group — bit-identical per net to the
         per-net path, just amortizing every kernel launch over the
         group.  Results always come back in input order.
+
+        On a multi-process pool, single nets large enough for the
+        ``parallel`` policy are additionally solved *partitioned*: cut
+        into balanced subtrees, solved concurrently across the same
+        workers, and spliced back together in this process —
+        bit-identical again (see :mod:`repro.parallel`).
         """
         if self._closed:
             raise RuntimeError("SolverPool is closed")
         compiled = [self.compile(net) for net in nets]
+        routed: List[int] = []
+        if self.jobs > 1 and self.parallel != "never":
+            floor = (
+                0 if self.parallel == "always" else self.parallel_threshold
+            )
+            # Partitioning needs the subtree range maps, which only
+            # locally compiled schedules carry.
+            routed = [
+                index for index, net in enumerate(compiled)
+                if net.final_of_node and len(net.ops) >= floor
+            ]
+        results: List[Optional[BufferingResult]] = [None] * len(compiled)
+        routed_set = set(routed)
+        plain = [
+            index for index in range(len(compiled))
+            if index not in routed_set
+        ]
+        if plain or not compiled:
+            subset = [compiled[index] for index in plain]
+            for index, result in zip(
+                plain, self._solve_plain(subset, chunksize)
+            ):
+                results[index] = result
+        for index in routed:
+            results[index] = self._solve_partitioned_net(compiled[index])
+        return results  # type: ignore[return-value]
+
+    def _solve_plain(
+        self, compiled: List[CompiledNet], chunksize: Optional[int]
+    ) -> List[BufferingResult]:
+        """The per-net/batch-axis path (everything but partitioning)."""
         if self._batch_axis and len(compiled) > 1:
             groups = _group_indices(compiled)
         else:
@@ -392,6 +457,55 @@ class SolverPool:
                 else:
                     self._batch_stats["scalar_solves"] += 1
         return results  # type: ignore[return-value]
+
+    def _solve_partitioned_net(self, net: CompiledNet) -> BufferingResult:
+        """One large net across all workers, spliced in this process."""
+        from repro.parallel.solver import solve_partitioned
+
+        report: dict = {}
+        # The whole call holds the serial lock: the residual replay
+        # runs on this net's (thread-unsafe) in-process factory, and
+        # Pool.map is safe to call while holding it.
+        with self._serial_lock:
+            result = solve_partitioned(
+                net, self.library, algorithm=self.algorithm,
+                driver=self.driver, backend=self.backend,
+                options=self.options, pool=self, report=report,
+            )
+            stats = self._parallel_stats
+            if report["engaged"]:
+                stats["parallel_solves"] += 1
+                stats["partitions_total"] += report["partitions"]
+            else:
+                stats["fallback_solves"] += 1
+            stats["last"] = report
+        return result
+
+    def _map_partition_tasks(self, tasks: list) -> list:
+        """Dispatch partition tasks on the persistent worker pool."""
+        from repro.parallel.worker import _solve_partition
+
+        return self._ensure_pool().map(_solve_partition, tasks, chunksize=1)
+
+    def parallel_stats(self) -> dict:
+        """Partitioned-solve counters for this pool (``/stats`` block).
+
+        ``parallel_solves``/``fallback_solves`` count nets the policy
+        routed here that did / did not engage (a fallback means the cut
+        planner found the net too chain-like or under-covered and the
+        net solved serially — same result).  ``last`` is the most
+        recent solve's full report: partitions, cut depths, coverage,
+        splice (residual) fraction, dispatch timings and pool
+        utilization.
+        """
+        with self._serial_lock:
+            stats = dict(self._parallel_stats)
+            if stats["last"] is not None:
+                stats["last"] = dict(stats["last"])
+        stats["enabled"] = self.jobs > 1 and self.parallel != "never"
+        stats["policy"] = self.parallel
+        stats["threshold_instructions"] = self.parallel_threshold
+        return stats
 
     def _solve_inline(
         self, compiled: List[CompiledNet], groups: List[List[int]]

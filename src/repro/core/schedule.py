@@ -234,6 +234,82 @@ class CompiledNet:
             if hasattr(factory, "stats")
         }
 
+    # -- partition extraction (the parallel solver's surface) ----------
+
+    def instruction_range(self, node_id: int) -> Tuple[int, int]:
+        """Node ``node_id``'s subtree as an inclusive instruction range.
+
+        Post-order flattening makes every subtree contiguous:
+        instructions ``[start, final]`` compute exactly that subtree's
+        frontier and leave it on top of the stack (the ``final``
+        instruction carries :data:`OP_FINAL`).  Only available on
+        schedules compiled in this process — the range maps are dropped
+        from pickles (see :meth:`__getstate__`).
+        """
+        try:
+            return self.start_of_node[node_id], self.final_of_node[node_id]
+        except KeyError:
+            raise AlgorithmError(
+                f"no instruction range for node {node_id}: either the "
+                "node is not part of this schedule or the schedule was "
+                "unpickled (range maps do not ship; recompile locally)"
+            ) from None
+
+    def subschedule(self, node_id: int) -> "CompiledNet":
+        """Extract node ``node_id``'s subtree as a standalone schedule.
+
+        The slice ``ops[start:final+1]`` is already a complete,
+        self-contained program (post-order contiguity: it consumes
+        nothing below its own stack frame and leaves exactly one list).
+        Payload arguments need only *rebasing*: sink, wire and plan
+        entries are appended in emission order, so within any subtree
+        range each kind's arguments are contiguous and ascending —
+        subtracting the first occurrence per kind and slicing the
+        payload arrays by the same window yields an equivalent
+        standalone ``CompiledNet``.
+
+        Node ids in ``sink_node``/``plan_specs`` are preserved verbatim,
+        so a frontier solved from the extract speaks the parent
+        schedule's coordinates — no translation on splice.  The extract
+        has no driver (its frontier is an intermediate, never scored)
+        and no range maps.
+        """
+        start, final = self.instruction_range(node_id)
+        ops = self.ops[start:final + 1]
+        raw_args = self.args[start:final + 1]
+        bases = {OP_SINK: -1, OP_WIRE: -1, OP_BUFFER: -1}
+        counts = {OP_SINK: 0, OP_WIRE: 0, OP_BUFFER: 0}
+        args = array("q")
+        for op, arg in zip(ops, raw_args):
+            kind = op & _OP_MASK
+            if kind == OP_MERGE:
+                args.append(0)
+                continue
+            if bases[kind] < 0:
+                bases[kind] = arg
+            counts[kind] += 1
+            args.append(arg - bases[kind])
+        sink_base = max(bases[OP_SINK], 0)
+        wire_base = max(bases[OP_WIRE], 0)
+        plan_base = max(bases[OP_BUFFER], 0)
+        num_nodes = sum(1 for op in ops if op & OP_FINAL)
+        return CompiledNet(
+            ops=ops,
+            args=args,
+            wire_r=self.wire_r[wire_base:wire_base + counts[OP_WIRE]],
+            wire_c=self.wire_c[wire_base:wire_base + counts[OP_WIRE]],
+            sink_node=self.sink_node[sink_base:sink_base + counts[OP_SINK]],
+            sink_q=self.sink_q[sink_base:sink_base + counts[OP_SINK]],
+            sink_c=self.sink_c[sink_base:sink_base + counts[OP_SINK]],
+            plan_specs=self.plan_specs[
+                plan_base:plan_base + counts[OP_BUFFER]],
+            library=self.library,
+            driver=None,
+            num_nodes=num_nodes,
+            num_sinks=counts[OP_SINK],
+            num_buffer_positions=counts[OP_BUFFER],
+        )
+
     # -- in-place payload patching (the incremental engine's surface) --
 
     def patch_sink(self, node_id: int, q: float, c: float) -> None:

@@ -165,6 +165,36 @@ class SplicedFrontierDecision:
         )
 
 
+def splice_snapshot(
+    snapshot: FrontierSnapshot, factory=None, decisions=None
+):
+    """Materialize a frozen frontier into a live store list.
+
+    The splice primitive shared by the incremental engine and the
+    parallel partitioned solver: turns a
+    :class:`~repro.incremental.subtree_cache.FrontierSnapshot` back
+    into whatever the executing backend pushes on its interpreter
+    stack — a plain :class:`~repro.core.candidate.Candidate` list for
+    the object backend (``factory=None``) or a store built by
+    ``factory.from_snapshot`` (value columns copied, provenance
+    deferred).  The copied floats are the captured floats, so every
+    downstream operation sees bit-identical inputs.
+
+    ``decisions`` overrides the snapshot's own provenance — the
+    incremental engine passes id-translated wrappers here; callers
+    splicing in original coordinates (the parallel solver — subschedule
+    extraction preserves node ids) leave it ``None``.
+    """
+    if decisions is None:
+        decisions = snapshot.decision_list()
+    if factory is None:
+        return [
+            Candidate(q=q, c=c, decision=decision)
+            for q, c, decision in zip(snapshot.q, snapshot.c, decisions)
+        ]
+    return factory.from_snapshot(snapshot.q, snapshot.c, decisions)
+
+
 class IncrementalSolver:
     """A stateful ECO session: apply edits, re-solve the dirty path.
 
@@ -427,12 +457,7 @@ class IncrementalSolver:
                         index, target_root,
                     ))
             decisions = wrapped
-        if self.factory is None:
-            return [
-                Candidate(q=q, c=c, decision=decision)
-                for q, c, decision in zip(snapshot.q, snapshot.c, decisions)
-            ]
-        return self.factory.from_snapshot(snapshot.q, snapshot.c, decisions)
+        return splice_snapshot(snapshot, self.factory, decisions=decisions)
 
     # -- the dirty-path interpreter ------------------------------------
 

@@ -125,6 +125,73 @@ class FrontierSnapshot:
         )
 
 
+def capture_frontier(
+    store,
+    factory,
+    root_id: int,
+    peak: int,
+    generated: int,
+    portable: bool = False,
+) -> FrontierSnapshot:
+    """Freeze a completed store's frontier outside any solver session.
+
+    The :class:`~repro.incremental.engine.IncrementalSolver` captures
+    frontiers mid-resolve with its own batching (values now, one tape
+    archive at the end); this is the standalone equivalent for callers
+    that ran a whole schedule to completion themselves — above all the
+    parallel partition workers, which solve an extracted
+    :meth:`~repro.core.schedule.CompiledNet.subschedule` and ship its
+    root frontier back to the parent process.
+
+    Args:
+        store: The completed root store (object-backend candidate list,
+            or a store of ``factory``'s backend).
+        factory: The store factory the solve ran on, or ``None`` for
+            the object backend.  SoA-family factories are archived here
+            (one :meth:`archive_tape` call), so call this *before*
+            ``factory.end_solve()`` and at most once per solve.
+        root_id: The subtree root's node id (parent-tree coordinates —
+            subschedules preserve ids, so ``canon`` stays ``None`` and
+            splicing needs no translation).
+        peak / generated: The solve's DP-stats contribution.
+        portable: Flatten object-backend decision DAGs into
+            :class:`~repro.core.candidate.ExpandedDecision`\\ s.  The
+            DAG can nest as deep as the subtree, which breaks pickling
+            (recursion) across process boundaries; flattening keeps the
+            reconstructed assignment — hence the final result —
+            bit-identical while bounding depth.  SoA captures are
+            already portable (flat archive columns).
+    """
+    snapshot_values = (
+        getattr(factory, "snapshot_values", None)
+        if factory is not None else None
+    )
+    if snapshot_values is not None:
+        q, c, d = snapshot_values(store)
+        return FrontierSnapshot(
+            q, c, None, None, root_id, peak, generated,
+            archive=factory.archive_tape(), d=d,
+        )
+    q = []
+    c = []
+    decisions = []
+    if portable:
+        from repro.core.candidate import (
+            ExpandedDecision,
+            reconstruct_assignment,
+        )
+    for candidate in store:
+        q.append(candidate.q)
+        c.append(candidate.c)
+        decision = candidate.decision
+        if portable:
+            decision = ExpandedDecision(reconstruct_assignment(decision))
+        decisions.append(decision)
+    return FrontierSnapshot(
+        q, c, tuple(decisions), None, root_id, peak, generated
+    )
+
+
 class FrontierCache:
     """Thread-safe LRU over frontier snapshots, bounded in bytes.
 

@@ -1,0 +1,256 @@
+"""Balanced cut selection over a compiled schedule's postorder layout.
+
+Postorder flattening makes every subtree a contiguous instruction range
+``[start_of_node[v], final_of_node[v]]``, so a *cut* is simply a node
+whose range is (a) big enough to amortize the hand-off overhead and
+(b) small enough that several cuts load-balance across workers.  The
+planner descends from the root and emits a cut the moment a subtree
+fits under the balance target — the classic greedy tree-partitioning
+policy, here driven entirely by instruction counts (the honest proxy
+for solve work the schedule already carries).
+
+Everything between the cuts — the merge/wire glue above them plus any
+subtree too small to be worth shipping — is the **residual** that the
+parent process replays itself, splicing each cut's returned frontier at
+its start instruction (:mod:`repro.parallel.solver`).
+
+A plan is only *viable* when enough of the work actually moved into
+cuts: a degenerate chain (the Figure 4 trunk) nests every subtree
+inside the next, so at most one cut of target size exists and coverage
+collapses — the planner reports that and the solver falls back to the
+ordinary serial path.  Chain-shaped DPs are inherently sequential;
+partitioning cannot help them and must not pretend to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.schedule import CompiledNet
+from repro.errors import AlgorithmError
+
+#: Subtrees below this many instructions stay in the residual: the
+#: pickle + dispatch + splice overhead of a partition is fixed, so tiny
+#: extracts cost more than they save.
+MIN_CUT_INSTRUCTIONS = 64
+
+#: Cuts targeted per worker.  More than one lets the pool load-balance
+#: unequal subtrees; the value bounds splice overhead at a few dozen
+#: snapshots per solve.
+CUTS_PER_WORKER = 3
+
+#: Minimum fraction of the instruction stream the cuts must cover for
+#: the plan to be worth dispatching (below it the serial residual
+#: dominates and Amdahl wins).
+MIN_COVERAGE = 0.5
+
+
+class Cut:
+    """One partition: a subtree shipped to a worker.
+
+    Attributes:
+        node_id: The subtree root (parent-tree node id).
+        start / final: Its inclusive instruction range in the parent
+            schedule.
+        size: ``final - start + 1``.
+        depth: Tree depth of the cut node below the root (reported in
+            ``/stats`` — deep cuts mean the planner had to descend far
+            to find balance).
+    """
+
+    __slots__ = ("node_id", "start", "final", "size", "depth")
+
+    def __init__(
+        self, node_id: int, start: int, final: int, depth: int
+    ) -> None:
+        self.node_id = node_id
+        self.start = start
+        self.final = final
+        self.size = final - start + 1
+        self.depth = depth
+
+    def __repr__(self) -> str:
+        return (
+            f"Cut(node={self.node_id}, range=[{self.start}, {self.final}], "
+            f"depth={self.depth})"
+        )
+
+
+class PartitionPlan:
+    """The planner's verdict: cuts plus the viability bookkeeping.
+
+    Attributes:
+        cuts: Selected partitions in ascending ``start`` order (the
+            order the residual replay encounters them).
+        total_instructions: Parent schedule length.
+        covered_instructions: Instructions inside cuts; the remainder is
+            the serial residual.
+        target: The balance target each cut was sized against.
+        workers: The worker count the plan was built for.
+        viable: Whether dispatching this plan can plausibly win.
+        reason: Why not, when ``viable`` is false.
+    """
+
+    __slots__ = ("cuts", "total_instructions", "covered_instructions",
+                 "target", "workers", "viable", "reason")
+
+    def __init__(
+        self,
+        cuts: List[Cut],
+        total_instructions: int,
+        target: int,
+        workers: int,
+        min_coverage: float,
+    ) -> None:
+        self.cuts = cuts
+        self.total_instructions = total_instructions
+        self.covered_instructions = sum(cut.size for cut in cuts)
+        self.target = target
+        self.workers = workers
+        if len(cuts) < 2:
+            self.viable = False
+            self.reason = (
+                "fewer than two cuts: the schedule nests like a chain "
+                "(sequential DP), nothing to run concurrently"
+            )
+        elif self.coverage < min_coverage:
+            self.viable = False
+            self.reason = (
+                f"cut coverage {self.coverage:.2f} below "
+                f"{min_coverage:.2f}: the serial residual would dominate"
+            )
+        else:
+            self.viable = True
+            self.reason = None
+
+    @property
+    def coverage(self) -> float:
+        if not self.total_instructions:
+            return 0.0
+        return self.covered_instructions / self.total_instructions
+
+    @property
+    def residual_fraction(self) -> float:
+        return 1.0 - self.coverage
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionPlan(cuts={len(self.cuts)}, "
+            f"coverage={self.coverage:.2f}, viable={self.viable})"
+        )
+
+
+def _interval_index(
+    compiled: CompiledNet,
+) -> Tuple[int, Dict[int, List[Tuple[int, int]]]]:
+    """``(root_node, start -> [(final, node), ...] ascending by final)``.
+
+    Built in one O(n) pass: ``final_of_node`` was filled in emission
+    order during :func:`~repro.core.schedule.compile_net`, so iterating
+    its items yields nodes in ascending final index — postorder — and
+    each bucket list comes out already sorted.  Nodes sharing a start
+    form a nesting chain (ancestors of the range's leftmost sink), so
+    "the child of ``v`` starting at ``i``" is the bucket entry with the
+    largest final still inside ``v``'s range — a bisect, not a scan.
+    """
+    final_of_node = compiled.final_of_node
+    if not final_of_node:
+        raise AlgorithmError(
+            "compiled net has no subtree range maps (it was unpickled); "
+            "partition planning needs a locally compiled schedule"
+        )
+    start_of_node = compiled.start_of_node
+    buckets: Dict[int, List[Tuple[int, int]]] = {}
+    root = -1
+    for node, final in final_of_node.items():
+        buckets.setdefault(start_of_node[node], []).append((final, node))
+        root = node  # last in emission order == the root
+    return root, buckets
+
+
+def _children(
+    buckets: Dict[int, List[Tuple[int, int]]], start: int, final: int
+) -> List[Tuple[int, int, int]]:
+    """Direct children of the subtree ``[start, final]`` as
+    ``(node, start, final)``, left to right.
+
+    Walks the range child by child: a child starts at ``start``; after
+    its range comes 1–2 glue instructions (its WIRE, plus a MERGE from
+    the second child on) and then the next child.  Positions carrying
+    glue have no bucket entry inside the range, so the inner scan
+    skips at most two instructions per child.
+    """
+    from bisect import bisect_left
+
+    children: List[Tuple[int, int, int]] = []
+    i = start
+    while i < final:
+        bucket = buckets.get(i)
+        if bucket is not None:
+            # Largest final strictly inside the parent's range: entries
+            # at this start are nested, ancestors last.
+            at = bisect_left(bucket, (final, -1)) - 1
+            if at >= 0:
+                child_final, child_node = bucket[at]
+                children.append((child_node, i, child_final))
+                i = child_final + 1
+                continue
+        i += 1
+    return children
+
+
+def plan_partitions(
+    compiled: CompiledNet,
+    workers: int,
+    cuts_per_worker: int = CUTS_PER_WORKER,
+    min_instructions: int = MIN_CUT_INSTRUCTIONS,
+    min_coverage: float = MIN_COVERAGE,
+) -> PartitionPlan:
+    """Choose balanced cut points for ``workers`` concurrent solvers.
+
+    Top-down greedy descent: starting at the root, any subtree at most
+    ``total / (workers * cuts_per_worker)`` instructions becomes a cut
+    (if it clears ``min_instructions``), otherwise its children are
+    examined.  Cuts are therefore disjoint by construction and the
+    descent only touches O(cuts · branching) nodes beyond the one-pass
+    interval index.
+
+    The returned plan may be non-viable (see
+    :class:`PartitionPlan.reason`); callers must check before
+    dispatching.  ``workers < 2`` is answered with a non-viable plan
+    immediately.
+    """
+    total = len(compiled.ops)
+    target = max(
+        total // (max(workers, 1) * max(cuts_per_worker, 1)),
+        min_instructions,
+    )
+    if workers < 2 or total == 0:
+        plan = PartitionPlan([], total, target, workers, min_coverage)
+        plan.reason = "fewer than two workers: nothing to parallelize"
+        return plan
+
+    root, buckets = _interval_index(compiled)
+    cuts: List[Cut] = []
+    # Iterative descent (cut subtrees can sit a million levels deep on
+    # near-chain shapes; recursion is not an option).
+    pending: List[Tuple[int, int, int, int]] = [
+        (root, 0, compiled.final_of_node[root], 0)
+    ]
+    while pending:
+        node, start, final, depth = pending.pop()
+        for child, child_start, child_final in _children(
+            buckets, start, final
+        ):
+            size = child_final - child_start + 1
+            if size <= target:
+                if size >= min_instructions:
+                    cuts.append(
+                        Cut(child, child_start, child_final, depth + 1)
+                    )
+                # Under min_instructions: leave it in the residual.
+            else:
+                pending.append((child, child_start, child_final, depth + 1))
+
+    cuts.sort(key=lambda cut: cut.start)
+    return PartitionPlan(cuts, total, target, workers, min_coverage)

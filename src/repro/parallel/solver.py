@@ -1,0 +1,336 @@
+"""Partitioned solve orchestration: dispatch cuts, splice, finish.
+
+:func:`solve_partitioned` is the entry point behind
+``SolverPool(parallel=...)``, ``repro buffer --jobs`` and the serving
+layer's large-``/solve`` routing.  The flow:
+
+1. plan cuts over the compiled schedule
+   (:func:`~repro.parallel.partition.plan_partitions`); a non-viable
+   plan (chain-shaped net, low coverage, one worker) falls back to the
+   ordinary serial solve — same result, a report that says why;
+2. extract each cut
+   (:meth:`~repro.core.schedule.CompiledNet.subschedule`) and solve the
+   extracts concurrently (a shared :class:`~repro.core.batch.SolverPool`
+   process pool, a transient pool, or inline for ``jobs=1`` testing);
+3. replay the **residual** instruction stream in the calling process,
+   splicing each returned frontier at its cut's start instruction
+   (:func:`~repro.incremental.engine.splice_snapshot`) and jumping the
+   cut's range — the incremental engine's dirty-path interpreter with
+   cuts in place of cache hits;
+4. finish through :func:`repro.core.dp._finish` exactly like a scratch
+   solve.
+
+**Why the result is bit-identical.**  Every instruction of the parent
+schedule is executed exactly once, on the same inputs, in the same
+order as the scratch solve: the workers execute the cut ranges (the
+extracts are verbatim slices with rebased payload indices), the parent
+executes the rest, and splicing copies the captured ``(q, c)`` floats
+unchanged.  Since every operation is deterministic and the merge fold
+order is preserved by the instruction stream itself, the same IEEE-754
+operations see the same operands — the same argument that carried the
+compiled interpreter, the SoA kernels and the incremental engine, each
+gated by a randomized parity corpus (here ``tests/test_parallel.py``).
+``DPStats`` compose the same way the incremental engine's do: a cut
+contributes its snapshot's ``peak``/``generated`` scalars at the splice
+point, which is precisely its contribution to the scratch accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.schedule import OP_FINAL, OP_MERGE, OP_SINK, OP_WIRE, CompiledNet
+from repro.core.solution import BufferingResult
+from repro.errors import AlgorithmError
+from repro.library.library import BufferLibrary
+from repro.parallel.partition import PartitionPlan, plan_partitions
+from repro.parallel.worker import _solve_partition, solve_subschedule
+from repro.tree.node import Driver
+from repro.tree.routing_tree import RoutingTree
+
+#: Instruction-count floor for ``parallel="auto"`` (roughly twice the
+#: buffer-position count).  Calibrated against the measured hand-off
+#: overhead — partition planning is one O(n) pass and each partition
+#: costs a subschedule pickle plus a snapshot unpickle, together a few
+#: hundred milliseconds of fixed cost at this size, against multi-second
+#: serial solves (see ``benchmarks/bench_parallel.py``); below it the
+#: overhead eats the win.
+DEFAULT_PARALLEL_THRESHOLD = 50_000
+
+
+def solve_partitioned(
+    net: Union[RoutingTree, CompiledNet],
+    library: BufferLibrary,
+    algorithm: str = "fast",
+    driver: Optional[Driver] = None,
+    backend: str = "auto",
+    jobs: Optional[int] = None,
+    options: Optional[dict] = None,
+    pool=None,
+    plan: Optional[PartitionPlan] = None,
+    report: Optional[dict] = None,
+) -> BufferingResult:
+    """Solve one net across workers; bit-identical to the serial solve.
+
+    Args:
+        net: A routing tree or a *locally compiled*
+            :class:`CompiledNet` (partitioning needs the subtree range
+            maps, which do not survive pickling).
+        library / algorithm / driver / backend / options: The usual
+            solve context (see :func:`repro.core.api.insert_buffers`).
+            When ``pool`` is given, these must match the pool's context
+            — the workers already hold it.
+        jobs: Worker count for cut planning and the transient pool;
+            defaults to ``pool.jobs`` or ``os.cpu_count()``.  ``1``
+            solves the partitions inline (no processes) — the same
+            splice path, which is what the parity tests exercise
+            cheaply.
+        pool: A :class:`~repro.core.batch.SolverPool` whose persistent
+            worker pool dispatches the partitions; ``None`` spins up a
+            transient pool for this call (``jobs > 1`` only).
+        plan: Reuse a precomputed partition plan.
+        report: Optional dict the solve fills with observability data:
+            ``engaged``, ``reason``, ``partitions``, ``cut_depths``,
+            ``coverage``, ``residual_fraction``, ``plan_seconds``,
+            ``dispatch_seconds``, ``worker_busy_seconds``,
+            ``pool_utilization``, ``workers``.
+
+    Raises:
+        AlgorithmError: Bad context, or a compiled net without range
+            maps.
+    """
+    from repro.core.batch import SolverPool, _init_worker, _resolve_jobs
+    from repro.core.registry import get_algorithm
+    from repro.core.stores import get_store_backend, resolve_backend
+
+    get_algorithm(algorithm).validate_options(options or {})
+    backend = resolve_backend(backend)
+    get_store_backend(backend)
+    options = dict(options or {})
+    if pool is not None:
+        jobs = pool.jobs if jobs is None else jobs
+    jobs = _resolve_jobs(jobs)
+
+    if isinstance(net, CompiledNet):
+        compiled = net
+    else:
+        from repro.core.schedule import (
+            auto_compile_enabled,
+            cache_schedule,
+            cached_schedule,
+            compile_net,
+        )
+
+        compiled = cached_schedule(net, library)
+        if compiled is None:
+            if auto_compile_enabled():
+                compiled = cache_schedule(net, library)
+            else:
+                compiled = compile_net(net, library)
+
+    if report is None:
+        report = {}
+    report.update(
+        engaged=False, reason=None, partitions=0, cut_depths=[],
+        coverage=0.0, residual_fraction=1.0, workers=jobs,
+        total_instructions=len(compiled.ops), plan_seconds=0.0,
+        dispatch_seconds=0.0, worker_busy_seconds=0.0,
+        pool_utilization=0.0,
+    )
+
+    plan_started = time.perf_counter()
+    if plan is None:
+        if not compiled.final_of_node:
+            plan = PartitionPlan([], len(compiled.ops), 0, jobs, 1.0)
+            plan.reason = (
+                "no subtree range maps (unpickled schedule); "
+                "recompile locally to partition"
+            )
+        else:
+            plan = plan_partitions(compiled, jobs)
+    report["plan_seconds"] = time.perf_counter() - plan_started
+
+    if not plan.viable:
+        report["reason"] = plan.reason
+        return _serial_fallback(
+            compiled, library, algorithm, driver, backend, options
+        )
+
+    report.update(
+        engaged=True,
+        partitions=len(plan.cuts),
+        cut_depths=[cut.depth for cut in plan.cuts],
+        coverage=plan.coverage,
+        residual_fraction=plan.residual_fraction,
+    )
+
+    started = time.perf_counter()
+    # Largest partitions first: the pool schedules greedily, so the
+    # longest solve starts earliest and bounds the makespan.
+    order = sorted(
+        range(len(plan.cuts)),
+        key=lambda index: plan.cuts[index].size,
+        reverse=True,
+    )
+    tasks = [
+        (index, plan.cuts[index].node_id,
+         compiled.subschedule(plan.cuts[index].node_id))
+        for index in order
+    ]
+
+    dispatch_started = time.perf_counter()
+    if pool is not None and jobs > 1:
+        raw = pool._map_partition_tasks(tasks)
+    elif jobs > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(
+            processes=jobs,
+            initializer=_init_worker,
+            initargs=(library, algorithm, driver, backend, options),
+        ) as transient:
+            raw = transient.map(_solve_partition, tasks, chunksize=1)
+    else:
+        raw = [
+            (index, solve_subschedule(
+                sub, root_id, library, algorithm, backend, options
+            ), 0.0)
+            for index, root_id, sub in tasks
+        ]
+    dispatch_seconds = time.perf_counter() - dispatch_started
+
+    snapshots: List[Optional[object]] = [None] * len(plan.cuts)
+    busy = 0.0
+    for index, snapshot, seconds in raw:
+        snapshots[index] = snapshot
+        busy += seconds
+    report["dispatch_seconds"] = dispatch_seconds
+    report["worker_busy_seconds"] = busy
+    if jobs > 1 and dispatch_seconds > 0:
+        report["pool_utilization"] = busy / (jobs * dispatch_seconds)
+
+    return _execute_residual(
+        compiled, plan, snapshots, library, algorithm, backend, options,
+        driver, started,
+    )
+
+
+def _serial_fallback(
+    compiled: CompiledNet,
+    library: BufferLibrary,
+    algorithm: str,
+    driver: Optional[Driver],
+    backend: str,
+    options: dict,
+) -> BufferingResult:
+    from repro.core.api import insert_buffers
+
+    return insert_buffers(
+        compiled, library, algorithm=algorithm, driver=driver,
+        backend=backend, **options,
+    )
+
+
+def _execute_residual(
+    compiled: CompiledNet,
+    plan: PartitionPlan,
+    snapshots: Sequence[object],
+    library: BufferLibrary,
+    algorithm: str,
+    backend: str,
+    options: dict,
+    driver: Optional[Driver],
+    started: float,
+) -> BufferingResult:
+    """Replay the glue between cuts, splicing worker frontiers in.
+
+    The incremental engine's dirty-path loop
+    (:meth:`repro.incremental.engine.IncrementalSolver.resolve`) with
+    cut snapshots in the role of cache hits.  Stats are scalar here:
+    merges fold every per-slot aggregate into slot 0 by the end, so
+    ``max`` over sampled peaks and ``sum`` over generation counts give
+    exactly the scratch solve's ``peaks[0]``/``gens[0]``.
+    """
+    from repro.core.dp import _finish, _resolve_ops
+    from repro.core.registry import get_algorithm
+    from repro.incremental.engine import splice_snapshot
+
+    strategy = get_algorithm(algorithm)
+    add_buffer = strategy.add_buffer_op(backend, library, **options)
+    label = strategy.stats_label(**options)
+    factory = compiled.factory(backend) if backend != "object" else None
+    sink_op, wire_op, merge_op, best_op, release = _resolve_ops(
+        backend, None, None, factory=factory
+    )
+    steps, wire_r, wire_c, sink_node, sink_q, sink_c = compiled.runtime()
+    plans = compiled.plans()
+    splice_at: Dict[int, Tuple[object, int]] = {
+        cut.start: (snapshots[index], cut.final)
+        for index, cut in enumerate(plan.cuts)
+    }
+    resolved_driver = driver if driver is not None else compiled.driver
+
+    stack: List[object] = []
+    push = stack.append
+    pop = stack.pop
+    peak = 0
+    generated = 0
+    i = 0
+    total = len(steps)
+    current = None
+    while i < total:
+        hit = splice_at.get(i)
+        if hit is not None:
+            snapshot, final = hit
+            push(splice_snapshot(snapshot, factory))
+            if snapshot.peak > peak:
+                peak = snapshot.peak
+            generated += snapshot.generated
+            i = final + 1
+            continue
+        op, arg = steps[i]
+        code = op & 3
+        if code == OP_WIRE:
+            top = stack[-1]
+            current = wire_op(top, wire_r[arg], wire_c[arg])
+            if current is not top:
+                release(top)
+                stack[-1] = current
+        elif code == OP_SINK:
+            current = sink_op(sink_node[arg], sink_q[arg], sink_c[arg])
+            push(current)
+            generated += 1
+        elif code == OP_MERGE:
+            right = pop()
+            left = pop()
+            current = merge_op(left, right)
+            generated += len(current)
+            if current is not left:
+                release(left)
+            if current is not right:
+                release(right)
+            push(current)
+        else:  # OP_BUFFER
+            top = stack[-1]
+            before = len(top)
+            current = add_buffer(top, plans[arg])
+            generated += max(len(current) - before, 0)
+            if current is not top:
+                release(top)
+                stack[-1] = current
+        if op & OP_FINAL:
+            length = len(current)
+            if length > peak:
+                peak = length
+        i += 1
+
+    assert len(stack) == 1, "residual must reduce to the root list"
+    result = _finish(
+        stack[0], best_op, release, resolved_driver, label,
+        compiled.num_buffer_positions, library, peak, generated,
+        started, backend,
+    )
+    if factory is not None:
+        factory.end_solve()
+    return result

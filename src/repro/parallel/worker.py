@@ -1,0 +1,120 @@
+"""Worker-side partition solving: subschedule in, frontier snapshot out.
+
+A partition task ships a :meth:`~repro.core.schedule.CompiledNet.subschedule`
+extract to a worker of the shared :class:`~repro.core.batch.SolverPool`
+process pool (same pool, same ``_init_worker`` context — library,
+algorithm, driver, backend, options live in the worker already).  The
+worker runs the ordinary schedule interpreter over the extract and
+returns the *frontier* — a picklable
+:class:`~repro.incremental.subtree_cache.FrontierSnapshot` in the
+parent tree's node ids — never an assignment: the cut's frontier is an
+intermediate value of the parent's DP, and only the parent, after
+splicing every frontier and replaying the residual glue, can score the
+root against the driver.
+
+Solve state (store factory, add-buffer op) is cached per worker process
+and reused across tasks, exactly like the per-net factories of the
+batch path: the SoA scratch arena and provenance tape stay warm for the
+next partition.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from repro.core.schedule import CompiledNet
+from repro.incremental.subtree_cache import FrontierSnapshot, capture_frontier
+
+#: Per-process solve state: ``(context identity, add_buffer, factory)``.
+#: The context dict is installed once per worker by ``_init_worker``,
+#: so identity comparison is enough to detect a stale cache (only the
+#: inline path, which passes explicit arguments, bypasses it).
+_STATE: Optional[tuple] = None
+
+
+def solve_subschedule(
+    sub: CompiledNet,
+    root_id: int,
+    library,
+    algorithm: str,
+    backend: str,
+    options: dict,
+    factory=None,
+) -> FrontierSnapshot:
+    """Run ``sub`` to completion and freeze its root frontier.
+
+    The same interpreter, operations and accounting as a scratch solve
+    of the extract (:func:`repro.core.dp._execute_schedule` with the
+    algorithm's ``add_buffer_op``), so the captured ``(q, c)`` columns,
+    ``peak`` and ``generated`` are bit-for-bit what the parent's own
+    execution of those instructions would have produced.
+
+    Args:
+        sub: The extracted subschedule (node ids preserved).
+        root_id: The cut node's id (recorded on the snapshot).
+        library / algorithm / backend / options: The solve context;
+            ``backend`` must be resolved (not ``"auto"``).
+        factory: Optional store factory to reuse; defaults to a
+            per-call factory from the backend registry for non-object
+            backends.
+    """
+    from repro.core.dp import _execute_schedule, _resolve_ops
+    from repro.core.registry import get_algorithm
+
+    add_buffer = get_algorithm(algorithm).add_buffer_op(
+        backend, library, **options
+    )
+    if backend != "object" and factory is None:
+        from repro.core.stores import get_store_backend
+
+        factory = get_store_backend(backend)()
+    sink_op, wire_op, merge_op, _best_op, release = _resolve_ops(
+        backend, None, None, factory=factory
+    )
+    root, peak, generated = _execute_schedule(
+        sub, sub.plans(), sink_op, wire_op, merge_op, add_buffer, release
+    )
+    snapshot = capture_frontier(
+        root, factory, root_id, peak, generated, portable=True
+    )
+    if factory is not None:
+        release(root)
+        factory.end_solve()
+    return snapshot
+
+
+def _worker_state():
+    """The (cached) per-process solve callables for the pool context."""
+    global _STATE
+    from repro.core import batch
+
+    context = batch._WORKER_CONTEXT
+    assert context is not None, "partition task on an uninitialized worker"
+    if _STATE is None or _STATE[0] is not context:
+        backend = context["backend"]
+        factory = None
+        if backend != "object":
+            from repro.core.stores import get_store_backend
+
+            factory = get_store_backend(backend)()
+        _STATE = (context, factory)
+    return context, _STATE[1]
+
+
+def _solve_partition(
+    task: Tuple[int, int, CompiledNet]
+) -> Tuple[int, FrontierSnapshot, float]:
+    """One pool task: ``(partition index, cut node id, subschedule)``.
+
+    Returns ``(partition index, snapshot, busy seconds)`` — the busy
+    time feeds the pool-utilization figure in the solve report.
+    """
+    part_index, root_id, sub = task
+    context, factory = _worker_state()
+    started = time.perf_counter()
+    snapshot = solve_subschedule(
+        sub, root_id, context["library"], context["algorithm"],
+        context["backend"], context["options"], factory=factory,
+    )
+    return part_index, snapshot, time.perf_counter() - started

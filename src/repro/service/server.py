@@ -133,6 +133,10 @@ class BufferServer:
         frontier_cache_bytes: Byte bound of the frontier cache shared
             by every session (see the module docstring's memory
             policy).
+        parallel_threshold: Instruction-count floor above which a
+            single ``/solve`` net is partitioned across the pool's
+            workers (see :mod:`repro.parallel`); ``None`` uses the
+            calibrated default.  Only effective with ``jobs > 1``.
     """
 
     def __init__(
@@ -146,6 +150,7 @@ class BufferServer:
         max_sessions: int = 32,
         session_ttl: Optional[float] = 3600.0,
         frontier_cache_bytes: int = 64 << 20,
+        parallel_threshold: Optional[int] = None,
     ) -> None:
         if max_pools < 1:
             raise ValueError(f"max_pools must be >= 1, got {max_pools}")
@@ -160,6 +165,7 @@ class BufferServer:
         self.host = host
         self.port = port
         self.jobs = jobs
+        self.parallel_threshold = parallel_threshold
         self.results = ResultCache(maxsize=cache_size, ttl=cache_ttl)
         self.compiled = ResultCache(maxsize=max(cache_size // 4, 16))
         # Imported here, not at module top: the incremental engine uses
@@ -396,6 +402,39 @@ class BufferServer:
             for lanes, count in pool_stats["lanes_histogram"].items():
                 key = str(lanes)  # stable JSON schema: string keys
                 histogram[key] = histogram.get(key, 0) + count
+        # Partitioned-solve health over the warm pools: how many large
+        # nets actually fanned out across workers, how balanced the
+        # cuts were, and how much of the last solve stayed serial (the
+        # splice/residual overhead).
+        parallel: Dict[str, Any] = {
+            "pools_enabled": 0,
+            "parallel_solves": 0,
+            "fallback_solves": 0,
+            "partitions_total": 0,
+            "last": None,
+        }
+        for entry in self._pools.values():
+            pool_stats = entry.pool.parallel_stats()
+            parallel["pools_enabled"] += 1 if pool_stats["enabled"] else 0
+            parallel["parallel_solves"] += pool_stats["parallel_solves"]
+            parallel["fallback_solves"] += pool_stats["fallback_solves"]
+            parallel["partitions_total"] += pool_stats["partitions_total"]
+            last = pool_stats["last"]
+            if last is not None:
+                parallel["last"] = {
+                    "engaged": last["engaged"],
+                    "reason": last["reason"],
+                    "partitions": last["partitions"],
+                    "cut_depths": list(last["cut_depths"]),
+                    "coverage": last["coverage"],
+                    "residual_fraction": last["residual_fraction"],
+                    "workers": last["workers"],
+                    "total_instructions": last["total_instructions"],
+                    "plan_seconds": last["plan_seconds"],
+                    "dispatch_seconds": last["dispatch_seconds"],
+                    "worker_busy_seconds": last["worker_busy_seconds"],
+                    "pool_utilization": last["pool_utilization"],
+                }
         session_stats = self.sessions.stats()
         live_sessions = tuple(self.sessions.values())
         resolves = self.counters["session_resolves"]
@@ -405,6 +444,7 @@ class BufferServer:
             "solves_by_backend": dict(self.solves_by_backend),
             "kernels": kernels,
             "batch_axis": batch_axis,
+            "parallel": parallel,
             "cache": self.results.stats().as_dict(),
             "compiled_cache": dict(
                 self.compiled.stats().as_dict(),
@@ -677,6 +717,7 @@ class BufferServer:
                 algorithm=request.algorithm,
                 jobs=self.jobs,
                 backend=request.backend,
+                parallel_threshold=self.parallel_threshold,
                 **request.options,
             ))
             self._pools[context_key] = entry
@@ -959,14 +1000,15 @@ def serve(
     max_sessions: int = 32,
     session_ttl: Optional[float] = 3600.0,
     frontier_cache_bytes: int = 64 << 20,
+    parallel_threshold: Optional[int] = None,
     ready=None,
 ) -> None:
     """Run a :class:`BufferServer` until interrupted (the CLI's engine).
 
     Args:
         host, port, jobs, cache_size, cache_ttl, max_pools,
-        max_sessions, session_ttl, frontier_cache_bytes: Forwarded to
-            :class:`BufferServer`.
+        max_sessions, session_ttl, frontier_cache_bytes,
+        parallel_threshold: Forwarded to :class:`BufferServer`.
         ready: Optional callback invoked with the started server (tests
             use it to learn the ephemeral port and to retain a handle).
     """
@@ -977,6 +1019,7 @@ def serve(
             cache_ttl=cache_ttl, max_pools=max_pools,
             max_sessions=max_sessions, session_ttl=session_ttl,
             frontier_cache_bytes=frontier_cache_bytes,
+            parallel_threshold=parallel_threshold,
         )
         bound_host, bound_port = await server.start()
         print(f"repro serve: listening on http://{bound_host}:{bound_port} "

@@ -460,3 +460,52 @@ class TestSessions:
         assert 0.0 < stats["last_executed_fraction"] < 1.0
         assert 0.0 < stats["mean_executed_fraction"] <= 1.0
         session.delete()
+
+
+class TestPartitionedServing:
+    """Large /solve nets route through the partitioned solver."""
+
+    def test_stats_parallel_block_shape(self, harness, net, library):
+        harness.client.solve(net, library)
+        block = harness.client.stats()["parallel"]
+        assert set(block) == {
+            "pools_enabled", "parallel_solves", "fallback_solves",
+            "partitions_total", "last",
+        }
+        # jobs=1 harness: routing is off and nothing was partitioned.
+        assert block["pools_enabled"] == 0
+        assert block["parallel_solves"] == 0
+
+    def test_large_solve_is_partitioned_and_bit_identical(self, library):
+        from repro.tree.segmenting import segment_to_position_count
+
+        big = segment_to_position_count(
+            random_tree_net(
+                32, seed=13, required_arrival=(ps(500.0), ps(2500.0)),
+                driver=Driver(resistance=200.0),
+            ),
+            2500,
+        )
+        expected = insert_buffers(big, library)
+        h = ServerHarness(jobs=2, cache_size=16, parallel_threshold=500)
+        try:
+            answer = h.client.solve(big, library)
+            assert answer["slack_seconds"] == expected.slack
+            assert answer["assignment"] == {
+                str(node_id): buffer.name
+                for node_id, buffer in expected.assignment.items()
+            }
+            block = h.client.stats()["parallel"]
+            assert block["pools_enabled"] == 1
+            assert block["parallel_solves"] == 1
+            assert block["partitions_total"] >= 2
+            last = block["last"]
+            assert last["engaged"] is True
+            assert last["partitions"] >= 2
+            assert last["workers"] == 2
+            assert 0.0 < last["coverage"] <= 1.0
+            assert last["residual_fraction"] == 1.0 - last["coverage"]
+            assert len(last["cut_depths"]) == last["partitions"]
+            assert last["pool_utilization"] > 0.0
+        finally:
+            h.shutdown()

@@ -23,6 +23,15 @@ regresses.  Thresholds always come from the benchmark file itself
   ``solve_group`` call than through per-net sequential solves of the
   same pre-compiled lanes (see ``benchmarks/bench_batch_axis.py``).
   Smaller cells are printed as ungated context.
+* ``BENCH_PR7.json`` (has ``fig4_trunk``) — the partitioned-solve gate:
+  at every random-topology position level with at least
+  ``ci_gate.min_positions`` actual positions, the best
+  serial/partitioned speedup among engaged cells with at least
+  ``ci_gate.min_workers`` workers must reach ``ci_gate.min_speedup``
+  (see ``benchmarks/bench_parallel.py``).  Trunk cells are fallback
+  context, never gated; the whole gate is skipped with a note when
+  ``meta.cpu_count`` is below ``min_workers`` (a single-core box
+  cannot measure multi-core speedup).
 
 Usage::
 
@@ -175,6 +184,77 @@ def check_batch_axis(payload: dict, path: Path) -> int:
     return 1 if failures else 0
 
 
+def check_parallel(payload: dict, path: Path) -> int:
+    gate = payload["ci_gate"]
+    min_positions = gate["min_positions"]
+    min_workers = gate["min_workers"]
+    min_speedup = gate["min_speedup"]
+
+    cpu_count = payload.get("meta", {}).get("cpu_count")
+    if cpu_count is not None and cpu_count < min_workers:
+        # A box with fewer cores than the gated worker count cannot
+        # honestly measure multi-core speedup — worker processes just
+        # time-slice one core.  The numbers stay in the file as
+        # context; the gate only binds where it can mean something.
+        print(
+            f"perf gate: skipping parallel speedup gate — generated on "
+            f"{cpu_count} core(s), gate needs >= {min_workers} "
+            "(see meta.cpu_count)"
+        )
+        return 0
+
+    failures = 0
+    gated_levels = 0
+    for point in payload["random"]["points"]:
+        positions = point["positions"]
+        level_gated = positions >= min_positions
+        best = 0.0
+        for cell in point["cells"]:
+            qualifying = (
+                level_gated and cell["workers"] >= min_workers
+                and cell["engaged"]
+            )
+            if qualifying:
+                best = max(best, cell["speedup"])
+            note = "" if cell["engaged"] else " fallback"
+            print(
+                f"perf gate: n={positions:>7} workers={cell['workers']:>2}"
+                f"  serial {point['serial_seconds']:8.2f}s"
+                f"  partitioned {cell['partitioned_seconds']:8.2f}s"
+                f"  speedup {cell['speedup']:5.2f}x"
+                f"  {'gated' if qualifying else '(info)'}{note}"
+            )
+        if level_gated:
+            gated_levels += 1
+            verdict = "ok" if best >= min_speedup else "FAIL"
+            if verdict == "FAIL":
+                failures += 1
+            print(
+                f"perf gate: n={positions:>7} best gated speedup "
+                f"{best:5.2f}x (floor {min_speedup:.1f}x)  {verdict}"
+            )
+    for point in payload.get("fig4_trunk", {}).get("points", ()):
+        for cell in point["cells"]:
+            print(
+                f"perf gate: trunk n={point['positions']:>7} "
+                f"workers={cell['workers']:>2}"
+                f"  speedup {cell['speedup']:5.2f}x  (info, "
+                f"{'engaged' if cell['engaged'] else 'serial fallback'})"
+            )
+    if not gated_levels:
+        print(
+            f"perf gate: no random-topology points with >= {min_positions} "
+            "positions — nothing to gate (is the scale high enough?)"
+        )
+        return 1
+    if failures:
+        print(
+            f"perf gate: {failures} position level(s) below the "
+            "partitioned-solve speedup floor"
+        )
+    return 1 if failures else 0
+
+
 def check(path: Path) -> int:
     payload = json.loads(path.read_text())
     if not payload.get("ci_gate"):
@@ -183,6 +263,8 @@ def check(path: Path) -> int:
     print(f"perf gate: {path}")
     if "incremental" in payload:
         return check_incremental(payload, path)
+    if "fig4_trunk" in payload:
+        return check_parallel(payload, path)
     if "fig4" in payload:
         return check_fig4(payload, path)
     if "batch_axis" in payload:
