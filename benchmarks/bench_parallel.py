@@ -102,7 +102,8 @@ def measure_cell(compiled, library, workers: int, serial_seconds: float,
                  reference, repeats: int) -> Dict:
     """One (net, worker count) cell: parity check, then warm timing."""
     with SolverPool(
-        library, jobs=workers, backend="soa", parallel="always"
+        library, jobs=workers, backend="soa", parallel="always",
+        policy="static"
     ) as pool:
         # Warm-up doubles as the honesty guard: the partitioned result
         # must be bit-identical to the serial solve of the same net.

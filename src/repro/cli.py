@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the workflow a user needs without writing code:
+Seven subcommands cover the workflow a user needs without writing code:
 
 * ``generate`` — synthesize a net and/or a buffer library to JSON;
 * ``buffer``   — run an insertion algorithm on saved net + library and
@@ -15,7 +15,12 @@ Six subcommands cover the workflow a user needs without writing code:
 * ``serve``    — run the HTTP serving layer (:mod:`repro.service`):
   ``/solve``, ``/batch``, ``/session`` (stateful incremental ECO
   sessions), ``/healthz``, ``/stats`` with canonical-hash result
-  caching and a persistent worker pool.
+  caching and a persistent worker pool; ``--policy`` selects the
+  execution-routing policy and ``--workload-log`` captures every
+  routed solve to a JSONL file;
+* ``replay``   — re-run a captured workload log (:mod:`repro.routing`)
+  under one or more routing policies and report per-request and
+  aggregate regret against the observed best plan.
 
 Algorithms and candidate-store backends are enumerated from their
 registries (:mod:`repro.core.registry`, :mod:`repro.core.stores`), so a
@@ -31,7 +36,8 @@ Example session (see ``docs/cli.md`` for full transcripts)::
     python -m repro edit --net net.json --library lib.json \\
                          --edits eco.json --verify
     python -m repro info --net net.json
-    python -m repro serve --port 8080 --jobs 4
+    python -m repro serve --port 8080 --jobs 4 --workload-log workload.jsonl
+    python -m repro replay --log workload.jsonl --policy static model
 """
 
 from __future__ import annotations
@@ -190,6 +196,34 @@ def _build_parser() -> argparse.ArgumentParser:
                             "/solve net is partitioned across the "
                             "pool's workers (default: calibrated; "
                             "needs --jobs > 1)")
+    serve.add_argument("--policy", default=None, metavar="POLICY",
+                       help="execution-routing policy: 'static' "
+                            "(default; the historical heuristics), "
+                            "'model' (cost-model routed), or an "
+                            "always_* escape hatch (see "
+                            "repro.routing.router)")
+    serve.add_argument("--workload-log", type=Path, default=None,
+                       metavar="PATH",
+                       help="append one JSONL record per routed solve "
+                            "here ('repro replay' re-runs it offline)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-run a captured workload log under routing policies")
+    replay.add_argument("--log", type=Path, required=True,
+                        help="workload JSONL captured with capture='full' "
+                             "(the committed corpus format)")
+    replay.add_argument("--policy", nargs="*", default=["static", "model"],
+                        metavar="POLICY",
+                        help="policies to price (default: static model); "
+                             "'static' is always included as baseline")
+    replay.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per (request, plan); the "
+                             "best is kept (default 3)")
+    replay.add_argument("--per-request", action="store_true",
+                        help="also print the per-request table")
+    replay.add_argument("--output", type=Path,
+                        help="write the full replay report JSON here")
     return parser
 
 
@@ -477,6 +511,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: --parallel-threshold must be >= 1, "
               f"got {args.parallel_threshold}", file=sys.stderr)
         return 2
+    if args.policy is not None:
+        from repro.routing.router import validate_policy
+
+        try:
+            validate_policy(args.policy)
+        except ValueError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
     from repro.service.server import serve
 
     session_ttl = args.session_ttl if args.session_ttl > 0 else None
@@ -484,7 +526,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           cache_size=args.cache_size, cache_ttl=args.cache_ttl,
           max_pools=args.max_pools, max_sessions=args.max_sessions,
           session_ttl=session_ttl,
-          parallel_threshold=args.parallel_threshold)
+          parallel_threshold=args.parallel_threshold,
+          policy=args.policy,
+          workload_log=(
+              str(args.workload_log) if args.workload_log is not None
+              else None
+          ))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.routing.router import validate_policy
+    from repro.routing.workload import replay
+
+    if args.repeats < 1:
+        print(f"replay: --repeats must be >= 1, got {args.repeats}",
+              file=sys.stderr)
+        return 2
+    if not args.log.is_file():
+        print(f"replay: log file not found: {args.log}", file=sys.stderr)
+        return 2
+    for policy in args.policy:
+        try:
+            validate_policy(policy)
+        except ValueError as exc:
+            print(f"replay: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = replay(args.log, policies=tuple(args.policy),
+                        repeats=args.repeats)
+    except ReproError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"replayed {report['requests']} request(s) "
+          f"(repeats={report['repeats']}, "
+          f"parity checked on {report['parity_checked']} plan(s), "
+          f"model {report['model_version']})")
+    print(f"oracle best: {report['oracle_seconds'] * 1e3:.2f} ms total")
+    header = (f"{'policy':<18}{'total (ms)':>12}{'regret (ms)':>13}"
+              f"{'vs oracle':>11}{'vs static':>11}")
+    print(header)
+    print("-" * len(header))
+    for name, bucket in report["policies"].items():
+        print(f"{name:<18}{bucket['total_seconds'] * 1e3:>12.2f}"
+              f"{bucket['regret_seconds'] * 1e3:>13.2f}"
+              f"{bucket['speedup_vs_oracle']:>10.2f}x"
+              f"{bucket['speedup_vs_static']:>10.2f}x")
+    if args.per_request:
+        print()
+        header = (f"{'#':>4}  {'kind':<8}{'features':<24}{'best plan':<24}"
+                  f"{'best (ms)':>10}")
+        print(header)
+        print("-" * len(header))
+        for entry in report["per_request"]:
+            features = entry["features"]
+            shape = (f"n={features['positions']} b={features['library_size']}"
+                     + (f" lanes={features['lanes']}"
+                        if features.get("lanes", 1) > 1 else ""))
+            best_seconds = entry["measured_seconds"][entry["best"]]
+            print(f"{entry['index']:>4}  {entry['kind']:<8}{shape:<24}"
+                  f"{entry['best']:<24}"
+                  f"{best_seconds * 1e3:>10.3f}")
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"\nwrote report -> {args.output}")
     return 0
 
 
@@ -503,6 +610,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_info(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

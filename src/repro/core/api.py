@@ -4,8 +4,11 @@ Dispatch is a registry lookup (:mod:`repro.core.registry`): the
 ``algorithm`` argument names a registered :class:`InsertionAlgorithm`
 strategy, and the ``backend`` argument names a registered candidate
 store (:mod:`repro.core.stores`) — or ``"auto"``, the default, which
-resolves to the fastest backend the environment supports.  Third-party
-algorithms and backends therefore plug in without touching this module.
+defers the choice to the execution router (:mod:`repro.routing`): the
+default ``static`` policy keeps the historical rule (SoA when NumPy is
+importable), ``policy="model"`` picks the store the fitted cost model
+predicts fastest for this request's size.  Third-party algorithms and
+backends therefore plug in without touching this module.
 
 The first positional argument may be a plain
 :class:`~repro.tree.routing_tree.RoutingTree` *or* a
@@ -17,6 +20,7 @@ validation, plan building or the tree walk again.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple, Union
 
 from repro.core.registry import algorithm_names, get_algorithm
@@ -36,12 +40,30 @@ def __getattr__(name: str) -> Tuple[str, ...]:
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
+_routers: dict = {}
+_routers_lock = threading.Lock()
+
+
+def _router_for(policy: Optional[str]):
+    """A cached router per policy string (the api-level routing seam)."""
+    from repro.routing.router import Router, default_policy
+
+    key = policy if policy is not None else default_policy()
+    with _routers_lock:
+        router = _routers.get(key)
+        if router is None:
+            router = Router(policy=key)
+            _routers[key] = router
+        return router
+
+
 def insert_buffers(
     tree: Union[RoutingTree, CompiledNet],
     library: BufferLibrary,
     algorithm: str = "fast",
     driver: Optional[Driver] = None,
     backend: str = "auto",
+    policy: Optional[str] = None,
     **options,
 ) -> BufferingResult:
     """Maximize slack by optimal buffer insertion.
@@ -58,10 +80,14 @@ def insert_buffers(
     All algorithms return the same optimal slack; they differ in running
     time only (that difference being the paper's entire point).
     ``backend`` selects how candidate lists are stored and operated on:
-    ``"auto"`` (the default: structure-of-arrays when NumPy is
-    available, object lists otherwise), ``"object"`` (Candidate
-    objects) or ``"soa"`` (structure-of-arrays over NumPy); all
-    produce bit-identical results.
+    ``"object"`` (Candidate objects), ``"soa"`` (structure-of-arrays
+    over NumPy), or ``"auto"`` (the default), which hands the choice to
+    the execution router: under the default ``policy="static"`` that
+    is the historical rule — SoA whenever NumPy is importable — while
+    ``policy="model"`` consults the fitted cost model, which typically
+    keeps small nets on the object store (below the kernel-launch
+    crossover) and large nets on SoA.  Every backend produces
+    bit-identical results, so the choice only ever moves running time.
 
     Args:
         tree: A routing tree, or a pre-compiled net from
@@ -75,6 +101,11 @@ def insert_buffers(
             means an ideal driver.
         backend: ``"auto"`` or a registered candidate-store backend name
             (:func:`repro.core.stores.store_backend_names`).
+        policy: Routing policy for the ``"auto"`` decision (and, when
+            set explicitly, for the walk/compiled schedule choice):
+            ``"static"``, ``"model"``, or an ``always_*`` escape hatch
+            (see :mod:`repro.routing.router`).  ``None`` follows the
+            process default (:func:`repro.routing.router.default_policy`).
         **options: Algorithm-specific flags.
 
     Returns:
@@ -83,9 +114,32 @@ def insert_buffers(
     Raises:
         AlgorithmError: Unknown algorithm or backend name, invalid
             options, or a compiled net whose library does not match.
+        ValueError: Unknown ``policy``.
     """
     strategy = get_algorithm(algorithm)
     strategy.validate_options(options)
+    if backend == "auto" or policy is not None:
+        from repro.routing.features import features_of
+
+        router = _router_for(policy)
+        plan = router.route(
+            features_of(tree, library),
+            backend=backend,
+            supports_walk=isinstance(tree, RoutingTree),
+        )
+        resolved = resolve_backend(plan.backend)
+        if plan.schedule_mode == "walk" and isinstance(tree, RoutingTree):
+            # A pinned (or model-chosen) tree walk: keep the walk honest
+            # by not swapping in a cached compiled schedule.
+            from repro.core.schedule import auto_compile
+
+            with auto_compile(False):
+                return strategy.run(
+                    tree, library, driver=driver, backend=resolved,
+                    **options,
+                )
+    else:
+        resolved = resolve_backend(backend)
     return strategy.run(
-        tree, library, driver=driver, backend=resolve_backend(backend), **options
+        tree, library, driver=driver, backend=resolved, **options
     )

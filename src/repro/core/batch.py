@@ -45,6 +45,8 @@ experiment harness to parallelize Table 1 / figure sweep cells.
 from __future__ import annotations
 
 import threading
+import time
+import warnings
 from collections import OrderedDict
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
@@ -222,12 +224,30 @@ class SolverPool:
         parallel_threshold: Instruction-count floor for ``"auto"``;
             defaults to
             :data:`repro.parallel.solver.DEFAULT_PARALLEL_THRESHOLD`.
+        policy: Routing policy for every dispatch decision this pool
+            makes (backend, batch axis, partitioning): ``"static"``
+            (the legacy heuristics, the process default), ``"model"``
+            (cost-model argmin), or an ``always_*`` / ``never_*``
+            escape hatch — see :mod:`repro.routing.router`.  ``None``
+            follows :func:`repro.routing.router.default_policy`.
+        workload_log: Opt-in request capture: a
+            :class:`repro.routing.workload.WorkloadLog`, or a path to
+            append JSONL records to.  Every execution unit (solo solve,
+            batch-axis group, partitioned solve) is recorded with its
+            features, chosen plan and measured seconds.
         **options: Algorithm-specific flags.
 
     Raises:
         AlgorithmError: Unknown algorithm/backend or invalid options
             (checked here, so a bad context never reaches a worker).
-        ValueError: ``jobs < 1``.
+        ValueError: ``jobs < 1`` or an unknown ``policy``.
+
+    .. deprecated::
+        Passing ``parallel="always"`` / ``parallel="never"`` without an
+        explicit ``policy=`` is deprecated: those knobs predate the
+        router and bypass it.  Use ``policy="always_parallel"`` /
+        ``policy="never_parallel"`` (or any explicit policy, which
+        makes the ``parallel`` knob an intentional static-rule input).
     """
 
     def __init__(
@@ -239,18 +259,31 @@ class SolverPool:
         backend: str = "auto",
         parallel: str = "auto",
         parallel_threshold: Optional[int] = None,
+        policy: Optional[str] = None,
+        workload_log=None,
         **options,
     ) -> None:
         from repro.core.registry import get_algorithm
         from repro.core.stores import get_store_backend, resolve_backend
+        from repro.routing.router import Router
+        from repro.routing.workload import WorkloadLog
 
         get_algorithm(algorithm).validate_options(options)
+        requested_backend = backend
         backend = resolve_backend(backend)
         get_store_backend(backend)
         if parallel not in ("auto", "always", "never"):
             raise ValueError(
                 f"parallel must be 'auto', 'always' or 'never', "
                 f"got {parallel!r}"
+            )
+        if parallel != "auto" and policy is None:
+            warnings.warn(
+                "SolverPool(parallel=...) without an explicit policy= is "
+                "deprecated; route through the router instead, e.g. "
+                "policy='always_parallel' or policy='never_parallel'",
+                DeprecationWarning,
+                stacklevel=2,
             )
         if parallel_threshold is None:
             from repro.parallel.solver import DEFAULT_PARALLEL_THRESHOLD
@@ -262,8 +295,20 @@ class SolverPool:
         self.jobs = _resolve_jobs(jobs)
         self.driver = driver
         self.backend = backend
+        self._requested_backend = requested_backend
         self.parallel = parallel
         self.parallel_threshold = parallel_threshold
+        self.router = Router(
+            policy=policy,
+            parallel_mode=parallel,
+            parallel_threshold=parallel_threshold,
+        )
+        if workload_log is None or isinstance(workload_log, WorkloadLog):
+            self.workload_log = workload_log
+            self._owns_log = False
+        else:
+            self.workload_log = WorkloadLog(workload_log)
+            self._owns_log = True
         self._parallel_stats: dict = {
             "parallel_solves": 0,
             "fallback_solves": 0,
@@ -399,21 +444,34 @@ class SolverPool:
         into balanced subtrees, solved concurrently across the same
         workers, and spliced back together in this process —
         bit-identical again (see :mod:`repro.parallel`).
+
+        Every one of those dispatch decisions — backend, batch axis,
+        partitioning — goes through the pool's
+        :class:`~repro.routing.router.Router` (``policy=``): the
+        default ``static`` policy reproduces the historical heuristics
+        exactly, ``model`` asks the cost model per request.
         """
         if self._closed:
             raise RuntimeError("SolverPool is closed")
+        from repro.routing.features import features_of
+
         compiled = [self.compile(net) for net in nets]
+        capture = self._capture_payloads(nets)
+        plans: List[Optional[object]] = [None] * len(compiled)
         routed: List[int] = []
-        if self.jobs > 1 and self.parallel != "never":
-            floor = (
-                0 if self.parallel == "always" else self.parallel_threshold
-            )
+        if self.jobs > 1:
             # Partitioning needs the subtree range maps, which only
             # locally compiled schedules carry.
-            routed = [
-                index for index, net in enumerate(compiled)
-                if net.final_of_node and len(net.ops) >= floor
-            ]
+            for index, net in enumerate(compiled):
+                if not net.final_of_node:
+                    continue
+                features = features_of(net, self.library, jobs=self.jobs)
+                plan = self.router.route(
+                    features, backend=self.backend, supports_parallel=True
+                )
+                plans[index] = plan
+                if plan.parallel:
+                    routed.append(index)
         results: List[Optional[BufferingResult]] = [None] * len(compiled)
         routed_set = set(routed)
         plain = [
@@ -422,26 +480,160 @@ class SolverPool:
         ]
         if plain or not compiled:
             subset = [compiled[index] for index in plain]
+            preplans = [plans[index] for index in plain]
+            subcapture = [capture[index] for index in plain] if capture else None
             for index, result in zip(
-                plain, self._solve_plain(subset, chunksize)
+                plain, self._solve_plain(subset, chunksize, preplans,
+                                         subcapture)
             ):
                 results[index] = result
         for index in routed:
-            results[index] = self._solve_partitioned_net(compiled[index])
+            results[index] = self._solve_partitioned_net(
+                compiled[index], plans[index],
+                capture[index] if capture else None,
+            )
         return results  # type: ignore[return-value]
 
-    def _solve_plain(
-        self, compiled: List[CompiledNet], chunksize: Optional[int]
-    ) -> List[BufferingResult]:
-        """The per-net/batch-axis path (everything but partitioning)."""
+    def _capture_payloads(self, nets) -> Optional[list]:
+        """Serialized trees for full-capture workload logging, aligned
+        with the input order (``None`` per net without a plain tree)."""
+        log = self.workload_log
+        if log is None or log.capture != "full":
+            return None
+        from repro.tree.io import tree_to_dict
+
+        return [
+            None if isinstance(net, CompiledNet) else tree_to_dict(net)
+            for net in nets
+        ]
+
+    def _observe_unit(
+        self, kind, indices, compiled, plan, features, seconds, capture
+    ) -> None:
+        """Feed one executed unit back: cost model EMA + workload log.
+
+        Called with the serial lock held (counters and the model's own
+        lock nest safely beneath it).
+        """
+        self.router.observe(plan, features, seconds)
+        log = self.workload_log
+        if log is None:
+            return
+        from repro.routing.workload import compiled_digest, group_digest
+
+        nets = [compiled[index] for index in indices]
+        payload = None
+        if log.capture == "full" and capture is not None:
+            dicts = [capture[index] for index in indices]
+            if all(entry is not None for entry in dicts):
+                from repro.tree.io import library_to_dict
+
+                payload = {"library": library_to_dict(self.library)}
+                if kind == "batch":
+                    payload["nets"] = dicts
+                else:
+                    payload["net"] = dicts[0]
+                if self.driver is not None:
+                    payload["driver"] = {
+                        "resistance": self.driver.resistance,
+                        "intrinsic_delay": self.driver.intrinsic_delay,
+                        "name": self.driver.name,
+                    }
+        digest = (
+            group_digest(nets) if kind == "batch"
+            else compiled_digest(nets[0])
+        )
+        log.record(
+            kind, digest=digest, features=features, plan=plan,
+            policy=self.router.policy, seconds=seconds,
+            algorithm=self.algorithm, options=self.options,
+            payload=payload,
+        )
+
+    def _route_units(
+        self, compiled: List[CompiledNet], preplans: List[Optional[object]]
+    ) -> tuple:
+        """Group the nets structurally and route each execution unit.
+
+        Returns ``(exec_groups, unit_plans, unit_features)``: index
+        groups of size > 1 are batch-axis dispatches, singletons are
+        per-net solves carrying the backend their plan picked.  A
+        multi-lane group the policy declines to batch (``model`` can,
+        ``static`` never does) is split back into singletons.
+        """
+        from repro.routing.features import features_of
+        from repro.routing.router import ExecutionPlan
+
         if self._batch_axis and len(compiled) > 1:
             groups = _group_indices(compiled)
         else:
             groups = [[index] for index in range(len(compiled))]
+        # An inline pool built with backend="auto" may route each solo
+        # net's store per request; worker processes hold one fixed
+        # backend, so multi-process pools stay pinned.
+        solo_backend = (
+            self._requested_backend if self.jobs == 1 else self.backend
+        )
+        exec_groups: List[List[int]] = []
+        unit_plans: List[ExecutionPlan] = []
+        unit_features = []
+        for indices in groups:
+            if len(indices) > 1:
+                features = features_of(
+                    compiled[indices[0]], self.library,
+                    lanes=len(indices), jobs=self.jobs,
+                )
+                plan = self.router.route(
+                    features, backend=self.backend, supports_batch=True
+                )
+                if plan.batch_axis:
+                    exec_groups.append(indices)
+                    unit_plans.append(plan)
+                    unit_features.append(features)
+                    continue
+                solo_plan = ExecutionPlan(plan.backend, "compiled")
+                for index in indices:
+                    exec_groups.append([index])
+                    unit_plans.append(solo_plan)
+                    unit_features.append(features.with_(lanes=1))
+                continue
+            index = indices[0]
+            plan = preplans[index]
+            if plan is None:
+                features = features_of(
+                    compiled[index], self.library, jobs=self.jobs
+                )
+                plan = self.router.route(features, backend=solo_backend)
+            else:
+                features = features_of(
+                    compiled[index], self.library, jobs=self.jobs
+                )
+            exec_groups.append([index])
+            unit_plans.append(plan)
+            unit_features.append(features)
+        return exec_groups, unit_plans, unit_features
+
+    def _solve_plain(
+        self,
+        compiled: List[CompiledNet],
+        chunksize: Optional[int],
+        preplans: Optional[List[Optional[object]]] = None,
+        capture: Optional[list] = None,
+    ) -> List[BufferingResult]:
+        """The per-net/batch-axis path (everything but partitioning)."""
+        if preplans is None:
+            preplans = [None] * len(compiled)
+        exec_groups, unit_plans, unit_features = self._route_units(
+            compiled, preplans
+        )
         if self.jobs == 1 or not compiled:
             with self._serial_lock:
-                return self._solve_inline(compiled, groups)
-        items = [[compiled[index] for index in indices] for indices in groups]
+                return self._solve_inline(
+                    compiled, exec_groups, unit_plans, unit_features, capture
+                )
+        items = [
+            [compiled[index] for index in indices] for indices in exec_groups
+        ]
         if chunksize is None:
             chunksize = max(1, len(items) // (self.jobs * 4))
         nested = self._ensure_pool().map(
@@ -449,29 +641,46 @@ class SolverPool:
         )
         results: List[Optional[BufferingResult]] = [None] * len(compiled)
         with self._serial_lock:
-            for indices, group_results in zip(groups, nested):
+            for indices, plan, features, group_results in zip(
+                exec_groups, unit_plans, unit_features, nested
+            ):
                 for index, result in zip(indices, group_results):
                     results[index] = result
                 if len(indices) > 1:
                     self._record_group(len(indices))
                 else:
                     self._batch_stats["scalar_solves"] += 1
+                # In-worker solve seconds (a lane's runtime is the
+                # group wall clock amortized, so the sum restores it).
+                seconds = sum(
+                    result.stats.runtime_seconds
+                    for result in group_results
+                )
+                self._observe_unit(
+                    "batch" if len(indices) > 1 else "solve",
+                    indices, compiled, plan, features, seconds, capture,
+                )
         return results  # type: ignore[return-value]
 
-    def _solve_partitioned_net(self, net: CompiledNet) -> BufferingResult:
+    def _solve_partitioned_net(
+        self, net: CompiledNet, plan, capture_entry=None
+    ) -> BufferingResult:
         """One large net across all workers, spliced in this process."""
         from repro.parallel.solver import solve_partitioned
+        from repro.routing.features import features_of
 
         report: dict = {}
         # The whole call holds the serial lock: the residual replay
         # runs on this net's (thread-unsafe) in-process factory, and
         # Pool.map is safe to call while holding it.
         with self._serial_lock:
+            start = time.perf_counter()
             result = solve_partitioned(
                 net, self.library, algorithm=self.algorithm,
                 driver=self.driver, backend=self.backend,
                 options=self.options, pool=self, report=report,
             )
+            elapsed = time.perf_counter() - start
             stats = self._parallel_stats
             if report["engaged"]:
                 stats["parallel_solves"] += 1
@@ -479,6 +688,11 @@ class SolverPool:
             else:
                 stats["fallback_solves"] += 1
             stats["last"] = report
+            features = features_of(net, self.library, jobs=self.jobs)
+            self._observe_unit(
+                "solve", [0], [net], plan, features, elapsed,
+                [capture_entry] if capture_entry is not None else None,
+            )
         return result
 
     def _map_partition_tasks(self, tasks: list) -> list:
@@ -508,32 +722,59 @@ class SolverPool:
         return stats
 
     def _solve_inline(
-        self, compiled: List[CompiledNet], groups: List[List[int]]
+        self,
+        compiled: List[CompiledNet],
+        groups: List[List[int]],
+        plans: list,
+        features_list: list,
+        capture: Optional[list] = None,
     ) -> List[BufferingResult]:
         """The ``jobs=1`` path: batched groups + per-net singletons."""
         from repro.core.api import insert_buffers
         from repro.core.schedule import run_compiled_group
 
         results: List[Optional[BufferingResult]] = [None] * len(compiled)
-        for indices in groups:
+        for indices, plan, features in zip(groups, plans, features_list):
             if len(indices) > 1:
                 lanes = len(indices)
+                start = time.perf_counter()
                 group_results = run_compiled_group(
                     [compiled[index] for index in indices], self.library,
                     algorithm=self.algorithm, driver=self.driver,
                     options=self.options, factory=self._factory_for(lanes),
                 )
+                elapsed = time.perf_counter() - start
                 for index, result in zip(indices, group_results):
                     results[index] = result
                 self._record_group(lanes)
+                self._observe_unit(
+                    "batch", indices, compiled, plan, features, elapsed,
+                    capture,
+                )
             else:
-                results[indices[0]] = insert_buffers(
+                start = time.perf_counter()
+                result = insert_buffers(
                     compiled[indices[0]], self.library,
                     algorithm=self.algorithm, driver=self.driver,
-                    backend=self.backend, **self.options,
+                    backend=plan.backend, **self.options,
                 )
+                elapsed = time.perf_counter() - start
+                results[indices[0]] = result
                 self._batch_stats["scalar_solves"] += 1
+                self._observe_unit(
+                    "solve", indices, compiled, plan, features, elapsed,
+                    capture,
+                )
         return results  # type: ignore[return-value]
+
+    def routing_stats(self) -> dict:
+        """Routing decisions and model telemetry (``/stats`` block)."""
+        stats = self.router.stats()
+        log = self.workload_log
+        stats["workload_records"] = (
+            log.records_written if log is not None else 0
+        )
+        return stats
 
     def _ensure_pool(self):
         with self._create_lock:
@@ -551,6 +792,8 @@ class SolverPool:
     def close(self) -> None:
         """Terminate the workers; the pool cannot be used afterwards."""
         self._closed = True
+        if self._owns_log and self.workload_log is not None:
+            self.workload_log.close()
         with self._create_lock:
             if self._pool is not None:
                 self._pool.terminate()
@@ -581,6 +824,7 @@ def solve_many(
     backend: str = "auto",
     chunksize: Optional[int] = None,
     precompile: bool = True,
+    policy: Optional[str] = None,
     **options,
 ) -> List[BufferingResult]:
     """Buffer every net in ``trees``, optionally across processes.
@@ -604,6 +848,8 @@ def solve_many(
             the compact :class:`CompiledNet` payloads (the default, and
             the reason workers neither re-validate nor re-plan a net).
             ``False`` ships the object trees, as earlier releases did.
+        policy: Routing policy (see :class:`SolverPool`); ``None``
+            follows the process default.
         **options: Algorithm-specific flags (e.g.
             ``destructive_pruning=True`` for ``"fast"``).
 
@@ -624,8 +870,9 @@ def solve_many(
     from repro.core.stores import get_store_backend, resolve_backend
 
     get_algorithm(algorithm).validate_options(options)
-    backend = resolve_backend(backend)
-    get_store_backend(backend)
+    # Validate without rebinding: the pool remembers whether the caller
+    # said "auto" (routable per net) or pinned a store.
+    get_store_backend(resolve_backend(backend))
 
     if precompile:
         nets: List[Union[RoutingTree, CompiledNet]] = [
@@ -640,13 +887,13 @@ def solve_many(
         # still ride the batch-axis engine when the context allows.
         with SolverPool(
             library, algorithm=algorithm, jobs=1, driver=driver,
-            backend=backend, **options,
+            backend=backend, policy=policy, **options,
         ) as pool:
             return pool.solve(nets)
 
     # jobs > 1 and len(nets) > 1: a one-shot pool, torn down on return.
     with SolverPool(
         library, algorithm=algorithm, jobs=jobs, driver=driver,
-        backend=backend, **options,
+        backend=backend, policy=policy, **options,
     ) as pool:
         return pool.solve(nets, chunksize=chunksize)

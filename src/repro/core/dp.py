@@ -16,7 +16,9 @@ the winning candidate's decision DAG is expanded into an explicit
 The *representation* of the candidate lists is pluggable too
 (:mod:`repro.core.stores`): with ``backend="object"`` (this engine-level
 function's default — the public :func:`~repro.core.api.insert_buffers`
-defaults to ``"auto"``, which prefers ``"soa"`` when NumPy is available)
+defaults to ``"auto"``, which defers the choice to the execution router
+(:mod:`repro.routing`; the default ``static`` policy keeps the
+historical SoA-when-NumPy rule))
 the engine operates on bare ``CandidateList`` objects exactly as the seed
 code did — including the legacy list-level ``add_buffer`` /
 ``add_wire`` / ``merge`` callables used by the instrumentation modules —

@@ -420,6 +420,18 @@ class CompiledNet:
         """Number of instructions in the schedule."""
         return len(self.ops)
 
+    @property
+    def num_instructions(self) -> int:
+        """Instruction count as a named accessor.
+
+        This is the size measure the execution router's cost model and
+        the partitioned-solve threshold reason about; for a tree that
+        has not been compiled yet the same number is available without
+        compiling via
+        :func:`repro.routing.features.estimate_instructions`.
+        """
+        return len(self.ops)
+
     def __repr__(self) -> str:
         return (
             f"CompiledNet(instructions={len(self.ops)}, "

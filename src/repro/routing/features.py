@@ -1,0 +1,155 @@
+"""Per-request feature extraction for execution routing.
+
+A :class:`RequestFeatures` vector is everything the router and the cost
+model are allowed to look at: quantities that are *already known* before
+any solving happens — tree/schedule size counters, the library size, how
+many structurally identical lanes arrived together, how many worker
+processes the pool holds, and (for incremental sessions) the fraction of
+the schedule the splice interpreter is expected to re-execute.  Feature
+extraction never triggers validation, plan building or compilation; for
+a plain :class:`~repro.tree.routing_tree.RoutingTree` the instruction
+count is a closed-form estimate of what :func:`compile_net` would emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Optional, Union
+
+from repro.core.schedule import CompiledNet
+from repro.library.library import BufferLibrary
+from repro.tree.routing_tree import RoutingTree
+
+#: Request kinds the router distinguishes: a (possibly grouped) solve
+#: versus an incremental-session resolve.
+KINDS = ("solve", "session")
+
+
+@dataclass(frozen=True)
+class RequestFeatures:
+    """The feature vector of one routable request.
+
+    Attributes:
+        positions: Legal buffer positions ``n`` of one net (the DP's
+            outer work axis).
+        sinks: Sink count of one net.
+        library_size: Buffer types ``b`` (the DP's inner work axis).
+        instructions: Compiled schedule length (exact for a
+            :class:`CompiledNet`, estimated for a plain tree) — the
+            quantity the partitioned-solve threshold is expressed in.
+        lanes: Structurally identical nets arriving as one group
+            (``1`` for a solo solve) — the batch-axis width.
+        jobs: Worker processes available to the caller's pool.
+        dirty_fraction: For ``kind="session"``, the fraction of the
+            schedule expected to re-execute after the pending edits
+            (``1.0`` means a full re-run; scratch solves always use
+            ``1.0``).
+        kind: ``"solve"`` or ``"session"``.
+    """
+
+    positions: int
+    sinks: int
+    library_size: int
+    instructions: int
+    lanes: int = 1
+    jobs: int = 1
+    dirty_fraction: float = 1.0
+    kind: str = "solve"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"kind must be one of {KINDS}, got {self.kind!r}"
+            )
+
+    @property
+    def work(self) -> int:
+        """The DP work product ``positions^2 * library_size`` — the
+        cost model's piecewise-linear abscissa.
+
+        Quadratic in ``n`` because that is the paper's complexity
+        (O(b n^2)): candidate-list lengths grow with the subtree they
+        summarize, so per-position cost is itself ~linear in ``n``.  A
+        linear ``n * b`` axis systematically underpredicts sink-heavy
+        nets whose lists are long at small position counts.
+        """
+        return self.positions * self.positions * self.library_size
+
+    def with_(self, **changes) -> "RequestFeatures":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (workload-log JSONL payload)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RequestFeatures":
+        """Inverse of :meth:`to_dict`; ignores unknown keys so old logs
+        survive feature-vector growth."""
+        names = {field for field in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+def estimate_instructions(tree: RoutingTree) -> int:
+    """What ``len(compile_net(tree, ...).ops)`` will be, without compiling.
+
+    The flattener emits one instruction per sink, one per edge (every
+    non-root node has exactly one entry edge), one per buffer position,
+    and one merge per extra child — and because every leaf is a sink,
+    the merge count collapses to ``num_sinks - 1`` for any topology.
+    """
+    return (
+        2 * tree.num_sinks
+        + tree.num_nodes
+        + tree.num_buffer_positions
+        - 2
+    )
+
+
+def features_of(
+    net: Union[RoutingTree, CompiledNet],
+    library: Optional[BufferLibrary] = None,
+    *,
+    lanes: int = 1,
+    jobs: int = 1,
+    dirty_fraction: float = 1.0,
+    kind: str = "solve",
+) -> RequestFeatures:
+    """Extract the routing feature vector from a net, without solving.
+
+    Args:
+        net: A plain tree or a compiled schedule.  Compiled nets carry
+            exact counters; trees use :func:`estimate_instructions`.
+        library: The buffer library (its size is a feature).  Optional
+            for a :class:`CompiledNet`, which remembers its library.
+        lanes: Group width this net arrived with (batch axis).
+        jobs: Worker processes available.
+        dirty_fraction: Expected re-executed schedule fraction
+            (sessions only; see :class:`RequestFeatures`).
+        kind: ``"solve"`` or ``"session"``.
+    """
+    if isinstance(net, CompiledNet):
+        lib = library if library is not None else net.library
+        return RequestFeatures(
+            positions=net.num_buffer_positions,
+            sinks=net.num_sinks,
+            library_size=lib.size,
+            instructions=net.num_instructions,
+            lanes=lanes,
+            jobs=jobs,
+            dirty_fraction=dirty_fraction,
+            kind=kind,
+        )
+    if library is None:
+        raise ValueError("library is required for a plain RoutingTree")
+    return RequestFeatures(
+        positions=net.num_buffer_positions,
+        sinks=net.num_sinks,
+        library_size=library.size,
+        instructions=estimate_instructions(net),
+        lanes=lanes,
+        jobs=jobs,
+        dirty_fraction=dirty_fraction,
+        kind=kind,
+    )

@@ -18,8 +18,9 @@ path                      method  purpose
 ``/session/{id}``         DELETE  close a session
 ``/healthz``              GET     liveness probe: version, uptime, workers
 ``/stats``                GET     request counters, cache counters, pool
-                                  inventory, batch-axis grouping and
-                                  incremental-engine health
+                                  inventory, batch-axis grouping,
+                                  incremental-engine health and execution-
+                                  routing decisions
 ========================  ======  ==========================================
 
 **Sessions.**  A session wraps an
@@ -87,6 +88,8 @@ from repro.core.schedule import CompiledNet, compile_net
 from repro.core.stores import resolve_backend
 from repro.errors import EditError, ReproError
 from repro.library.library import BufferLibrary
+from repro.routing.router import default_policy, validate_policy
+from repro.routing.workload import WorkloadLog, compiled_digest
 from repro.service.cache import ResultCache, SolutionPayload
 from repro.service.canon import (
     CanonicalNet,
@@ -137,6 +140,13 @@ class BufferServer:
             single ``/solve`` net is partitioned across the pool's
             workers (see :mod:`repro.parallel`); ``None`` uses the
             calibrated default.  Only effective with ``jobs > 1``.
+        policy: Server-wide execution-routing policy
+            (:mod:`repro.routing.router`); ``None`` follows the process
+            default (``"static"``).  A request may override it with its
+            own ``"policy"`` field.
+        workload_log: Path of an opt-in JSONL workload log; every
+            routed solve (and every session re-solve) appends one
+            record that ``repro replay`` can re-run offline.
     """
 
     def __init__(
@@ -151,6 +161,8 @@ class BufferServer:
         session_ttl: Optional[float] = 3600.0,
         frontier_cache_bytes: int = 64 << 20,
         parallel_threshold: Optional[int] = None,
+        policy: Optional[str] = None,
+        workload_log: Optional[str] = None,
     ) -> None:
         if max_pools < 1:
             raise ValueError(f"max_pools must be >= 1, got {max_pools}")
@@ -162,10 +174,18 @@ class BufferServer:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1 (or None), got {jobs}")
+        if policy is not None:
+            validate_policy(policy)
         self.host = host
         self.port = port
         self.jobs = jobs
         self.parallel_threshold = parallel_threshold
+        self.policy = policy
+        # One log shared by every pool (and the session path): pools
+        # receive the instance, so closing it stays the server's job.
+        self._workload_log = (
+            WorkloadLog(workload_log) if workload_log is not None else None
+        )
         self.results = ResultCache(maxsize=cache_size, ttl=cache_ttl)
         self.compiled = ResultCache(maxsize=max(cache_size // 4, 16))
         # Imported here, not at module top: the incremental engine uses
@@ -224,6 +244,8 @@ class BufferServer:
         for entry in self._pools.values():
             entry.pool.close()
         self._pools.clear()
+        if self._workload_log is not None:
+            self._workload_log.close()
 
     # -- HTTP plumbing -------------------------------------------------
 
@@ -435,6 +457,33 @@ class BufferServer:
                     "worker_busy_seconds": last["worker_busy_seconds"],
                     "pool_utilization": last["pool_utilization"],
                 }
+        # Execution-routing health over the warm pools: which strategy
+        # each routed request landed on, plus the shared cost model's
+        # online-refinement telemetry.  Every pool's router feeds the
+        # same process-wide model, so its stats are reported once.
+        from repro.routing.cost_model import default_model
+
+        routing: Dict[str, Any] = {
+            "policy": self.policy if self.policy is not None
+            else default_policy(),
+            "decisions": 0,
+            "decisions_by_strategy": {},
+            "observations": 0,
+            "model": default_model().stats(),
+            "workload_records": (
+                self._workload_log.records_written
+                if self._workload_log is not None else 0
+            ),
+        }
+        for entry in self._pools.values():
+            pool_stats = entry.pool.routing_stats()
+            routing["decisions"] += pool_stats["decisions"]
+            routing["observations"] += pool_stats["observations"]
+            by_strategy = routing["decisions_by_strategy"]
+            for strategy, count in (
+                pool_stats["decisions_by_strategy"].items()
+            ):
+                by_strategy[strategy] = by_strategy.get(strategy, 0) + count
         session_stats = self.sessions.stats()
         live_sessions = tuple(self.sessions.values())
         resolves = self.counters["session_resolves"]
@@ -445,6 +494,7 @@ class BufferServer:
             "kernels": kernels,
             "batch_axis": batch_axis,
             "parallel": parallel,
+            "routing": routing,
             "cache": self.results.stats().as_dict(),
             "compiled_cache": dict(
                 self.compiled.stats().as_dict(),
@@ -474,6 +524,7 @@ class BufferServer:
                 {
                     "algorithm": entry.pool.algorithm,
                     "backend": entry.pool.backend,
+                    "policy": entry.pool.router.policy,
                     "jobs": entry.pool.jobs,
                     "library_size": entry.pool.library.size,
                     "in_flight": entry.in_flight,
@@ -485,7 +536,7 @@ class BufferServer:
     async def _handle_solve(self, body: bytes) -> Tuple[int, Dict]:
         spec = _parse_body(body)
         net_spec = _require(spec, "net", dict)
-        request = _SolveContext.from_spec(spec)
+        request = _SolveContext.from_spec(spec, self.policy)
         self.counters["solve_requests"] += 1
         self.counters["nets_requested"] += 1
         answers = await self._answer(request, [net_spec])
@@ -496,7 +547,7 @@ class BufferServer:
         net_specs = _require(spec, "nets", list)
         if not net_specs:
             raise _BadRequest("'nets' must contain at least one net")
-        request = _SolveContext.from_spec(spec)
+        request = _SolveContext.from_spec(spec, self.policy)
         self.counters["batch_requests"] += 1
         self.counters["nets_requested"] += len(net_specs)
         answers = await self._answer(request, net_specs)
@@ -521,7 +572,7 @@ class BufferServer:
     async def _handle_session_create(self, body: bytes) -> Tuple[int, Dict]:
         spec = _parse_body(body)
         net_spec = _require(spec, "net", dict)
-        context = _SolveContext.from_spec(spec)
+        context = _SolveContext.from_spec(spec, self.policy)
         try:
             tree, id_map = tree_from_dict(net_spec, with_id_map=True)
         except ReproError as exc:
@@ -579,7 +630,40 @@ class BufferServer:
         fraction = session.solver.last_executed_fraction
         self._session_fraction_sum += fraction
         self._session_fraction_last = fraction
+        self._record_session_resolve(session, answer)
         return 200, answer
+
+    def _record_session_resolve(
+        self, session: "_Session", answer: Dict[str, Any]
+    ) -> None:
+        """Feed a session re-solve's timing back to the routing model
+        (and append it to the workload log when one is configured)."""
+        from repro.routing.cost_model import default_model
+        from repro.routing.features import features_of
+        from repro.routing.router import ExecutionPlan
+
+        solver = session.solver
+        features = features_of(
+            solver.compiled, kind="session",
+            dirty_fraction=solver.last_executed_fraction,
+        )
+        plan = ExecutionPlan(backend=solver.backend, schedule_mode="splice")
+        seconds = answer["stats"]["solve_runtime_seconds"]
+        default_model().observe(plan, features, seconds)
+        if self._workload_log is not None:
+            self._workload_log.record(
+                "session",
+                digest=compiled_digest(solver.compiled),
+                features=features,
+                plan=plan,
+                policy=(
+                    self.policy if self.policy is not None
+                    else default_policy()
+                ),
+                seconds=seconds,
+                algorithm=solver.algorithm,
+                options=dict(solver.options),
+            )
 
     def _handle_session_delete(self, sid: str) -> Tuple[int, Dict]:
         session = self.sessions.get(sid)
@@ -708,6 +792,7 @@ class BufferServer:
             request.library_key,
             request.algorithm,
             request.backend,
+            request.policy,
             options_key(request.options),
         )
         entry = self._pools.get(context_key)
@@ -718,6 +803,8 @@ class BufferServer:
                 jobs=self.jobs,
                 backend=request.backend,
                 parallel_threshold=self.parallel_threshold,
+                policy=request.policy,
+                workload_log=self._workload_log,
                 **request.options,
             ))
             self._pools[context_key] = entry
@@ -936,15 +1023,19 @@ class _SolveContext:
         algorithm: str,
         backend: str,
         options: Dict[str, Any],
+        policy: Optional[str] = None,
     ) -> None:
         self.library = library
         self.algorithm = algorithm
         self.backend = backend
         self.options = options
+        self.policy = policy
         self.library_key = library_key(library)
 
     @classmethod
-    def from_spec(cls, spec: Dict[str, Any]) -> "_SolveContext":
+    def from_spec(
+        cls, spec: Dict[str, Any], default_policy: Optional[str] = None
+    ) -> "_SolveContext":
         library_spec = _require(spec, "library", dict)
         try:
             library = library_from_dict(library_spec)
@@ -959,15 +1050,28 @@ class _SolveContext:
         options = spec.get("options", {})
         if not isinstance(options, dict):
             raise _BadRequest("'options' must be an object")
+        policy = spec.get("policy", default_policy)
+        if policy is not None:
+            if not isinstance(policy, str):
+                raise _BadRequest("'policy' must be a string")
+            try:
+                validate_policy(policy)
+            except ValueError as exc:
+                raise _BadRequest(str(exc)) from exc
         try:
             get_algorithm(algorithm).validate_options(options)
-            backend = resolve_backend(backend)
             from repro.core.stores import get_store_backend
 
-            get_store_backend(backend)
+            get_store_backend(resolve_backend(backend))
+            # Under an explicit routing policy an "auto" backend stays
+            # "auto" all the way into the pool, so the router may pick
+            # the store per net; otherwise keep the historical contract
+            # of resolving it here (cache keys included).
+            if policy is None and backend == "auto":
+                backend = resolve_backend(backend)
         except ReproError as exc:
             raise _BadRequest(str(exc)) from exc
-        return cls(library, algorithm, backend, options)
+        return cls(library, algorithm, backend, options, policy)
 
 
 def _parse_body(body: bytes) -> Dict[str, Any]:
@@ -1001,6 +1105,8 @@ def serve(
     session_ttl: Optional[float] = 3600.0,
     frontier_cache_bytes: int = 64 << 20,
     parallel_threshold: Optional[int] = None,
+    policy: Optional[str] = None,
+    workload_log: Optional[str] = None,
     ready=None,
 ) -> None:
     """Run a :class:`BufferServer` until interrupted (the CLI's engine).
@@ -1008,7 +1114,8 @@ def serve(
     Args:
         host, port, jobs, cache_size, cache_ttl, max_pools,
         max_sessions, session_ttl, frontier_cache_bytes,
-        parallel_threshold: Forwarded to :class:`BufferServer`.
+        parallel_threshold, policy, workload_log: Forwarded to
+            :class:`BufferServer`.
         ready: Optional callback invoked with the started server (tests
             use it to learn the ephemeral port and to retain a handle).
     """
@@ -1020,6 +1127,7 @@ def serve(
             max_sessions=max_sessions, session_ttl=session_ttl,
             frontier_cache_bytes=frontier_cache_bytes,
             parallel_threshold=parallel_threshold,
+            policy=policy, workload_log=workload_log,
         )
         bound_host, bound_port = await server.start()
         print(f"repro serve: listening on http://{bound_host}:{bound_port} "

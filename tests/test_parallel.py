@@ -288,7 +288,9 @@ class TestSolverPoolRouting:
 
     def test_pool_partitioned_solve_bit_identical(self, medium_net, library):
         reference = insert_buffers(medium_net, library)
-        with SolverPool(library, jobs=2, parallel="always") as pool:
+        with SolverPool(
+            library, jobs=2, parallel="always", policy="static"
+        ) as pool:
             first = pool.solve([medium_net])[0]
             second = pool.solve([medium_net])[0]  # pool reuse
             stats = pool.parallel_stats()
@@ -320,7 +322,9 @@ class TestSolverPoolRouting:
         assert_identical(result, insert_buffers(small, library))
 
     def test_parallel_never_disables_routing(self, medium_net, library):
-        with SolverPool(library, jobs=2, parallel="never") as pool:
+        with SolverPool(
+            library, jobs=2, parallel="never", policy="static"
+        ) as pool:
             result = pool.solve([medium_net])[0]
             stats = pool.parallel_stats()
         assert not stats["enabled"]
@@ -341,7 +345,9 @@ class TestSolverPoolRouting:
         assert stats["parallel_solves"] + stats["fallback_solves"] == 1
 
     def test_closed_pool_refuses_work(self, library):
-        pool = SolverPool(library, jobs=2, parallel="always")
+        pool = SolverPool(
+            library, jobs=2, parallel="always", policy="static"
+        )
         pool.close()
         with pytest.raises(RuntimeError):
             pool.solve([random_net(1, sinks=8, positions=60)])

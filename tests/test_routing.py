@@ -1,0 +1,601 @@
+"""Execution routing: features, cost model, router policies, workload
+capture/replay — and the parity doctrine that routing may only ever
+*pick* an execution, never change its answer."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import insert_buffers, paper_library, uniform_random_library
+from repro.core.batch import SolverPool
+from repro.core.schedule import auto_compile, compile_net
+from repro.core.stores import resolve_backend
+from repro.core.stores.batch_axis import batch_axis_available
+from repro.experiments.workloads import corner_variants
+from repro.routing.cost_model import CostModel, default_model
+from repro.routing.features import (
+    RequestFeatures,
+    estimate_instructions,
+    features_of,
+)
+from repro.routing.router import (
+    COMPOSITE_MARGIN,
+    POLICIES,
+    ExecutionPlan,
+    Router,
+    default_policy,
+    set_default_policy,
+    validate_policy,
+)
+from repro.routing.workload import (
+    ReplayError,
+    WorkloadLog,
+    _result_fingerprint,
+    compiled_digest,
+    read_log,
+    replay,
+)
+from repro.tree.builders import random_tree_net
+
+# ---------------------------------------------------------------------
+# Feature extraction
+
+
+class TestFeatures:
+    def test_estimate_instructions_is_exact(self):
+        """The closed-form estimate equals what compile_net emits, so
+        routing a plain tree and its compiled form agree."""
+        library = paper_library(4)
+        for sinks, seed in ((2, 1), (5, 2), (16, 3), (40, 4)):
+            tree = random_tree_net(sinks, seed=seed)
+            compiled = compile_net(tree, library)
+            assert estimate_instructions(tree) == compiled.num_instructions
+
+    def test_tree_and_compiled_features_agree(self):
+        library = paper_library(8)
+        tree = random_tree_net(12, seed=9)
+        compiled = compile_net(tree, library)
+        assert features_of(tree, library) == features_of(compiled)
+
+    def test_work_is_quadratic_in_positions(self):
+        features = RequestFeatures(
+            positions=10, sinks=4, library_size=8, instructions=30
+        )
+        assert features.work == 10 * 10 * 8
+
+    def test_round_trip_ignores_unknown_keys(self):
+        features = features_of(
+            random_tree_net(6, seed=5), paper_library(4),
+            lanes=3, jobs=2, dirty_fraction=0.5, kind="session",
+        )
+        data = dict(features.to_dict(), future_field=123)
+        assert RequestFeatures.from_dict(data) == features
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            RequestFeatures(
+                positions=1, sinks=1, library_size=1,
+                instructions=1, kind="nope",
+            )
+
+    def test_tree_requires_library(self):
+        with pytest.raises(ValueError, match="library"):
+            features_of(random_tree_net(4, seed=1))
+
+
+# ---------------------------------------------------------------------
+# Cost model
+
+
+def _toy_spec(**overrides):
+    """A hand-written model spec with simple, assertable curves."""
+    spec = {
+        "version": "routing-model/test",
+        "base": {
+            # object is cheap at small work, loses at large work.
+            "object-compiled": {"knots": [[1, 1e-4], [1e6, 1.0]]},
+            "object-walk": {"knots": [[1, 2e-4], [1e6, 2.0]]},
+            "soa-compiled": {"knots": [[1, 5e-4], [1e6, 0.1]]},
+            "soa-walk": {"knots": [[1, 6e-4], [1e6, 0.5]]},
+        },
+        "batch_axis": {
+            "work": [1, 1e6],
+            "lanes": [2, 64],
+            "speedup": [[1.0, 2.0], [2.0, 8.0]],
+        },
+        "splice": {"overhead_fraction": 0.1},
+        "parallel": {"residual_fraction": 0.25, "overhead_seconds": 0.01},
+    }
+    spec.update(overrides)
+    return spec
+
+
+def _features(**overrides):
+    base = dict(positions=100, sinks=10, library_size=8, instructions=300)
+    base.update(overrides)
+    return RequestFeatures(**base)
+
+
+class TestCostModel:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="version"):
+            CostModel.from_spec({"base": {}})
+        with pytest.raises(ValueError, match="lacks base curves"):
+            CostModel.from_spec({"version": "x", "base": {}})
+        bad = _toy_spec()
+        bad["base"]["object-compiled"]["knots"] = [[10, 1.0], [1, 2.0]]
+        with pytest.raises(ValueError, match="unsorted"):
+            CostModel.from_spec(bad)
+
+    def test_interpolation_clamps_below_first_knot(self):
+        """Tiny work never predicts below the launch-overhead floor."""
+        model = CostModel.from_spec(_toy_spec())
+        plan = ExecutionPlan("object", "compiled")
+        tiny = model.predict_raw(
+            plan, _features(positions=1, library_size=1)
+        )
+        assert tiny == pytest.approx(1e-4)
+
+    def test_prediction_monotone_in_work(self):
+        model = CostModel.from_spec(_toy_spec())
+        plan = ExecutionPlan("soa", "compiled")
+        costs = [
+            model.predict_raw(plan, _features(positions=p))
+            for p in (10, 100, 1000, 10_000)
+        ]
+        assert costs == sorted(costs)
+
+    def test_sequential_group_scales_with_lanes(self):
+        model = CostModel.from_spec(_toy_spec())
+        plan = ExecutionPlan("object", "compiled")
+        solo = model.predict_raw(plan, _features(lanes=1))
+        group = model.predict_raw(plan, _features(lanes=8))
+        assert group == pytest.approx(8 * solo)
+
+    def test_batched_group_beats_sequential_at_wide_lanes(self):
+        model = CostModel.from_spec(_toy_spec())
+        features = _features(positions=1000, lanes=64)
+        sequential = model.predict_raw(
+            ExecutionPlan("soa", "compiled"), features
+        )
+        batched = model.predict_raw(
+            ExecutionPlan("soa", "compiled", batch_axis=True), features
+        )
+        assert batched < sequential
+
+    def test_splice_scales_with_dirty_fraction(self):
+        model = CostModel.from_spec(_toy_spec())
+        plan = ExecutionPlan("object", "splice")
+        full = model.predict_raw(
+            plan, _features(dirty_fraction=1.0, kind="session")
+        )
+        dirty = model.predict_raw(
+            plan, _features(dirty_fraction=0.1, kind="session")
+        )
+        assert dirty < full
+        scratch = model.predict_raw(
+            ExecutionPlan("object", "compiled"),
+            _features(dirty_fraction=0.1, kind="session"),
+        )
+        assert dirty < scratch
+
+    def test_parallel_amdahl_shape(self):
+        model = CostModel.from_spec(_toy_spec())
+        features = _features(positions=900, jobs=4)
+        base = model.predict_raw(
+            ExecutionPlan("object", "compiled"), features
+        )
+        split = model.predict_raw(
+            ExecutionPlan("object", "compiled", parallel=True), features
+        )
+        assert split == pytest.approx(base * (0.25 + 0.75 / 4) + 0.01)
+
+    def test_observe_moves_scale_toward_measurement(self):
+        model = CostModel.from_spec(_toy_spec())
+        plan = ExecutionPlan("object", "compiled")
+        features = _features()
+        raw = model.predict_raw(plan, features)
+        for _ in range(50):
+            model.observe(plan, features, raw * 2.0)
+        corrected = model.predict(plan, features)
+        assert corrected == pytest.approx(raw * 2.0, rel=0.05)
+        stats = model.stats()
+        assert stats["online_updates"] == 50
+        assert stats["scales"][plan.strategy] > 1.5
+        assert stats["abs_error_seconds"] > 0.0
+
+    def test_observe_clamps_outliers(self):
+        model = CostModel.from_spec(_toy_spec())
+        plan = ExecutionPlan("object", "compiled")
+        features = _features()
+        raw = model.predict_raw(plan, features)
+        model.observe(plan, features, raw * 1e6)  # scheduler hiccup
+        assert model.stats()["scales"][plan.strategy] <= 1.0 + 0.2 * 20.0
+
+    def test_default_artifact_loads_and_validates(self):
+        model = default_model()
+        assert model.version.startswith("routing-model/")
+        assert default_model() is model  # process-wide singleton
+
+
+# ---------------------------------------------------------------------
+# Plans and policies
+
+
+class TestExecutionPlan:
+    def test_strategy_labels(self):
+        assert ExecutionPlan("object", "walk").strategy == "object-walk"
+        assert (
+            ExecutionPlan("soa", "compiled", batch_axis=True).strategy
+            == "soa-compiled+batch"
+        )
+        assert (
+            ExecutionPlan("object", "compiled", parallel=True).strategy
+            == "object-compiled+parallel"
+        )
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="schedule_mode"):
+            ExecutionPlan("object", "sideways")
+
+    def test_round_trip(self):
+        plan = ExecutionPlan("soa", "compiled", batch_axis=True)
+        assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestPolicies:
+    def test_all_canonical_policies_validate(self):
+        for policy in POLICIES:
+            assert validate_policy(policy) == policy
+        assert validate_policy("always_object-walk") == "always_object-walk"
+        assert validate_policy("always_soa-compiled")
+
+    def test_unknown_policy_rejected(self):
+        for bad in ("fastest", "always_gpu", "never_walk", "always_"):
+            with pytest.raises(ValueError, match="routing policy"):
+                validate_policy(bad)
+
+    def test_default_policy_round_trip(self):
+        previous = set_default_policy("model")
+        try:
+            assert default_policy() == "model"
+            assert Router().policy == "model"
+        finally:
+            set_default_policy(previous)
+
+    def test_static_replicates_legacy_heuristics(self):
+        """policy='static' is the old scattered rules, verbatim."""
+        router = Router(policy="static", parallel_threshold=1000)
+        auto = resolve_backend("auto")
+        # Solo solve: resolved backend, compiled, no composite axes.
+        plan = router.route(_features())
+        assert plan == ExecutionPlan(auto, "compiled")
+        # Any structural group batches when the context supports it.
+        plan = router.route(_features(lanes=2), supports_batch=True)
+        assert plan == ExecutionPlan("soa", "compiled", batch_axis=True)
+        # ... but stays sequential when it does not.
+        plan = router.route(_features(lanes=2))
+        assert plan == ExecutionPlan(auto, "compiled")
+        # The instruction floor turns on the partitioned solve.
+        plan = router.route(
+            _features(instructions=1000), supports_parallel=True
+        )
+        assert plan.parallel
+        plan = router.route(
+            _features(instructions=999), supports_parallel=True
+        )
+        assert not plan.parallel
+        # Sessions splice.
+        plan = router.route(_features(kind="session"))
+        assert plan.schedule_mode == "splice"
+
+    def test_escape_hatches_pin_axes(self):
+        features = _features(lanes=4)
+        plan = Router(policy="always_object").route(
+            features, supports_batch=True
+        )
+        assert plan.backend == "object" and not plan.batch_axis
+        plan = Router(policy="never_batch").route(
+            features, supports_batch=True
+        )
+        assert not plan.batch_axis
+        plan = Router(policy="always_walk").route(
+            _features(), supports_walk=True
+        )
+        assert plan.schedule_mode == "walk"
+        plan = Router(policy="always_scratch").route(_features(kind="session"))
+        assert plan.schedule_mode == "compiled"
+        plan = Router(policy="always_object-walk").route(
+            _features(), supports_walk=True
+        )
+        assert plan == ExecutionPlan("object", "walk")
+
+    def test_explicit_backend_beats_routing(self):
+        plan = Router(policy="model").route(_features(), backend="object")
+        assert plan.backend == "object"
+
+    def test_model_policy_picks_cheapest_candidate(self):
+        model = CostModel.from_spec(_toy_spec())
+        router = Router(policy="model", model=model)
+        # Toy curves make object cheapest at small work ...
+        plan = router.route(_features(positions=5), supports_walk=True)
+        assert plan == ExecutionPlan("object", "compiled")
+        # ... and soa cheapest at large work.
+        if resolve_backend("auto") == "soa":
+            plan = router.route(_features(positions=5000))
+            assert plan == ExecutionPlan("soa", "compiled")
+
+    def test_composite_needs_a_margin(self):
+        """A composite plan near a predicted tie loses to the best
+        simple plan; a decisive composite win is taken."""
+        spec = _toy_spec()
+        # Flat surface: batching "wins" by exactly 10% < margin.
+        spec["batch_axis"] = {
+            "work": [1, 1e6], "lanes": [2, 64],
+            "speedup": [[1.1, 1.1], [1.1, 1.1]],
+        }
+        router = Router(
+            policy="model", model=CostModel.from_spec(spec)
+        )
+        features = _features(positions=5000, lanes=8)
+        plan = router.route(features, supports_batch=True)
+        assert not plan.batch_axis
+        # A 4x predicted win clears COMPOSITE_MARGIN comfortably.
+        spec["batch_axis"]["speedup"] = [[4.0, 4.0], [4.0, 4.0]]
+        router = Router(
+            policy="model", model=CostModel.from_spec(spec)
+        )
+        plan = router.route(features, supports_batch=True)
+        assert plan.batch_axis
+        assert COMPOSITE_MARGIN > 1.0
+
+    def test_decision_counters(self):
+        router = Router(policy="static")
+        for _ in range(3):
+            router.route(_features())
+        stats = router.stats()
+        assert stats["policy"] == "static"
+        assert stats["decisions"] == 3
+        assert sum(stats["decisions_by_strategy"].values()) == 3
+        assert stats["model"]["version"]
+
+
+# ---------------------------------------------------------------------
+# Parity: every candidate plan returns the identical answer
+
+
+@settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_every_candidate_plan_is_bit_identical(
+    sinks, seed, library_size, library_seed
+):
+    """The routing contract: whatever plan the router picks, the slack,
+    assignment, driver load and DP statistics are those of the
+    object/walk reference — bit for bit, not approximately."""
+    tree = random_tree_net(sinks, seed=seed)
+    library = uniform_random_library(library_size, seed=library_seed)
+    compiled = compile_net(tree, library)
+    with auto_compile(False):
+        reference = _result_fingerprint(
+            insert_buffers(tree, library, backend="object")
+        )
+    router = Router(policy="static")
+    plans = router.candidate_plans(features_of(compiled), supports_walk=True)
+    assert len(plans) >= 2
+    for plan in plans:
+        if plan.schedule_mode == "walk":
+            with auto_compile(False):
+                result = insert_buffers(
+                    tree, library, backend=plan.backend
+                )
+        else:
+            result = insert_buffers(
+                compiled, library, backend=plan.backend
+            )
+        assert _result_fingerprint(result) == reference, plan.strategy
+
+
+@pytest.mark.skipif(
+    not batch_axis_available(), reason="batch axis needs NumPy"
+)
+@settings(
+    max_examples=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.integers(min_value=3, max_value=16),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=2, max_value=8),
+)
+def test_batch_axis_plan_is_bit_identical(sinks, seed, lanes):
+    """The batched group answer matches per-net sequential solves."""
+    from repro.core.schedule import run_compiled_group
+
+    library = paper_library(8)
+    base = random_tree_net(sinks, seed=seed)
+    nets = [
+        compile_net(tree, library)
+        for _, tree in corner_variants(base, lanes)
+    ]
+    batched = run_compiled_group(nets, library)
+    for net, result in zip(nets, batched):
+        expected = insert_buffers(net, library, backend="soa")
+        assert _result_fingerprint(result) == _result_fingerprint(expected)
+
+
+# ---------------------------------------------------------------------
+# Workload capture
+
+
+class TestWorkloadLog:
+    def test_record_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = WorkloadLog(path)
+        library = paper_library(4)
+        compiled = compile_net(random_tree_net(6, seed=3), library)
+        features = features_of(compiled)
+        plan = ExecutionPlan("object", "compiled")
+        entry = log.record(
+            "solve", digest=compiled_digest(compiled),
+            features=features, plan=plan, policy="static", seconds=0.01,
+        )
+        log.close()
+        (record,) = read_log(path)
+        assert record == entry
+        assert record["features"] == features.to_dict()
+        assert record["plan"] == plan.to_dict()
+
+    def test_features_capture_omits_payload(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = WorkloadLog(path)  # capture="features"
+        library = paper_library(4)
+        compiled = compile_net(random_tree_net(6, seed=3), library)
+        log.record(
+            "solve", digest="d", features=features_of(compiled),
+            plan=ExecutionPlan("object", "compiled"),
+            policy="static", seconds=0.01,
+            payload={"net": {"nodes": []}},
+        )
+        log.close()
+        (record,) = read_log(path)
+        assert "net" not in record
+
+    def test_bad_capture_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="capture"):
+            WorkloadLog(tmp_path / "x.jsonl", capture="everything")
+
+    def test_read_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"v": 99}\n')
+        with pytest.raises(ReplayError, match="version"):
+            read_log(path)
+        path.write_text('{"v": 1, "kind": "solve"}\n')
+        with pytest.raises(ReplayError, match="lacks"):
+            read_log(path)
+        path.write_text("not json\n")
+        with pytest.raises(ReplayError, match="not JSON"):
+            read_log(path)
+
+    def test_solver_pool_capture_is_replayable(self, tmp_path):
+        """A full-capture pool log round-trips through replay."""
+        path = tmp_path / "pool.jsonl"
+        library = paper_library(4)
+        log = WorkloadLog(path, capture="full")
+        pool = SolverPool(library, workload_log=log)
+        # Different sink counts: structurally distinct, so the pool
+        # logs two solo records rather than one lane group.
+        trees = [random_tree_net(5, seed=1), random_tree_net(7, seed=2)]
+        expected = pool.solve(trees)
+        pool.close()
+        log.close()
+
+        records = read_log(path)
+        assert len(records) == 2
+        report = replay(records, policies=("static",), repeats=1)
+        assert report["requests"] == 2
+        assert report["parity_checked"] >= 4
+        # The logged answers came from these very requests.
+        assert report["logged_seconds"] > 0.0
+        assert expected[0].slack is not None
+
+
+# ---------------------------------------------------------------------
+# Deprecation of router-bypassing overrides
+
+
+class TestDeprecations:
+    def test_parallel_override_without_policy_warns(self):
+        library = paper_library(2)
+        with pytest.warns(DeprecationWarning, match="policy"):
+            pool = SolverPool(library, parallel="never")
+        pool.close()
+
+    def test_parallel_override_with_policy_is_clean(self):
+        library = paper_library(2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pool = SolverPool(
+                library, parallel="never", policy="static"
+            )
+            pool.close()
+            pool = SolverPool(library)  # no override, no warning
+            pool.close()
+
+
+# ---------------------------------------------------------------------
+# Committed replay corpus (the tier-1 regression harness)
+
+CORPUS = "tests/data/workload_mixed.jsonl"
+
+
+class TestReplayCorpus:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from pathlib import Path
+
+        corpus = Path(__file__).parent / "data" / "workload_mixed.jsonl"
+        return replay(
+            corpus,
+            policies=(
+                "static", "model", "always_object", "always_compiled",
+            ),
+            repeats=1,
+        )
+
+    def test_corpus_shape(self, report):
+        assert report["schema_version"] == 1
+        assert report["requests"] == 40
+        kinds = [entry["kind"] for entry in report["per_request"]]
+        assert kinds.count("solve") == 24
+        assert kinds.count("batch") == 8
+        assert kinds.count("session") == 8
+
+    def test_identical_results_across_policies(self, report):
+        """replay() raises ReplayError on any parity breach, so a
+        returned report *is* the bit-identity proof; every request
+        checked at least two plans."""
+        assert report["parity_checked"] >= 2 * report["requests"]
+
+    def test_regret_accounting_is_sane(self, report):
+        oracle = report["oracle_seconds"]
+        assert oracle > 0.0
+        for name, bucket in report["policies"].items():
+            # No policy beats the oracle, and regret is exactly the
+            # gap to it (same shared measurement table).
+            assert bucket["total_seconds"] >= oracle - 1e-12
+            assert bucket["regret_seconds"] == pytest.approx(
+                bucket["total_seconds"] - oracle
+            )
+            assert bucket["regret_seconds"] >= -1e-12
+            assert bucket["speedup_vs_oracle"] <= 1.0 + 1e-9
+            assert sum(bucket["decisions_by_strategy"].values()) == 40
+        assert report["policies"]["static"]["speedup_vs_static"] == 1.0
+
+    def test_per_request_regret_consistent(self, report):
+        for entry in report["per_request"]:
+            best = entry["measured_seconds"][entry["best"]]
+            for name, chosen in entry["chosen"].items():
+                assert entry["measured_seconds"][chosen] >= best - 1e-12
+                assert entry["regret_seconds"][name] == pytest.approx(
+                    entry["measured_seconds"][chosen] - best
+                )
+
+    def test_policies_only_change_time_never_answers(self, report):
+        """Each policy's chosen plan appears in the shared measurement
+        table — pricing never executed anything unmeasured."""
+        for entry in report["per_request"]:
+            for chosen in entry["chosen"].values():
+                assert chosen in entry["measured_seconds"]

@@ -232,6 +232,7 @@ class TestStats:
         assert stats["pools"] == [{
             "algorithm": "fast",
             "backend": resolve_backend("auto"),
+            "policy": "static",
             "jobs": 1,
             "library_size": 4,
             "in_flight": 0,

@@ -23,6 +23,11 @@ regresses.  Thresholds always come from the benchmark file itself
   ``solve_group`` call than through per-net sequential solves of the
   same pre-compiled lanes (see ``benchmarks/bench_batch_axis.py``).
   Smaller cells are printed as ungated context.
+* ``BENCH_PR8.json`` (has ``routing``) — the execution-routing gate:
+  on the mixed replay corpus the ``model`` policy's total must reach
+  ``ci_gate.min_model_speedup_vs_oracle`` of the oracle (per-request
+  best measured plan) and ``ci_gate.min_model_speedup_vs_static`` of
+  the legacy static heuristics (see ``benchmarks/bench_routing.py``).
 * ``BENCH_PR7.json`` (has ``fig4_trunk``) — the partitioned-solve gate:
   at every random-topology position level with at least
   ``ci_gate.min_positions`` actual positions, the best
@@ -255,12 +260,65 @@ def check_parallel(payload: dict, path: Path) -> int:
     return 1 if failures else 0
 
 
+def check_routing(payload: dict, path: Path) -> int:
+    gate = payload["ci_gate"]
+    min_vs_oracle = gate["min_model_speedup_vs_oracle"]
+    min_vs_static = gate["min_model_speedup_vs_static"]
+
+    report = payload["routing"]
+    policies = report["policies"]
+    if "model" not in policies:
+        print("perf gate: replay report has no 'model' policy bucket")
+        return 1
+
+    oracle = report["oracle_seconds"]
+    print(
+        f"perf gate: {report['requests']} requests, "
+        f"parity checked across {report['parity_checked']} plan runs, "
+        f"oracle {oracle*1e3:.1f}ms"
+    )
+    for name, bucket in policies.items():
+        print(
+            f"perf gate:   {name:<16}"
+            f" {bucket['total_seconds']*1e3:9.1f}ms"
+            f"  vs-oracle {bucket['speedup_vs_oracle']:5.2f}x"
+            f"  vs-static {bucket['speedup_vs_static']:5.2f}x"
+        )
+
+    failures = 0
+    model = policies["model"]
+    vs_oracle = model["speedup_vs_oracle"]
+    verdict = "ok" if vs_oracle >= min_vs_oracle else "FAIL"
+    if verdict == "FAIL":
+        failures += 1
+    print(
+        f"perf gate: model vs oracle {vs_oracle:.3f} "
+        f"(floor {min_vs_oracle:.2f})  {verdict}"
+    )
+    vs_static = model["speedup_vs_static"]
+    verdict = "ok" if vs_static >= min_vs_static else "FAIL"
+    if verdict == "FAIL":
+        failures += 1
+    print(
+        f"perf gate: model vs static {vs_static:.3f} "
+        f"(floor {min_vs_static:.2f})  {verdict}"
+    )
+    if failures:
+        print(
+            f"perf gate: {failures} routing threshold(s) missed — the "
+            "model policy is leaving measured wall time on the table"
+        )
+    return 1 if failures else 0
+
+
 def check(path: Path) -> int:
     payload = json.loads(path.read_text())
     if not payload.get("ci_gate"):
         print(f"perf gate: {path} has no ci_gate section")
         return 1
     print(f"perf gate: {path}")
+    if "routing" in payload:
+        return check_routing(payload, path)
     if "incremental" in payload:
         return check_incremental(payload, path)
     if "fig4_trunk" in payload:
