@@ -113,6 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "this single net, >= 1 (default 1 = serial; "
                           "large nets are cut into balanced subtrees "
                           "solved concurrently, bit-identical result)")
+    buf.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                     help="wall-clock budget for the solve in "
+                          "milliseconds; exceeding it aborts with exit "
+                          "code 2 (default: no deadline)")
     buf.add_argument("--output", type=Path,
                      help="write the buffer assignment JSON here")
     buf.add_argument("--show-tree", action="store_true",
@@ -138,6 +142,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "corners and buffer all replicas (corner "
                             "groups ride the batch-axis engine on the "
                             "soa backend)")
+    batch.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="wall-clock budget for the whole batch in "
+                            "milliseconds; exceeding it aborts with exit "
+                            "code 2 (default: no deadline)")
     batch.add_argument("--output", type=Path,
                        help="write per-net results JSON here")
 
@@ -206,6 +215,30 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="PATH",
                        help="append one JSONL record per routed solve "
                             "here ('repro replay' re-runs it offline)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="solve dispatches allowed to run "
+                            "concurrently (default 8)")
+    serve.add_argument("--max-queue-depth", type=int, default=32,
+                       metavar="N",
+                       help="requests allowed to wait for an admission "
+                            "slot before the server sheds load with a "
+                            "503 + Retry-After (default 32; 0 sheds "
+                            "immediately when saturated)")
+    serve.add_argument("--max-request-bytes", type=int,
+                       default=64 * 1024 * 1024, metavar="BYTES",
+                       help="request-body size cap; larger bodies are "
+                            "rejected with a 413 (default 64 MiB)")
+    serve.add_argument("--max-positions", type=int, default=None,
+                       metavar="N",
+                       help="per-net cap on buffer positions; larger "
+                            "nets are rejected with a 422 (default: "
+                            "unlimited)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="default per-request solve deadline in "
+                            "milliseconds, answered with a 504 when "
+                            "exceeded; a request's own deadline_ms "
+                            "overrides it (default: no deadline)")
 
     replay = sub.add_parser(
         "replay",
@@ -256,6 +289,10 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
         print(f"buffer: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
         return 2
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        print(f"buffer: --deadline-ms must be > 0, got {args.deadline_ms}",
+              file=sys.stderr)
+        return 2
     tree = load_tree(args.net)
     library = library_from_dict(json.loads(args.library.read_text()))
     options = {}
@@ -265,26 +302,51 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         options["destructive_pruning"] = True
-    if args.jobs > 1:
-        from repro.parallel import solve_partitioned
+    from repro.errors import DeadlineExceeded, WorkerCrashError
+    from repro.resilience import Deadline
 
-        report: dict = {}
-        result = solve_partitioned(
-            tree, library, algorithm=args.algorithm, backend=args.backend,
-            jobs=args.jobs, options=options, report=report,
-        )
-        if report["engaged"]:
-            print(f"partitioned solve: {report['partitions']} partitions "
-                  f"across {report['workers']} workers, "
-                  f"coverage {report['coverage']:.0%}, "
-                  f"pool utilization {report['pool_utilization']:.0%}")
+    deadline = (
+        Deadline.from_ms(args.deadline_ms)
+        if args.deadline_ms is not None else None
+    )
+    try:
+        if args.jobs > 1:
+            from repro.parallel import solve_partitioned
+
+            report: dict = {}
+            try:
+                result = solve_partitioned(
+                    tree, library, algorithm=args.algorithm,
+                    backend=args.backend, jobs=args.jobs, options=options,
+                    report=report, deadline=deadline,
+                )
+            except WorkerCrashError as exc:
+                # The partitioned result is bit-identical to the serial
+                # one by construction, so a crashed pool degrades to
+                # the same answer — slower, never different.
+                print(f"buffer: {exc}; retrying serially", file=sys.stderr)
+                report = {"engaged": False,
+                          "reason": "worker crash, degraded to serial"}
+                result = insert_buffers(
+                    tree, library, algorithm=args.algorithm,
+                    backend=args.backend, deadline=deadline, **options,
+                )
+            if report["engaged"]:
+                print(f"partitioned solve: {report['partitions']} partitions "
+                      f"across {report['workers']} workers, "
+                      f"coverage {report['coverage']:.0%}, "
+                      f"pool utilization {report['pool_utilization']:.0%}")
+            else:
+                print(f"partitioned solve fell back to serial: "
+                      f"{report['reason']}")
+            print()
         else:
-            print(f"partitioned solve fell back to serial: "
-                  f"{report['reason']}")
-        print()
-    else:
-        result = insert_buffers(tree, library, algorithm=args.algorithm,
-                                backend=args.backend, **options)
+            result = insert_buffers(tree, library, algorithm=args.algorithm,
+                                    backend=args.backend, deadline=deadline,
+                                    **options)
+    except DeadlineExceeded as exc:
+        print(f"buffer: {exc}", file=sys.stderr)
+        return 2
     print(full_report(tree, result))
     if args.show_tree:
         print()
@@ -322,6 +384,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"batch: --corners must be >= 0, got {args.corners}",
               file=sys.stderr)
         return 2
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        print(f"batch: --deadline-ms must be > 0, got {args.deadline_ms}",
+              file=sys.stderr)
+        return 2
     library = library_from_dict(json.loads(args.library.read_text()))
     loaded = [load_tree(path) for path in args.nets]
     if args.corners >= 1:
@@ -337,9 +403,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         labels = [path.name for path in args.nets]
         trees = loaded
     jobs = args.jobs
+    from repro.errors import DeadlineExceeded
+    from repro.resilience import Deadline
+
+    deadline = (
+        Deadline.from_ms(args.deadline_ms)
+        if args.deadline_ms is not None else None
+    )
     started = time.perf_counter()
-    results = solve_many(trees, library, algorithm=args.algorithm,
-                         jobs=jobs, backend=args.backend)
+    try:
+        results = solve_many(trees, library, algorithm=args.algorithm,
+                             jobs=jobs, backend=args.backend,
+                             deadline=deadline)
+    except DeadlineExceeded as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - started
 
     header = f"{'net':<28}{'n':>7}{'slack (ps)':>13}{'buffers':>9}"
@@ -511,6 +589,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: --parallel-threshold must be >= 1, "
               f"got {args.parallel_threshold}", file=sys.stderr)
         return 2
+    if args.max_inflight < 1:
+        print(f"serve: --max-inflight must be >= 1, got {args.max_inflight}",
+              file=sys.stderr)
+        return 2
+    if args.max_queue_depth < 0:
+        print(f"serve: --max-queue-depth must be >= 0, "
+              f"got {args.max_queue_depth}", file=sys.stderr)
+        return 2
+    if args.max_request_bytes < 1:
+        print(f"serve: --max-request-bytes must be >= 1, "
+              f"got {args.max_request_bytes}", file=sys.stderr)
+        return 2
+    if args.max_positions is not None and args.max_positions < 1:
+        print(f"serve: --max-positions must be >= 1, "
+              f"got {args.max_positions}", file=sys.stderr)
+        return 2
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        print(f"serve: --deadline-ms must be > 0, got {args.deadline_ms}",
+              file=sys.stderr)
+        return 2
     if args.policy is not None:
         from repro.routing.router import validate_policy
 
@@ -531,7 +629,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           workload_log=(
               str(args.workload_log) if args.workload_log is not None
               else None
-          ))
+          ),
+          max_inflight=args.max_inflight,
+          max_queue_depth=args.max_queue_depth,
+          max_request_bytes=args.max_request_bytes,
+          max_positions=args.max_positions,
+          deadline_ms=args.deadline_ms)
     return 0
 
 

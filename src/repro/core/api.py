@@ -28,6 +28,7 @@ from repro.core.schedule import CompiledNet
 from repro.core.solution import BufferingResult
 from repro.core.stores import resolve_backend
 from repro.library.library import BufferLibrary
+from repro.resilience.deadline import Deadline, deadline_scope
 from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
 
@@ -64,6 +65,7 @@ def insert_buffers(
     driver: Optional[Driver] = None,
     backend: str = "auto",
     policy: Optional[str] = None,
+    deadline: Optional[Deadline] = None,
     **options,
 ) -> BufferingResult:
     """Maximize slack by optimal buffer insertion.
@@ -106,6 +108,12 @@ def insert_buffers(
             ``"static"``, ``"model"``, or an ``always_*`` escape hatch
             (see :mod:`repro.routing.router`).  ``None`` follows the
             process default (:func:`repro.routing.router.default_policy`).
+        deadline: Optional per-request wall budget
+            (:class:`repro.resilience.Deadline`).  Checked cooperatively
+            at instruction-range boundaries; an expired deadline raises
+            :class:`~repro.errors.DeadlineExceeded` instead of returning
+            a partial result.  Deadlines never change a completed
+            result.
         **options: Algorithm-specific flags.
 
     Returns:
@@ -116,6 +124,12 @@ def insert_buffers(
             options, or a compiled net whose library does not match.
         ValueError: Unknown ``policy``.
     """
+    if deadline is not None:
+        with deadline_scope(deadline):
+            return insert_buffers(
+                tree, library, algorithm=algorithm, driver=driver,
+                backend=backend, policy=policy, **options,
+            )
     strategy = get_algorithm(algorithm)
     strategy.validate_options(options)
     if backend == "auto" or policy is not None:

@@ -52,8 +52,12 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 from repro.core.schedule import CompiledNet, compile_net, group_signature
 from repro.core.solution import BufferingResult
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, DeadlineExceeded, WorkerHangError
 from repro.library.library import BufferLibrary
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.deadline import Deadline, active_deadline, deadline_scope
+from repro.resilience.faults import inject as _inject_fault
+from repro.resilience.supervisor import Supervisor, is_supervisable
 from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
 
@@ -72,6 +76,13 @@ def _init_worker(
     backend: str,
     options: dict,
 ) -> None:
+    # A fork during a deadline-scoped dispatch (lazy pool creation or a
+    # supervised respawn) copies the parent thread's thread-locals into
+    # the child; a request-scoped budget must not outlive its request
+    # inside a pooled worker.
+    from repro.resilience.deadline import reset_active_deadline
+
+    reset_active_deadline()
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = {
         "library": library,
@@ -112,6 +123,7 @@ def _solve_task(nets: List[CompiledNet]) -> List[BufferingResult]:
     The parent only forms multi-net tasks when its context supports the
     batch-axis engine, so the worker can dispatch on length alone.
     """
+    _inject_fault("worker.task")
     context = _WORKER_CONTEXT
     assert context is not None, "worker used before initialization"
     if len(nets) == 1:
@@ -235,6 +247,23 @@ class SolverPool:
             append JSONL records to.  Every execution unit (solo solve,
             batch-axis group, partitioned solve) is recorded with its
             features, chosen plan and measured seconds.
+        task_timeout: Per-task seconds before a worker dispatch is
+            declared *hung* and supervised recovery kicks in
+            (``None``, the default, never times out on its own — an
+            ambient :class:`~repro.resilience.Deadline` still bounds
+            every wait).  A dead worker under ``multiprocessing.Pool``
+            does not raise — the pool silently repopulates and the
+            in-flight map blocks forever — so this timeout is also the
+            *crash* detector for the multi-process paths.
+        max_retries: Supervised dispatch attempts after the first
+            failure; exhausting them degrades to the bit-identical
+            in-process fallback instead of failing the solve (see
+            :mod:`repro.resilience.supervisor`).
+        breaker_threshold / breaker_reset_seconds: Circuit-breaker
+            tuning for the ``parallel`` / ``batch_axis`` strategy axes
+            (:mod:`repro.resilience.breaker`): consecutive failures
+            that trip an axis, and the cool-down before a half-open
+            probe.
         **options: Algorithm-specific flags.
 
     Raises:
@@ -261,6 +290,10 @@ class SolverPool:
         parallel_threshold: Optional[int] = None,
         policy: Optional[str] = None,
         workload_log=None,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 30.0,
         **options,
     ) -> None:
         from repro.core.registry import get_algorithm
@@ -316,6 +349,16 @@ class SolverPool:
             "last": None,
         }
         self.options = dict(options)
+        self.task_timeout = task_timeout
+        self.supervisor = Supervisor(max_retries=max_retries)
+        self.breakers = BreakerBoard(
+            failure_threshold=breaker_threshold,
+            reset_seconds=breaker_reset_seconds,
+        )
+        self._resilience_counters = {
+            "batch_group_fallbacks": 0,
+            "partitioned_fallbacks": 0,
+        }
         self._pool = None  # created lazily on the first multi-process solve
         self._closed = False
         self._batch_axis = self._context_supports_batch_axis()
@@ -423,6 +466,7 @@ class SolverPool:
         self,
         nets: Sequence[Union[RoutingTree, CompiledNet]],
         chunksize: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List[BufferingResult]:
         """Buffer every net in ``nets``; results in input order.
 
@@ -450,9 +494,24 @@ class SolverPool:
         :class:`~repro.routing.router.Router` (``policy=``): the
         default ``static`` policy reproduces the historical heuristics
         exactly, ``model`` asks the cost model per request.
+
+        ``deadline`` installs a per-call wall budget
+        (:class:`~repro.resilience.Deadline`) for the duration of the
+        solve — checked cooperatively by every execution strategy and
+        used to bound worker-pool waits; expiry raises
+        :class:`~repro.errors.DeadlineExceeded`, never a partial
+        result.  Dispatch failures (dead or hung workers, when
+        ``task_timeout`` is set) are supervised: the pool is respawned
+        and the work retried, then degraded to the bit-identical
+        in-process path (see :meth:`resilience_stats`).
         """
         if self._closed:
             raise RuntimeError("SolverPool is closed")
+        if deadline is not None:
+            # Install ambiently so the interpreter loops (this thread)
+            # and the pool-wait bounds all see it.
+            with deadline_scope(deadline):
+                return self.solve(nets, chunksize=chunksize)
         from repro.routing.features import features_of
 
         compiled = [self.compile(net) for net in nets]
@@ -461,17 +520,24 @@ class SolverPool:
         routed: List[int] = []
         if self.jobs > 1:
             # Partitioning needs the subtree range maps, which only
-            # locally compiled schedules carry.
+            # locally compiled schedules carry.  A tripped "parallel"
+            # breaker masks the capability so routing skips the
+            # strategy (half-open grants one probe).
+            parallel_ok = self.breakers.allow("parallel")
             for index, net in enumerate(compiled):
                 if not net.final_of_node:
                     continue
                 features = features_of(net, self.library, jobs=self.jobs)
                 plan = self.router.route(
-                    features, backend=self.backend, supports_parallel=True
+                    features, backend=self.backend,
+                    supports_parallel=parallel_ok,
                 )
                 plans[index] = plan
                 if plan.parallel:
                     routed.append(index)
+            if parallel_ok and not routed:
+                # The half-open probe (if any) was never exercised.
+                self.breakers.cancel("parallel")
         results: List[Optional[BufferingResult]] = [None] * len(compiled)
         routed_set = set(routed)
         plain = [
@@ -564,7 +630,12 @@ class SolverPool:
         from repro.routing.features import features_of
         from repro.routing.router import ExecutionPlan
 
+        batch_ok = False
         if self._batch_axis and len(compiled) > 1:
+            # A tripped "batch_axis" breaker degrades every group to
+            # singletons (bit-identical, just unbatched).
+            batch_ok = self.breakers.allow("batch_axis")
+        if batch_ok:
             groups = _group_indices(compiled)
         else:
             groups = [[index] for index in range(len(compiled))]
@@ -611,6 +682,9 @@ class SolverPool:
             exec_groups.append([index])
             unit_plans.append(plan)
             unit_features.append(features)
+        if batch_ok and not any(len(ix) > 1 for ix in exec_groups):
+            # Probe consumed but no group dispatched: return the token.
+            self.breakers.cancel("batch_axis")
         return exec_groups, unit_plans, unit_features
 
     def _solve_plain(
@@ -636,8 +710,17 @@ class SolverPool:
         ]
         if chunksize is None:
             chunksize = max(1, len(items) // (self.jobs * 4))
-        nested = self._ensure_pool().map(
-            _solve_task, items, chunksize=chunksize
+        # Any multi-lane task makes this dispatch count against the
+        # batch-axis breaker; singleton-only dispatches are pool-level
+        # failures, not a strategy's.
+        axis = (
+            "batch_axis"
+            if any(len(ix) > 1 for ix in exec_groups) else None
+        )
+        nested = self._supervised_map(
+            _solve_task, items, chunksize, axis=axis,
+            site="batch.dispatch", inject_site="batch.dispatch",
+            fallback=lambda: self._solve_items_inline(items),
         )
         results: List[Optional[BufferingResult]] = [None] * len(compiled)
         with self._serial_lock:
@@ -675,11 +758,37 @@ class SolverPool:
         # Pool.map is safe to call while holding it.
         with self._serial_lock:
             start = time.perf_counter()
-            result = solve_partitioned(
-                net, self.library, algorithm=self.algorithm,
-                driver=self.driver, backend=self.backend,
-                options=self.options, pool=self, report=report,
-            )
+            try:
+                result = solve_partitioned(
+                    net, self.library, algorithm=self.algorithm,
+                    driver=self.driver, backend=self.backend,
+                    options=self.options, pool=self, report=report,
+                )
+            except Exception as exc:
+                # Safety net under the supervised dispatch: any
+                # supervisable failure that still escapes degrades to
+                # the bit-identical serial solve; real errors (and
+                # DeadlineExceeded) propagate.
+                if not is_supervisable(exc):
+                    raise
+                self.breakers.record("parallel", False)
+                self._resilience_counters["partitioned_fallbacks"] += 1
+                report["engaged"] = False
+                report["reason"] = f"degraded after worker failure: {exc}"
+                from repro.core.api import insert_buffers
+
+                result = insert_buffers(
+                    net, self.library, algorithm=self.algorithm,
+                    driver=self.driver, backend=self.backend,
+                    **self.options,
+                )
+            else:
+                if report.get("engaged"):
+                    self.breakers.record("parallel", True)
+                else:
+                    # Planner fell back serially: the strategy was
+                    # never exercised, so a half-open probe returns.
+                    self.breakers.cancel("parallel")
             elapsed = time.perf_counter() - start
             stats = self._parallel_stats
             if report["engaged"]:
@@ -696,10 +805,143 @@ class SolverPool:
         return result
 
     def _map_partition_tasks(self, tasks: list) -> list:
-        """Dispatch partition tasks on the persistent worker pool."""
-        from repro.parallel.worker import _solve_partition
+        """Dispatch partition tasks on the persistent pool, supervised.
 
-        return self._ensure_pool().map(_solve_partition, tasks, chunksize=1)
+        After retries, degrades to solving the cut extracts inline —
+        the exact ``jobs=1`` path, so the spliced result stays
+        bit-identical.  Called with the serial lock held (from
+        :meth:`_solve_partitioned_net`), which the inline fallback
+        relies on: it must not re-acquire it.
+        """
+        from repro.parallel.worker import _solve_partition, solve_subschedule
+
+        def fallback() -> list:
+            self._resilience_counters["partitioned_fallbacks"] += 1
+            return [
+                (index, solve_subschedule(
+                    sub, root_id, self.library, self.algorithm,
+                    self.backend, self.options,
+                ), 0.0)
+                for index, root_id, sub in tasks
+            ]
+
+        return self._supervised_map(
+            _solve_partition, tasks, 1, axis="parallel",
+            site="parallel.dispatch", fallback=fallback,
+        )
+
+    def _supervised_map(
+        self,
+        func,
+        items: list,
+        chunksize: int,
+        axis: Optional[str] = None,
+        site: str = "batch.dispatch",
+        inject_site: Optional[str] = None,
+        fallback=None,
+    ) -> list:
+        """``pool.map`` under supervision: detect, respawn, retry, degrade.
+
+        ``multiprocessing.Pool`` never raises on abrupt worker death —
+        it repopulates the worker and the in-flight map blocks forever —
+        so detection is ``map_async(...).get(timeout)`` with the timeout
+        derived from ``task_timeout`` (scaled by the number of dispatch
+        waves) and clipped to the ambient deadline.  On a supervisable
+        failure the pool is terminated and respawned, the dispatch
+        retried with backoff, and after ``max_retries`` the caller's
+        in-process ``fallback`` (bit-identical) runs instead.  ``axis``
+        names the circuit breaker that observes each failure and the
+        final outcome.
+        """
+        import multiprocessing
+
+        deadline = active_deadline()
+        used_fallback = [False]
+
+        def attempt() -> list:
+            if inject_site is not None:
+                _inject_fault(inject_site)
+            async_result = self._ensure_pool().map_async(
+                func, items, chunksize=chunksize
+            )
+            timeout = self._map_timeout(len(items), deadline)
+            if timeout is None:
+                return async_result.get()
+            try:
+                return async_result.get(timeout)
+            except multiprocessing.TimeoutError:
+                if deadline is not None and deadline.expired():
+                    raise DeadlineExceeded(site, deadline.budget) from None
+                raise WorkerHangError(
+                    f"{len(items)}-task dispatch at {site} exceeded "
+                    f"{timeout:.2f}s (dead or hung worker)"
+                ) from None
+
+        def wrapped_fallback() -> list:
+            used_fallback[0] = True
+            return fallback()
+
+        result = self.supervisor.run(
+            attempt,
+            respawn=self._respawn_pool,
+            fallback=wrapped_fallback if fallback is not None else None,
+            deadline=deadline,
+            on_failure=(
+                (lambda exc: self.breakers.record(axis, False))
+                if axis is not None else None
+            ),
+        )
+        if axis is not None and not used_fallback[0]:
+            self.breakers.record(axis, True)
+        return result
+
+    def _map_timeout(
+        self, n_items: int, deadline: Optional[Deadline]
+    ) -> Optional[float]:
+        """The wait bound for one dispatch of ``n_items`` tasks.
+
+        ``task_timeout`` is per *task*; a map runs tasks in waves of
+        ``jobs``, so the whole-map bound scales by the wave count.
+        """
+        timeout = None
+        if self.task_timeout is not None:
+            waves = max(1, -(-n_items // max(self.jobs, 1)))
+            timeout = self.task_timeout * waves
+        if deadline is not None:
+            remaining = max(deadline.remaining(), 0.0)
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        return timeout
+
+    def _respawn_pool(self) -> None:
+        """Kill the worker pool; the next dispatch recreates it fresh."""
+        with self._create_lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+
+    def _solve_items_inline(self, items: list) -> list:
+        """Degraded dispatch: solve every task's nets in this process.
+
+        The supervised fallback after worker recovery fails.  Groups
+        are unbatched to plain per-net solves — the simplest healthy
+        path, bit-identical to the worker result by the parity
+        doctrine (every strategy returns identical bits).
+        """
+        from repro.core.api import insert_buffers
+
+        nested = []
+        with self._serial_lock:
+            for nets in items:
+                nested.append([
+                    insert_buffers(
+                        net, self.library, algorithm=self.algorithm,
+                        driver=self.driver, backend=self.backend,
+                        **self.options,
+                    )
+                    for net in nets
+                ])
+        return nested
 
     def parallel_stats(self) -> dict:
         """Partitioned-solve counters for this pool (``/stats`` block).
@@ -738,11 +980,29 @@ class SolverPool:
             if len(indices) > 1:
                 lanes = len(indices)
                 start = time.perf_counter()
-                group_results = run_compiled_group(
-                    [compiled[index] for index in indices], self.library,
-                    algorithm=self.algorithm, driver=self.driver,
-                    options=self.options, factory=self._factory_for(lanes),
-                )
+                try:
+                    _inject_fault("batch.group")
+                    group_results = run_compiled_group(
+                        [compiled[index] for index in indices], self.library,
+                        algorithm=self.algorithm, driver=self.driver,
+                        options=self.options,
+                        factory=self._factory_for(lanes),
+                    )
+                except Exception as exc:
+                    if not is_supervisable(exc):
+                        raise
+                    self.breakers.record("batch_axis", False)
+                    self._resilience_counters["batch_group_fallbacks"] += 1
+                    group_results = [
+                        insert_buffers(
+                            compiled[index], self.library,
+                            algorithm=self.algorithm, driver=self.driver,
+                            backend=plan.backend, **self.options,
+                        )
+                        for index in indices
+                    ]
+                else:
+                    self.breakers.record("batch_axis", True)
                 elapsed = time.perf_counter() - start
                 for index, result in zip(indices, group_results):
                     results[index] = result
@@ -766,6 +1026,40 @@ class SolverPool:
                     capture,
                 )
         return results  # type: ignore[return-value]
+
+    def resilience_stats(self) -> dict:
+        """Supervision and breaker counters (``/stats`` block).
+
+        ``supervisor`` aggregates retries / respawns / fallbacks across
+        every supervised dispatch; ``breakers`` reports each strategy
+        axis's state machine; the ``*_fallbacks`` counters say how many
+        execution units degraded to the bit-identical in-process path.
+        """
+        stats = {
+            "supervisor": self.supervisor.stats(),
+            "breakers": self.breakers.stats(),
+            "task_timeout": self.task_timeout,
+        }
+        stats.update(self._resilience_counters)
+        return stats
+
+    def worker_health(self) -> dict:
+        """Worker-process liveness (the deep-healthz ``workers`` view).
+
+        ``workers_alive`` counts live processes of the lazily created
+        pool; before the first multi-process solve (or with ``jobs=1``)
+        there is nothing to probe and ``pool_created`` is ``False``.
+        """
+        with self._create_lock:
+            procs = getattr(self._pool, "_pool", None)
+            return {
+                "jobs": self.jobs,
+                "pool_created": self._pool is not None,
+                "workers_alive": (
+                    sum(1 for proc in procs if proc.is_alive())
+                    if procs else 0
+                ),
+            }
 
     def routing_stats(self) -> dict:
         """Routing decisions and model telemetry (``/stats`` block)."""
@@ -825,6 +1119,7 @@ def solve_many(
     chunksize: Optional[int] = None,
     precompile: bool = True,
     policy: Optional[str] = None,
+    deadline: Optional[Deadline] = None,
     **options,
 ) -> List[BufferingResult]:
     """Buffer every net in ``trees``, optionally across processes.
@@ -850,6 +1145,9 @@ def solve_many(
             ``False`` ships the object trees, as earlier releases did.
         policy: Routing policy (see :class:`SolverPool`); ``None``
             follows the process default.
+        deadline: Optional wall-clock budget covering the whole call
+            (see :meth:`SolverPool.solve`); exceeding it raises
+            :class:`~repro.errors.DeadlineExceeded`.
         **options: Algorithm-specific flags (e.g.
             ``destructive_pruning=True`` for ``"fast"``).
 
@@ -889,11 +1187,11 @@ def solve_many(
             library, algorithm=algorithm, jobs=1, driver=driver,
             backend=backend, policy=policy, **options,
         ) as pool:
-            return pool.solve(nets)
+            return pool.solve(nets, deadline=deadline)
 
     # jobs > 1 and len(nets) > 1: a one-shot pool, torn down on return.
     with SolverPool(
         library, algorithm=algorithm, jobs=jobs, driver=driver,
         backend=backend, policy=policy, **options,
     ) as pool:
-        return pool.solve(nets, chunksize=chunksize)
+        return pool.solve(nets, chunksize=chunksize, deadline=deadline)

@@ -82,6 +82,7 @@ from repro.core.schedule import (
 from repro.core.solution import BufferingResult, DPStats
 from repro.errors import AlgorithmError
 from repro.library.library import BufferLibrary
+from repro.resilience.deadline import active_deadline
 from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
 
@@ -207,6 +208,7 @@ def _execute_schedule(
     pop = stack.pop
     peak = 0
     generated = 0
+    deadline = active_deadline()
 
     for op, arg in steps:
         code = op & 3
@@ -238,8 +240,14 @@ def _execute_schedule(
             if current is not top:
                 release(top)
                 stack[-1] = current
-        if op & OP_FINAL and len(current) > peak:
-            peak = len(current)
+        if op & OP_FINAL:
+            # Instruction-range boundary: one per tree node.  The
+            # deadline poll costs a single is-not-None test when no
+            # deadline is installed.
+            if len(current) > peak:
+                peak = len(current)
+            if deadline is not None:
+                deadline.check("dp.schedule")
 
     assert len(stack) == 1, "schedule must reduce to the root list"
     return stack[0], peak, generated
@@ -303,16 +311,21 @@ def _run_compiled(
     )
 
     started = time.perf_counter()
-    root_list, peak_length, candidates_generated = _execute_schedule(
-        compiled, plans, sink_op, wire_op, merge_op, add_buffer, release
-    )
-    result = _finish(
-        root_list, best_op, release, driver, algorithm,
-        compiled.num_buffer_positions, library, peak_length,
-        candidates_generated, started, backend,
-    )
-    if factory is not None:
-        factory.end_solve()
+    try:
+        root_list, peak_length, candidates_generated = _execute_schedule(
+            compiled, plans, sink_op, wire_op, merge_op, add_buffer, release
+        )
+        result = _finish(
+            root_list, best_op, release, driver, algorithm,
+            compiled.num_buffer_positions, library, peak_length,
+            candidates_generated, started, backend,
+        )
+    finally:
+        # Also runs after a DeadlineExceeded abort: the next
+        # begin_solve resets the arena, but releasing the tape now
+        # keeps an aborted solve from pinning its provenance.
+        if factory is not None:
+            factory.end_solve()
     return result
 
 
@@ -395,8 +408,11 @@ def run_dynamic_program(
     lists: Dict[int, object] = {}
     peak_length = 0
     candidates_generated = 0
+    deadline = active_deadline()
 
     for node_id in tree.postorder():
+        if deadline is not None:
+            deadline.check("dp.walk")
         node = tree.node(node_id)
         if node.is_sink:
             current = sink_op(node_id, node.required_arrival, node.capacitance)

@@ -93,6 +93,7 @@ from repro.core.stores.soa import (
     prime_plan_kernels,
 )
 from repro.errors import AlgorithmError
+from repro.resilience.deadline import active_deadline
 
 
 def batch_axis_available() -> bool:
@@ -824,6 +825,7 @@ def solve_group(
     ]
 
     factory.begin_solve()
+    deadline = active_deadline()
     started = time.perf_counter()
     stack: List[BatchedSoAStore] = []
     peak = np.zeros(lanes, dtype=np.intp)
@@ -863,6 +865,8 @@ def solve_group(
                 generated += scratch_counts
             if op & 4:  # OP_FINAL
                 np.maximum(peak, current.n, out=peak)
+                if deadline is not None:
+                    deadline.check("batch_axis.group")
     root = stack.pop()
     assert not stack, "schedule left operands on the stack"
     elapsed = time.perf_counter() - started

@@ -48,6 +48,66 @@ class EditError(ReproError):
     """An incremental edit is malformed or does not apply to the net."""
 
 
+class DeadlineExceeded(ReproError):
+    """A solve ran past its request deadline and was aborted.
+
+    Raised cooperatively at instruction-range boundaries of every
+    execution strategy (:mod:`repro.resilience.deadline`); the serving
+    layer maps it to HTTP 504.  A deadline never changes a result —
+    either the bit-identical answer arrives in time or this is raised.
+    """
+
+    def __init__(self, site: str = "", budget: float = 0.0) -> None:
+        detail = f" at {site}" if site else ""
+        super().__init__(
+            f"deadline of {budget * 1e3:.1f} ms exceeded{detail}"
+        )
+        self.site = site
+        self.budget = budget
+
+    def __reduce__(self):
+        # Default Exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``, which would re-wrap the message
+        # as a site when the error crosses a worker-pool boundary.
+        return (type(self), (self.site, self.budget))
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died (or its pool broke) with tasks in flight.
+
+    ``cuts`` names the partition cut node ids that were dispatched when
+    the pool broke (empty for plain batch tasks); supervised callers
+    catch this, respawn and retry, then degrade to the bit-identical
+    in-process fallback (:mod:`repro.resilience.supervisor`).
+    """
+
+    def __init__(self, message: str, cuts: tuple = ()) -> None:
+        super().__init__(message)
+        self.cuts = tuple(cuts)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.cuts))
+
+
+class WorkerHangError(WorkerCrashError):
+    """A worker task exceeded its per-task timeout (hung, not crashed)."""
+
+
+class FaultInjectedError(ReproError):
+    """A deterministic fault-injection site fired its ``error`` kind.
+
+    Only ever raised when a :class:`repro.resilience.faults.FaultPlan`
+    is installed; production code never constructs one spontaneously.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at site {site!r}")
+        self.site = site
+
+    def __reduce__(self):
+        return (type(self), (self.site,))
+
+
 class InfeasibleError(AlgorithmError):
     """The instance admits no solution candidate at all.
 

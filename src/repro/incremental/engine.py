@@ -78,6 +78,7 @@ from repro.incremental.edits import (
 )
 from repro.incremental.subtree_cache import FrontierCache, FrontierSnapshot
 from repro.library.library import BufferLibrary
+from repro.resilience.deadline import active_deadline
 from repro.service.canon import (
     digest_body,
     edge_entry,
@@ -511,6 +512,7 @@ class IncrementalSolver:
         i = 0
         total = len(steps)
         current = None
+        deadline = active_deadline()
         while i < total:
             nodes_here = probes.get(i)
             if nodes_here is not None:
@@ -568,6 +570,8 @@ class IncrementalSolver:
                 length = len(current)
                 if length > peaks[-1]:
                     peaks[-1] = length
+                if deadline is not None:
+                    deadline.check("incremental.resolve")
                 if capture:
                     node = final_node[i]
                     key = (digest[node], context)

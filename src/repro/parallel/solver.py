@@ -42,8 +42,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.schedule import OP_FINAL, OP_MERGE, OP_SINK, OP_WIRE, CompiledNet
 from repro.core.solution import BufferingResult
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, DeadlineExceeded, WorkerCrashError
 from repro.library.library import BufferLibrary
+from repro.resilience.deadline import Deadline, active_deadline, deadline_scope
+from repro.resilience.faults import inject as _inject_fault
 from repro.parallel.partition import PartitionPlan, plan_partitions
 from repro.parallel.worker import _solve_partition, solve_subschedule
 from repro.tree.node import Driver
@@ -70,6 +72,7 @@ def solve_partitioned(
     pool=None,
     plan: Optional[PartitionPlan] = None,
     report: Optional[dict] = None,
+    deadline: Optional[Deadline] = None,
 ) -> BufferingResult:
     """Solve one net across workers; bit-identical to the serial solve.
 
@@ -95,14 +98,30 @@ def solve_partitioned(
             ``coverage``, ``residual_fraction``, ``plan_seconds``,
             ``dispatch_seconds``, ``worker_busy_seconds``,
             ``pool_utilization``, ``workers``.
+        deadline: Optional wall budget
+            (:class:`repro.resilience.Deadline`); bounds worker waits
+            and the residual replay, never changes a completed result.
 
     Raises:
         AlgorithmError: Bad context, or a compiled net without range
             maps.
+        WorkerCrashError: The transient worker pool broke (a worker
+            died abruptly); ``.cuts`` names the cut node ids that were
+            in flight.  Supervised callers (``SolverPool``) catch this
+            and degrade to the serial plan.
+        DeadlineExceeded: The deadline expired mid-solve.
     """
     from repro.core.batch import SolverPool, _init_worker, _resolve_jobs
     from repro.core.registry import get_algorithm
     from repro.core.stores import get_store_backend, resolve_backend
+
+    if deadline is not None:
+        with deadline_scope(deadline):
+            return solve_partitioned(
+                net, library, algorithm=algorithm, driver=driver,
+                backend=backend, jobs=jobs, options=options, pool=pool,
+                plan=plan, report=report,
+            )
 
     get_algorithm(algorithm).validate_options(options or {})
     backend = resolve_backend(backend)
@@ -179,18 +198,15 @@ def solve_partitioned(
         for index in order
     ]
 
+    _inject_fault("parallel.dispatch")
     dispatch_started = time.perf_counter()
     if pool is not None and jobs > 1:
         raw = pool._map_partition_tasks(tasks)
     elif jobs > 1:
-        import multiprocessing
-
-        with multiprocessing.Pool(
-            processes=jobs,
-            initializer=_init_worker,
-            initargs=(library, algorithm, driver, backend, options),
-        ) as transient:
-            raw = transient.map(_solve_partition, tasks, chunksize=1)
+        raw = _dispatch_transient(
+            tasks, jobs, library, algorithm, driver, backend, options,
+            _init_worker,
+        )
     else:
         raw = [
             (index, solve_subschedule(
@@ -214,6 +230,62 @@ def solve_partitioned(
         compiled, plan, snapshots, library, algorithm, backend, options,
         driver, started,
     )
+
+
+def _dispatch_transient(
+    tasks: List[tuple],
+    jobs: int,
+    library: BufferLibrary,
+    algorithm: str,
+    driver: Optional[Driver],
+    backend: str,
+    options: dict,
+    init_worker,
+) -> List[tuple]:
+    """Solve the cut extracts on a transient worker pool.
+
+    Uses :class:`~concurrent.futures.ProcessPoolExecutor` rather than
+    ``multiprocessing.Pool`` because only the former *raises* on abrupt
+    worker death (``os._exit``): a broken ``multiprocessing.Pool``
+    silently repopulates its workers and the in-flight ``map`` blocks
+    forever.  A broken pool surfaces as a typed
+    :class:`~repro.errors.WorkerCrashError` carrying the in-flight cut
+    node ids; an ambient deadline bounds each wait.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FuturesTimeoutError
+    from concurrent.futures.process import BrokenProcessPool
+
+    cut_ids = tuple(root_id for _, root_id, _ in tasks)
+    deadline = active_deadline()
+    executor = ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=init_worker,
+        initargs=(library, algorithm, driver, backend, options),
+    )
+    try:
+        futures = [executor.submit(_solve_partition, task) for task in tasks]
+        raw = []
+        for future in futures:
+            timeout = None
+            if deadline is not None:
+                timeout = max(deadline.remaining(), 0.0)
+            raw.append(future.result(timeout=timeout))
+        return raw
+    except BrokenProcessPool as exc:
+        raise WorkerCrashError(
+            f"worker pool broke during partitioned dispatch "
+            f"({len(tasks)} cuts in flight): {exc}",
+            cuts=cut_ids,
+        ) from exc
+    except FuturesTimeoutError as exc:
+        # Workers may be hung: kill them so shutdown below cannot block.
+        for process in list(getattr(executor, "_processes", {}).values()):
+            process.terminate()
+        assert deadline is not None
+        raise DeadlineExceeded("parallel.dispatch", deadline.budget) from exc
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
 
 
 def _serial_fallback(
@@ -279,6 +351,7 @@ def _execute_residual(
     i = 0
     total = len(steps)
     current = None
+    deadline = active_deadline()
     while i < total:
         hit = splice_at.get(i)
         if hit is not None:
@@ -323,6 +396,8 @@ def _execute_residual(
             length = len(current)
             if length > peak:
                 peak = length
+            if deadline is not None:
+                deadline.check("parallel.residual")
         i += 1
 
     assert len(stack) == 1, "residual must reduce to the root list"

@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 
 from repro.core.schedule import CompiledNet
 from repro.incremental.subtree_cache import FrontierSnapshot, capture_frontier
+from repro.resilience.faults import inject as _inject_fault
 
 #: Per-process solve state: ``(context identity, add_buffer, factory)``.
 #: The context dict is installed once per worker by ``_init_worker``,
@@ -111,6 +112,12 @@ def _solve_partition(
     time feeds the pool-utilization figure in the solve report.
     """
     part_index, root_id, sub = task
+    # Forked executor workers can inherit the parent thread's ambient
+    # deadline; the parent bounds its wait instead, so drop it here.
+    from repro.resilience.deadline import reset_active_deadline
+
+    reset_active_deadline()
+    _inject_fault("worker.partition")
     context, factory = _worker_state()
     started = time.perf_counter()
     snapshot = solve_subschedule(

@@ -1,0 +1,75 @@
+"""Resilience substrate: deadlines, supervision, breakers, fault injection.
+
+Four small, dependency-free modules that every execution layer leans on:
+
+* :mod:`~repro.resilience.deadline` — per-request wall budgets checked
+  cooperatively at instruction-range boundaries; typed
+  :class:`~repro.errors.DeadlineExceeded` (HTTP 504).
+* :mod:`~repro.resilience.supervisor` — retry / respawn / degrade loop
+  with capped exponential backoff and deterministic jitter; degraded
+  requests fall back to the bit-identical in-process plan.
+* :mod:`~repro.resilience.breaker` — per-strategy-axis circuit
+  breakers (closed / open / half-open) consulted by masking the
+  capability flags passed to ``Router.route()``.
+* :mod:`~repro.resilience.faults` — seeded, deterministic fault
+  injection at named sites (:data:`~repro.resilience.faults.FAULT_SITES`)
+  powering the chaos suite and ``bench_resilience.py``.
+
+See ``docs/resilience.md`` for the full design.
+"""
+
+from repro.errors import (
+    DeadlineExceeded,
+    FaultInjectedError,
+    WorkerCrashError,
+    WorkerHangError,
+)
+from repro.resilience.breaker import STRATEGY_AXES, BreakerBoard, CircuitBreaker
+from repro.resilience.deadline import (
+    Deadline,
+    active_deadline,
+    deadline_scope,
+    reset_active_deadline,
+)
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    active_fault_plan,
+    clear_fault_plan,
+    inject,
+    install_fault_plan,
+    should_corrupt,
+)
+from repro.resilience.supervisor import (
+    SUPERVISABLE_ERRORS,
+    BackoffPolicy,
+    Supervisor,
+    is_supervisable,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FAULT_SITES",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultRule",
+    "STRATEGY_AXES",
+    "SUPERVISABLE_ERRORS",
+    "Supervisor",
+    "WorkerCrashError",
+    "WorkerHangError",
+    "active_deadline",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "deadline_scope",
+    "inject",
+    "install_fault_plan",
+    "is_supervisable",
+    "reset_active_deadline",
+    "should_corrupt",
+]

@@ -1,0 +1,268 @@
+"""Deterministic, seeded fault injection at named sites.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s — (site, kind,
+rate) triples — plus a seed.  Each site draws from its own seeded
+``random.Random`` stream, so a plan replays the same fault sequence at
+each site for a given seed, independent of what other sites do.  Plans
+are inert unless installed: production code calls :func:`inject` at the
+registered sites (see :data:`FAULT_SITES`), which is a no-``None``-check
+no-op when no plan is active.
+
+Kinds:
+
+* ``"crash"``  — ``os._exit(17)``: the abrupt worker death the
+  supervisor's per-task timeout must detect (a dead worker cannot
+  raise).
+* ``"hang"``   — ``time.sleep(rule.seconds)``: a stuck task, caught by
+  the same timeout.
+* ``"error"``  — raise :class:`~repro.errors.FaultInjectedError`: a
+  transient failure (the pickle-failure simulation for parent-side
+  dispatch sites), retried by the supervisor.
+* ``"corrupt"``— never raises; :func:`should_corrupt` reports the draw
+  and the caller tampers with its own payload (the result-cache
+  corruption the server's digest verification must catch).
+
+Activation: :func:`install_fault_plan` (tests, benchmarks) or the
+``REPRO_FAULTS`` environment variable holding the plan JSON — worker
+processes inherit the module global on fork and re-read the variable on
+spawn, so one installation covers the whole process tree when the plan
+is installed before the pool starts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultInjectedError
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjectedError",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "inject",
+    "install_fault_plan",
+    "should_corrupt",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: The registered injection sites (name -> where it fires).  Tests and
+#: ``docs/resilience.md`` enumerate this registry; adding a site means
+#: adding its ``inject``/``should_corrupt`` call and a row here.
+FAULT_SITES: Tuple[Tuple[str, str], ...] = (
+    ("worker.task",
+     "pool worker entry for a batch task (core.batch._solve_task)"),
+    ("worker.partition",
+     "pool worker entry for a partition cut (parallel.worker._solve_partition)"),
+    ("batch.dispatch",
+     "parent-side multi-process batch dispatch (SolverPool supervised map)"),
+    ("parallel.dispatch",
+     "parent-side partition dispatch (parallel.solver.solve_partitioned)"),
+    ("batch.group",
+     "inline batch-axis group execution (SolverPool._solve_inline)"),
+    ("cache.payload",
+     "result-cache payload storage (service.server; kind 'corrupt' only)"),
+)
+
+_VALID_KINDS = ("crash", "hang", "error", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: fire ``kind`` at ``site`` with ``rate``.
+
+    Attributes:
+        site: A registered site name (:data:`FAULT_SITES`).
+        kind: ``"crash"`` / ``"hang"`` / ``"error"`` / ``"corrupt"``.
+        rate: Probability per visit, drawn from the site's seeded
+            stream (``1.0`` fires deterministically on every visit).
+        seconds: Sleep length for ``"hang"``.
+        limit: Maximum number of fires for this rule (``None`` =
+            unlimited) — lets a test inject exactly one crash.
+    """
+
+    site: str
+    kind: str
+    rate: float = 1.0
+    seconds: float = 30.0
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {_VALID_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in (0, 1], got {self.rate}")
+
+    def to_dict(self) -> dict:
+        data = {"site": self.site, "kind": self.kind, "rate": self.rate}
+        if self.kind == "hang":
+            data["seconds"] = self.seconds
+        if self.limit is not None:
+            data["limit"] = self.limit
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        return cls(
+            site=data["site"],
+            kind=data["kind"],
+            rate=data.get("rate", 1.0),
+            seconds=data.get("seconds", 30.0),
+            limit=data.get("limit"),
+        )
+
+
+class FaultPlan:
+    """A seeded set of fault rules with per-site deterministic streams.
+
+    Thread-safe; per-process (worker processes draw from their own
+    inherited copy).  ``fired`` counts fires per ``site:kind``.
+    """
+
+    def __init__(self, rules: List[FaultRule], seed: int = 2005) -> None:
+        self.seed = int(seed)
+        self.rules = list(rules)
+        self._by_site: Dict[str, List[FaultRule]] = {}
+        for rule in self.rules:
+            self._by_site.setdefault(rule.site, []).append(rule)
+        self._streams: Dict[str, random.Random] = {}
+        self._fires: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _stream(self, site: str) -> random.Random:
+        stream = self._streams.get(site)
+        if stream is None:
+            stream = random.Random(f"{self.seed}:{site}")
+            self._streams[site] = stream
+        return stream
+
+    def draw(self, site: str, kinds: Tuple[str, ...]) -> Optional[FaultRule]:
+        """The rule that fires at this visit of ``site``, if any.
+
+        One uniform draw per matching rule, in rule order, from the
+        site's seeded stream — so the fire sequence at a site is a pure
+        function of (seed, visit count), whatever other sites do.
+        """
+        rules = self._by_site.get(site)
+        if not rules:
+            return None
+        with self._lock:
+            stream = self._stream(site)
+            for rule in rules:
+                if rule.kind not in kinds:
+                    continue
+                roll = stream.random()
+                key = f"{site}:{rule.kind}"
+                if rule.limit is not None and self._fires.get(key, 0) >= rule.limit:
+                    continue
+                if roll < rule.rate:
+                    self._fires[key] = self._fires.get(key, 0) + 1
+                    self.fired[key] = self.fired.get(key, 0) + 1
+                    return rule
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            [FaultRule.from_dict(entry) for entry in data.get("rules", [])],
+            seed=data.get("seed", 2005),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, rules={len(self.rules)})"
+
+
+# The active plan: None = no faults, _UNSET = env not consulted yet.
+_UNSET = object()
+_plan: object = _UNSET
+_plan_lock = threading.Lock()
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The installed plan, loading ``REPRO_FAULTS`` on first access."""
+    global _plan
+    plan = _plan
+    if plan is _UNSET:
+        with _plan_lock:
+            if _plan is _UNSET:
+                text = os.environ.get(ENV_VAR)
+                _plan = FaultPlan.from_json(text) if text else None
+            plan = _plan
+    return plan  # type: ignore[return-value]
+
+
+def install_fault_plan(
+    plan: Optional[FaultPlan], export_env: bool = False
+) -> Optional[FaultPlan]:
+    """Install ``plan`` process-wide; returns the previous plan.
+
+    ``export_env=True`` additionally writes the plan JSON to
+    ``REPRO_FAULTS`` so *spawned* (not just forked) worker processes
+    pick it up; ``plan=None`` clears both.
+    """
+    global _plan
+    with _plan_lock:
+        previous = None if _plan is _UNSET else _plan
+        _plan = plan
+        if export_env:
+            if plan is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = json.dumps(plan.to_dict())
+    return previous  # type: ignore[return-value]
+
+
+def clear_fault_plan() -> None:
+    """Remove any installed plan (and the env export)."""
+    install_fault_plan(None, export_env=True)
+
+
+def inject(site: str) -> None:
+    """Fire the active plan's crash/hang/error rules at ``site``.
+
+    A no-op (one ``is None`` test after the first call) when no plan is
+    installed.  ``crash`` exits the process abruptly; ``hang`` sleeps;
+    ``error`` raises :class:`FaultInjectedError`.
+    """
+    plan = active_fault_plan()
+    if plan is None:
+        return
+    rule = plan.draw(site, ("crash", "hang", "error"))
+    if rule is None:
+        return
+    if rule.kind == "crash":
+        os._exit(17)
+    if rule.kind == "hang":
+        time.sleep(rule.seconds)
+        return
+    raise FaultInjectedError(site)
+
+
+def should_corrupt(site: str) -> bool:
+    """Whether a ``corrupt`` rule fires at this visit of ``site``."""
+    plan = active_fault_plan()
+    if plan is None:
+        return False
+    return plan.draw(site, ("corrupt",)) is not None

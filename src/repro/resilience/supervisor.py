@@ -1,0 +1,194 @@
+"""Supervised execution: retry, respawn, degrade — never hang.
+
+The :class:`Supervisor` runs an *attempt* callable under a simple
+policy: on a **supervisable** failure (worker crash, broken pool, hung
+task timeout, injected fault) it respawns the resource (caller-supplied
+``respawn`` hook, e.g. terminate + recreate a process pool), sleeps a
+capped exponential backoff with deterministic jitter, and retries; when
+retries are exhausted it invokes the caller's ``fallback`` — for this
+codebase always the *bit-identical in-process plan* — instead of
+failing the request.  Genuine algorithm errors and
+:class:`~repro.errors.DeadlineExceeded` are never supervisable: they
+propagate immediately.
+
+Backoff jitter is drawn from a seeded stream so resilience tests and
+``bench_resilience.py`` replay identically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import threading
+import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import (
+    DeadlineExceeded,
+    FaultInjectedError,
+    WorkerCrashError,
+    WorkerHangError,
+)
+from repro.resilience.deadline import Deadline
+
+__all__ = [
+    "BackoffPolicy",
+    "SUPERVISABLE_ERRORS",
+    "Supervisor",
+    "is_supervisable",
+]
+
+T = TypeVar("T")
+
+#: Failures the supervisor may retry: dead or hung workers, broken
+#: pools, torn pipes, and injected faults.  ``OSError`` covers
+#: ``BrokenPipeError`` / ``ConnectionResetError`` from pool plumbing.
+SUPERVISABLE_ERRORS = (
+    BrokenProcessPool,
+    multiprocessing.TimeoutError,
+    FuturesTimeoutError,
+    TimeoutError,
+    EOFError,
+    OSError,
+    FaultInjectedError,
+    WorkerCrashError,
+    WorkerHangError,
+)
+
+
+def is_supervisable(exc: BaseException) -> bool:
+    """Whether ``exc`` is a fault the supervisor may retry.
+
+    :class:`DeadlineExceeded` is explicitly excluded even though a hung
+    worker surfaces as a timeout — once the *request* deadline is gone,
+    retrying cannot help.
+    """
+    if isinstance(exc, DeadlineExceeded):
+        return False
+    return isinstance(exc, SUPERVISABLE_ERRORS)
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, ... is
+    ``min(cap, base * factor**attempt)`` scaled by a jitter factor in
+    ``[1 - jitter, 1 + jitter]`` drawn from a stream seeded at
+    construction, so a given policy instance replays the same delays.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        factor: float = 2.0,
+        cap: float = 1.0,
+        jitter: float = 0.25,
+        seed: int = 2005,
+    ) -> None:
+        if base < 0 or cap < 0 or not 0 <= jitter < 1:
+            raise ValueError("invalid backoff parameters")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.cap = float(cap)
+        self.jitter = float(jitter)
+        self._stream = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def delay(self, attempt: int) -> float:
+        raw = min(self.cap, self.base * (self.factor ** max(0, attempt)))
+        if self.jitter == 0.0:
+            return raw
+        with self._lock:
+            scale = 1.0 + self.jitter * (2.0 * self._stream.random() - 1.0)
+        return raw * scale
+
+
+class Supervisor:
+    """Retry/respawn/degrade loop around a fallible attempt.
+
+    One instance per supervised resource (e.g. per :class:`SolverPool`);
+    counters aggregate across calls and feed the ``/stats``
+    ``resilience`` block.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        backoff: Optional[BackoffPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = int(max_retries)
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self.retries = 0
+        self.respawns = 0
+        self.fallbacks = 0
+        self.supervised_failures = 0
+
+    def _count(self, field: str) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + 1)
+
+    def run(
+        self,
+        attempt: Callable[[], T],
+        respawn: Optional[Callable[[], None]] = None,
+        fallback: Optional[Callable[[], T]] = None,
+        deadline: Optional[Deadline] = None,
+        on_failure: Optional[Callable[[BaseException], None]] = None,
+    ) -> T:
+        """Run ``attempt`` with supervision.
+
+        Retries supervisable failures up to ``max_retries`` times,
+        calling ``respawn`` and sleeping a backoff (clipped to the
+        deadline's remaining budget) between attempts.  When retries
+        are exhausted, runs ``fallback`` if given, else re-raises the
+        last failure.  ``on_failure`` observes every supervisable
+        failure (used to feed circuit breakers).
+        """
+        last: Optional[BaseException] = None
+        for attempt_index in range(self.max_retries + 1):
+            if deadline is not None:
+                deadline.check("supervisor.retry")
+            try:
+                return attempt()
+            except BaseException as exc:  # noqa: BLE001 - reclassified below
+                if not is_supervisable(exc):
+                    raise
+                last = exc
+                self._count("supervised_failures")
+                if on_failure is not None:
+                    on_failure(exc)
+            if attempt_index >= self.max_retries:
+                break
+            if respawn is not None:
+                respawn()
+                self._count("respawns")
+            pause = self.backoff.delay(attempt_index)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    break
+                pause = min(pause, remaining)
+            if pause > 0:
+                self._sleep(pause)
+            self._count("retries")
+        if fallback is not None:
+            self._count("fallbacks")
+            return fallback()
+        assert last is not None
+        raise last
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "retries": self.retries,
+                "respawns": self.respawns,
+                "fallbacks": self.fallbacks,
+                "supervised_failures": self.supervised_failures,
+            }

@@ -30,6 +30,7 @@ thread pool hammering a tiny cache).
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -260,6 +261,19 @@ class SolutionPayload:
             candidates_generated=result.stats.candidates_generated,
             runtime_seconds=result.stats.runtime_seconds,
         )
+
+    def digest(self) -> str:
+        """Content hash over every field (integrity check at cache reads).
+
+        The server stores ``(payload, digest)`` pairs and re-derives the
+        digest on every hit: a stored payload that was corrupted in
+        place (a real memory fault, or the ``cache.payload`` injection
+        site in tests) no longer matches and is treated as a miss
+        instead of being served.  Frozen dataclass ``repr`` is
+        deterministic field order, so the hash is stable across
+        processes.
+        """
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()
 
     def materialize(
         self, canon: CanonicalNet, library: BufferLibrary

@@ -98,24 +98,29 @@ class ServiceClient:
         algorithm: str = "fast",
         backend: str = "auto",
         options: Optional[Dict[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """``POST /solve`` one net; returns the answer object.
 
         The answer carries ``slack_seconds``, ``assignment`` (node id →
         buffer name, in *this* tree's ids), ``cached``, ``key`` and the
-        original solve's ``stats``.
+        original solve's ``stats``.  ``deadline_ms`` bounds the
+        server-side solve; exceeding it fails with a 504.
 
         Raises:
             ServiceError: Transport failure or any non-200 response
                 (the server's ``error`` detail is included).
         """
-        return self._request("POST", "/solve", {
+        body = {
             "net": _net_spec(tree),
             "library": _library_spec(library),
             "algorithm": algorithm,
             "backend": backend,
             "options": options or {},
-        })
+        }
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self._request("POST", "/solve", body)
 
     def solve_batch(
         self,
@@ -124,20 +129,31 @@ class ServiceClient:
         algorithm: str = "fast",
         backend: str = "auto",
         options: Optional[Dict[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
     ) -> List[Dict[str, Any]]:
         """``POST /batch`` many nets sharing one library; answers in order."""
-        answer = self._request("POST", "/batch", {
+        body = {
             "nets": [_net_spec(tree) for tree in trees],
             "library": _library_spec(library),
             "algorithm": algorithm,
             "backend": backend,
             "options": options or {},
-        })
+        }
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        answer = self._request("POST", "/batch", body)
         return answer["results"]
 
-    def healthz(self) -> Dict[str, Any]:
-        """``GET /healthz``: liveness, version, uptime, worker count."""
-        return self._request("GET", "/healthz")
+    def healthz(self, deep: bool = False) -> Dict[str, Any]:
+        """``GET /healthz``: liveness, version, uptime, worker count.
+
+        ``deep=True`` additionally reports worker liveness, breaker
+        states, admission pressure and cache pressure — and, like the
+        shallow probe, fails with a 503 while the server is draining.
+        """
+        return self._request(
+            "GET", "/healthz?deep=1" if deep else "/healthz"
+        )
 
     def stats(self) -> Dict[str, Any]:
         """``GET /stats``: request/cache counters and pool inventory."""

@@ -16,12 +16,37 @@ path                      method  purpose
 ``/session/{id}/edit``    POST    apply typed edits to a session's net
 ``/session/{id}/resolve`` POST    incremental re-solve (dirty path only)
 ``/session/{id}``         DELETE  close a session
-``/healthz``              GET     liveness probe: version, uptime, workers
+``/healthz``              GET     liveness probe: version, uptime, workers;
+                                  ``?deep=1`` adds worker liveness, breaker
+                                  states and cache pressure; 503 while
+                                  draining
 ``/stats``                GET     request counters, cache counters, pool
                                   inventory, batch-axis grouping,
-                                  incremental-engine health and execution-
-                                  routing decisions
+                                  incremental-engine health, execution-
+                                  routing decisions and the resilience
+                                  block (retries, trips, sheds, drains,
+                                  deadline hits)
 ========================  ======  ==========================================
+
+**Resilience.**  The server is hardened along five axes (see
+``docs/resilience.md``):
+
+* **admission control** — at most ``max_inflight`` solve dispatches run
+  concurrently; beyond that requests queue up to ``max_queue_depth``
+  and are then *shed* with a 503 + ``Retry-After`` instead of piling
+  onto a saturated pool;
+* **request validation** — bodies above ``max_request_bytes`` are a
+  413, nets with more than ``max_positions`` buffer positions a 422,
+  both as clean JSON errors before any solve work starts;
+* **deadlines** — a request's ``deadline_ms`` (or the server-wide
+  default) becomes a :class:`~repro.resilience.deadline.Deadline`
+  covering parse, cache lookup and solve; exceeding it is a 504;
+* **graceful drain** — SIGTERM (or :meth:`BufferServer.request_drain`)
+  stops admitting new work, finishes every in-flight request, flushes a
+  final stats line and only then closes the socket and the pools;
+* **cache integrity** — result-cache entries are stored with a content
+  digest and re-verified on every hit; a corrupted payload is counted
+  (``integrity_failures``) and treated as a miss, never served.
 
 **Sessions.**  A session wraps an
 :class:`~repro.incremental.engine.IncrementalSolver`: the server keeps
@@ -75,7 +100,10 @@ over the whole group instead of one per net, bit-identical per net.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import dataclasses
 import json
+import signal
 import threading
 import time
 import uuid
@@ -86,8 +114,9 @@ from repro.core.batch import SolverPool
 from repro.core.registry import get_algorithm
 from repro.core.schedule import CompiledNet, compile_net
 from repro.core.stores import resolve_backend
-from repro.errors import EditError, ReproError
+from repro.errors import DeadlineExceeded, EditError, ReproError, WorkerCrashError
 from repro.library.library import BufferLibrary
+from repro.resilience import Deadline, should_corrupt
 from repro.routing.router import default_policy, validate_policy
 from repro.routing.workload import WorkloadLog, compiled_digest
 from repro.service.cache import ResultCache, SolutionPayload
@@ -104,9 +133,33 @@ from repro.tree.io import library_from_dict, tree_from_dict
 _JSON_HEADERS = "Content-Type: application/json\r\nConnection: close\r\n"
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
 
-class _BadRequest(Exception):
+
+class _HttpError(Exception):
+    """A request-scoped error rendered as ``status`` + ``{"error": ...}``."""
+
+    status = 500
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+
+
+class _BadRequest(_HttpError):
     """Client-side error; rendered as a 400 with an ``error`` field."""
+
+    status = 400
 
 
 class BufferServer:
@@ -147,6 +200,20 @@ class BufferServer:
         workload_log: Path of an opt-in JSONL workload log; every
             routed solve (and every session re-solve) appends one
             record that ``repro replay`` can re-run offline.
+        max_inflight: Solve dispatches allowed to run concurrently;
+            further requests queue (admission control).
+        max_queue_depth: Requests allowed to wait for an admission
+            slot; beyond it the server load-sheds with a 503 +
+            ``Retry-After`` rather than building an unbounded queue.
+        max_request_bytes: Request-body size cap; larger bodies are
+            rejected with a 413 before being read.
+        max_positions: Per-net cap on buffer positions (the paper's
+            ``n``); larger nets are rejected with a 422.  ``None``
+            accepts any size.
+        deadline_ms: Server-wide default solve deadline in
+            milliseconds (a request's own ``deadline_ms`` overrides
+            it); exceeding the deadline answers 504.  ``None`` means
+            no default deadline.
     """
 
     def __init__(
@@ -163,11 +230,34 @@ class BufferServer:
         parallel_threshold: Optional[int] = None,
         policy: Optional[str] = None,
         workload_log: Optional[str] = None,
+        max_inflight: int = 8,
+        max_queue_depth: int = 32,
+        max_request_bytes: int = _MAX_BODY_BYTES,
+        max_positions: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> None:
         if max_pools < 1:
             raise ValueError(f"max_pools must be >= 1, got {max_pools}")
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if max_request_bytes < 1:
+            raise ValueError(
+                f"max_request_bytes must be >= 1, got {max_request_bytes}"
+            )
+        if max_positions is not None and max_positions < 1:
+            raise ValueError(
+                f"max_positions must be >= 1 or None, got {max_positions}"
+            )
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0 or None, got {deadline_ms}"
+            )
         if jobs is None:
             import os
 
@@ -181,6 +271,11 @@ class BufferServer:
         self.jobs = jobs
         self.parallel_threshold = parallel_threshold
         self.policy = policy
+        self.max_inflight = max_inflight
+        self.max_queue_depth = max_queue_depth
+        self.max_request_bytes = max_request_bytes
+        self.max_positions = max_positions
+        self.deadline_ms = deadline_ms
         # One log shared by every pool (and the session path): pools
         # receive the instance, so closing it stays the server's job.
         self._workload_log = (
@@ -198,6 +293,11 @@ class BufferServer:
         self._pools: "OrderedDict[Tuple, _PoolEntry]" = OrderedDict()
         self._max_pools = max_pools
         self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._gate: Optional[asyncio.Semaphore] = None
+        self._waiting = 0
+        self._active_requests = 0
+        self._draining = False
         self._started = time.monotonic()
         self.counters: Dict[str, int] = {
             "requests_total": 0,
@@ -210,6 +310,11 @@ class BufferServer:
             "session_edits": 0,
             "session_resolves": 0,
             "errors": 0,
+            "sheds": 0,
+            "deadline_hits": 0,
+            "rejected_payloads": 0,
+            "integrity_failures": 0,
+            "drains": 0,
         }
         # Aggregated dirty-instruction fractions over session re-solves
         # (the /stats "incremental" block's mean).
@@ -224,6 +329,8 @@ class BufferServer:
 
     async def start(self) -> Tuple[str, int]:
         """Bind the socket; returns the actual ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._gate = asyncio.Semaphore(self.max_inflight)
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
@@ -247,39 +354,115 @@ class BufferServer:
         if self._workload_log is not None:
             self._workload_log.close()
 
+    async def drain(self, poll_interval: float = 0.05) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight, close.
+
+        The sequence matters: first flip ``_draining`` (new solve
+        admissions answer 503 + ``Retry-After``, ``/healthz`` reports
+        ``"draining"``), then wait for every in-flight request to
+        complete, flush a final stats line, and only *then* close the
+        listening socket — closing it cancels ``serve_forever``, whose
+        caller tears the pools down, so closing early would yank worker
+        pools out from under in-flight solves.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self.counters["drains"] += 1
+        while self._active_requests > 0:
+            await asyncio.sleep(poll_interval)
+        self._flush_stats()
+        if self._server is not None:
+            self._server.close()
+
+    def request_drain(self) -> None:
+        """Thread-safe drain trigger (the SIGTERM handler, tests)."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        asyncio.run_coroutine_threadsafe(self.drain(), loop)
+
+    def _flush_stats(self) -> None:
+        """One final machine-readable counters line before shutdown."""
+        print(
+            "repro serve: drained "
+            + json.dumps({"counters": dict(self.counters)}, sort_keys=True)
+        )
+
+    @contextlib.asynccontextmanager
+    async def _admit(self):
+        """Admission control around one solve dispatch.
+
+        Grants one of ``max_inflight`` concurrent slots; when all are
+        busy, up to ``max_queue_depth`` requests wait their turn and
+        anything beyond that is shed immediately with a 503 — bounded
+        latency instead of an unbounded queue on a saturated pool.
+        """
+        if self._draining:
+            raise _HttpError("server is draining", status=503)
+        gate = self._gate
+        if gate is None:  # not start()ed — direct handler tests
+            yield
+            return
+        if gate.locked() and self._waiting >= self.max_queue_depth:
+            self.counters["sheds"] += 1
+            raise _HttpError(
+                f"overloaded: {self.max_inflight} solves in flight and "
+                f"{self._waiting} queued; retry later",
+                status=503,
+            )
+        self._waiting += 1
+        try:
+            await gate.acquire()
+        finally:
+            self._waiting -= 1
+        try:
+            yield
+        finally:
+            gate.release()
+
     # -- HTTP plumbing -------------------------------------------------
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         status, payload = 500, {"error": "internal error"}
+        # The in-flight count covers the response write too: drain()
+        # waits for it to reach zero before closing up, so a completed
+        # solve is never cut off mid-answer.
+        self._active_requests += 1
         try:
-            method, path, body = await self._read_request(reader)
-            self.counters["requests_total"] += 1
-            status, payload = await self._dispatch(method, path, body)
-        except _BadRequest as exc:
-            self.counters["errors"] += 1
-            status, payload = 400, {"error": str(exc)}
-        except (ConnectionError, asyncio.IncompleteReadError):
-            writer.close()
-            return
-        except Exception as exc:  # never leak a traceback to the socket
-            self.counters["errors"] += 1
-            status, payload = 500, {"error": f"internal error: {exc}"}
-        body_bytes = json.dumps(payload).encode("utf-8")
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed"}.get(status, "Error")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n{_JSON_HEADERS}"
-            f"Content-Length: {len(body_bytes)}\r\n\r\n"
-        )
-        try:
-            writer.write(head.encode("latin-1") + body_bytes)
-            await writer.drain()
-        except ConnectionError:
-            pass
+            try:
+                method, path, body = await self._read_request(reader)
+                self.counters["requests_total"] += 1
+                status, payload = await self._dispatch(method, path, body)
+            except _HttpError as exc:
+                self.counters["errors"] += 1
+                status, payload = exc.status, {"error": str(exc)}
+            except (ConnectionError, asyncio.IncompleteReadError):
+                writer.close()
+                return
+            except Exception as exc:  # never leak a traceback to the socket
+                self.counters["errors"] += 1
+                status, payload = 500, {"error": f"internal error: {exc}"}
+            body_bytes = json.dumps(payload).encode("utf-8")
+            reason = _REASONS.get(status, "Error")
+            # Shed/draining answers tell well-behaved clients when to
+            # come back instead of leaving them to guess a backoff.
+            retry_after = "Retry-After: 1\r\n" if status == 503 else ""
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n{_JSON_HEADERS}{retry_after}"
+                f"Content-Length: {len(body_bytes)}\r\n\r\n"
+            )
+            try:
+                writer.write(head.encode("latin-1") + body_bytes)
+                await writer.drain()
+            except ConnectionError:
+                pass
+            finally:
+                writer.close()
         finally:
-            writer.close()
+            self._active_requests -= 1
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -302,15 +485,20 @@ class BufferServer:
                     raise _BadRequest(
                         f"bad Content-Length: {value.strip()!r}"
                     ) from None
-        if length > _MAX_BODY_BYTES:
-            raise _BadRequest(f"request body too large ({length} bytes)")
+        if length > self.max_request_bytes:
+            self.counters["rejected_payloads"] += 1
+            raise _HttpError(
+                f"request body too large ({length} bytes, "
+                f"limit {self.max_request_bytes})",
+                status=413,
+            )
         body = await reader.readexactly(length) if length > 0 else b""
         return method, path, body
 
     async def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, Any]]:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         routes = {
             "/solve": ("POST", self._handle_solve),
             "/batch": ("POST", self._handle_batch),
@@ -323,6 +511,8 @@ class BufferServer:
             expected_method, handler = route
             if method != expected_method:
                 return 405, {"error": f"{path} requires {expected_method}"}
+            if path == "/healthz":
+                return await handler(body, query)
             return await handler(body)
         if path.startswith("/session/"):
             return await self._dispatch_session(method, path, body)
@@ -353,15 +543,51 @@ class BufferServer:
 
     # -- endpoints -----------------------------------------------------
 
-    async def _handle_healthz(self, body: bytes) -> Tuple[int, Dict]:
+    async def _handle_healthz(
+        self, body: bytes, query: str = ""
+    ) -> Tuple[int, Dict]:
         import repro
 
-        return 200, {
-            "status": "ok",
+        draining = self._draining
+        answer: Dict[str, Any] = {
+            "status": "draining" if draining else "ok",
             "version": repro.__version__,
             "uptime_seconds": time.monotonic() - self._started,
             "jobs": self.jobs,
         }
+        params = dict(
+            part.partition("=")[::2] for part in query.split("&") if part
+        )
+        if params.get("deep") in ("1", "true", "yes"):
+            cache_stats = self.results.stats()
+            answer["workers"] = [
+                dict(entry.pool.worker_health(),
+                     backend=entry.pool.backend,
+                     in_flight=entry.in_flight)
+                for entry in self._pools.values()
+            ]
+            answer["breakers"] = {
+                axis: sum(
+                    1
+                    for entry in self._pools.values()
+                    if entry.pool.breakers.breaker(axis).state != "closed"
+                )
+                for axis in ("parallel", "batch_axis")
+            }
+            answer["admission"] = {
+                "in_flight_requests": self._active_requests,
+                "queued": self._waiting,
+                "max_inflight": self.max_inflight,
+                "max_queue_depth": self.max_queue_depth,
+            }
+            answer["cache_pressure"] = {
+                "results_size": cache_stats.size,
+                "results_maxsize": cache_stats.maxsize,
+                "results_fill": cache_stats.size / cache_stats.maxsize,
+                "frontier_bytes": self.frontiers.stats().get("bytes", 0),
+                "integrity_failures": self.counters["integrity_failures"],
+            }
+        return (503 if draining else 200), answer
 
     async def _handle_stats(self, body: bytes) -> Tuple[int, Dict]:
         compiled_bytes = sum(
@@ -484,6 +710,58 @@ class BufferServer:
                 pool_stats["decisions_by_strategy"].items()
             ):
                 by_strategy[strategy] = by_strategy.get(strategy, 0) + count
+        # Resilience health: supervised-retry/respawn/fallback totals
+        # and breaker state over the warm pools, plus the server-side
+        # admission, deadline, drain and cache-integrity counters.
+        resilience: Dict[str, Any] = {
+            "server": {
+                "sheds": self.counters["sheds"],
+                "deadline_hits": self.counters["deadline_hits"],
+                "rejected_payloads": self.counters["rejected_payloads"],
+                "integrity_failures": self.counters["integrity_failures"],
+                "drains": self.counters["drains"],
+                "draining": self._draining,
+                "in_flight_requests": self._active_requests,
+                "queued": self._waiting,
+                "max_inflight": self.max_inflight,
+                "max_queue_depth": self.max_queue_depth,
+                "default_deadline_ms": self.deadline_ms,
+            },
+            "supervisor": {
+                "retries": 0,
+                "respawns": 0,
+                "fallbacks": 0,
+                "supervised_failures": 0,
+            },
+            "breaker_trips": 0,
+            "breakers": {},
+            "batch_group_fallbacks": 0,
+            "partitioned_fallbacks": 0,
+        }
+        for entry in self._pools.values():
+            pool_stats = entry.pool.resilience_stats()
+            supervisor = resilience["supervisor"]
+            for key, value in pool_stats["supervisor"].items():
+                supervisor[key] = supervisor.get(key, 0) + value
+            breakers = resilience["breakers"]
+            for axis, breaker_stats in pool_stats["breakers"].items():
+                bucket = breakers.setdefault(axis, {
+                    "open": 0, "half_open": 0, "trips": 0,
+                    "failures": 0, "successes": 0,
+                })
+                state = breaker_stats["state"]
+                if state in ("open", "half_open"):
+                    bucket[state] += 1
+                bucket["trips"] += breaker_stats["trips"]
+                bucket["failures"] += breaker_stats["failures"]
+                bucket["successes"] += breaker_stats["successes"]
+                resilience["breaker_trips"] += breaker_stats["trips"]
+            resilience["batch_group_fallbacks"] += (
+                pool_stats["batch_group_fallbacks"]
+            )
+            resilience["partitioned_fallbacks"] += (
+                pool_stats["partitioned_fallbacks"]
+            )
         session_stats = self.sessions.stats()
         live_sessions = tuple(self.sessions.values())
         resolves = self.counters["session_resolves"]
@@ -495,6 +773,7 @@ class BufferServer:
             "batch_axis": batch_axis,
             "parallel": parallel,
             "routing": routing,
+            "resilience": resilience,
             "cache": self.results.stats().as_dict(),
             "compiled_cache": dict(
                 self.compiled.stats().as_dict(),
@@ -534,24 +813,30 @@ class BufferServer:
         }
 
     async def _handle_solve(self, body: bytes) -> Tuple[int, Dict]:
-        spec = _parse_body(body)
-        net_spec = _require(spec, "net", dict)
-        request = _SolveContext.from_spec(spec, self.policy)
-        self.counters["solve_requests"] += 1
-        self.counters["nets_requested"] += 1
-        answers = await self._answer(request, [net_spec])
-        return 200, answers[0]
+        async with self._admit():
+            spec = _parse_body(body)
+            net_spec = _require(spec, "net", dict)
+            request = _SolveContext.from_spec(
+                spec, self.policy, self.deadline_ms
+            )
+            self.counters["solve_requests"] += 1
+            self.counters["nets_requested"] += 1
+            answers = await self._answer(request, [net_spec])
+            return 200, answers[0]
 
     async def _handle_batch(self, body: bytes) -> Tuple[int, Dict]:
-        spec = _parse_body(body)
-        net_specs = _require(spec, "nets", list)
-        if not net_specs:
-            raise _BadRequest("'nets' must contain at least one net")
-        request = _SolveContext.from_spec(spec, self.policy)
-        self.counters["batch_requests"] += 1
-        self.counters["nets_requested"] += len(net_specs)
-        answers = await self._answer(request, net_specs)
-        return 200, {"results": answers}
+        async with self._admit():
+            spec = _parse_body(body)
+            net_specs = _require(spec, "nets", list)
+            if not net_specs:
+                raise _BadRequest("'nets' must contain at least one net")
+            request = _SolveContext.from_spec(
+                spec, self.policy, self.deadline_ms
+            )
+            self.counters["batch_requests"] += 1
+            self.counters["nets_requested"] += len(net_specs)
+            answers = await self._answer(request, net_specs)
+            return 200, {"results": answers}
 
     # -- stateful sessions (incremental ECO re-solve) ------------------
 
@@ -678,6 +963,12 @@ class BufferServer:
         self, request: "_SolveContext", net_specs: List[Any]
     ) -> List[Dict[str, Any]]:
         """Answer every net of one request: cache hits + sharded misses."""
+        # The deadline clock starts here: parse, canonicalize, cache
+        # lookup and solve all spend from one budget.
+        deadline = (
+            Deadline.from_ms(request.deadline_ms)
+            if request.deadline_ms is not None else None
+        )
         records: List[_NetRecord] = []
         misses: List[_NetRecord] = []
         # One digest memo per request: structurally repeated subtrees —
@@ -696,6 +987,17 @@ class BufferServer:
                 tree, id_map = tree_from_dict(net_spec, with_id_map=True)
             except ReproError as exc:
                 raise _BadRequest(f"invalid net at index {index}: {exc}") from exc
+            if (
+                self.max_positions is not None
+                and tree.num_buffer_positions > self.max_positions
+            ):
+                self.counters["rejected_payloads"] += 1
+                raise _HttpError(
+                    f"net at index {index} has {tree.num_buffer_positions} "
+                    f"buffer positions, above the server's max_positions "
+                    f"limit of {self.max_positions}",
+                    status=422,
+                )
             canon = canonicalize(tree, memo=digest_memo)
             record = _NetRecord(
                 key=request_key(
@@ -707,7 +1009,7 @@ class BufferServer:
                 serialized_id={new: old for old, new in id_map.items()},
             )
             records.append(record)
-            record.payload = self.results.get(record.key)
+            record.payload = self._cache_get(record.key)
             record.cached = record.payload is not None
             if record.payload is None:
                 misses.append(record)
@@ -763,9 +1065,19 @@ class BufferServer:
             # terminates a pool another request is still solving on.
             entry.in_flight += 1
             try:
+                # The deadline rides the call, not the ambient thread-
+                # local: run_in_executor hops threads, so the scope is
+                # re-established pool-side from the explicit argument.
                 results = await loop.run_in_executor(
-                    None, lambda: entry.pool.solve(to_solve)
+                    None, lambda: entry.pool.solve(to_solve, deadline=deadline)
                 )
+            except DeadlineExceeded as exc:
+                self.counters["deadline_hits"] += 1
+                raise _HttpError(str(exc), status=504) from exc
+            except WorkerCrashError as exc:
+                # Escapes only when supervised recovery itself failed;
+                # a server fault, not a client one.
+                raise _HttpError(f"worker pool failure: {exc}") from exc
             except ReproError as exc:
                 raise _BadRequest(str(exc)) from exc
             finally:
@@ -776,11 +1088,41 @@ class BufferServer:
             for (key, (_, base_canon)), result in zip(unique.items(), results):
                 payload = SolutionPayload.encode(result, base_canon)
                 payload_by_key[key] = payload
-                self.results.put(key, payload)
+                self._cache_put(key, payload)
             for record in misses:
                 record.payload = payload_by_key[record.key]
 
         return [record.render(request.library) for record in records]
+
+    def _cache_put(self, key: str, payload: SolutionPayload) -> None:
+        """Store ``(payload, digest)`` so reads can verify integrity.
+
+        The digest is computed *before* the ``cache.payload`` fault
+        site may tamper with the stored copy — exactly the property a
+        real in-memory corruption has — so the chaos tests prove the
+        read-side verification actually catches it.
+        """
+        digest = payload.digest()
+        if should_corrupt("cache.payload"):
+            payload = dataclasses.replace(payload, slack=payload.slack + 1.0)
+        self.results.put(key, (payload, digest))
+
+    def _cache_get(self, key: str) -> Optional[SolutionPayload]:
+        """A verified cache read: a corrupted payload is a miss.
+
+        Serving a silently corrupted solution would break the bit-
+        identical contract every other fallback path honors; instead
+        the entry is dropped, counted, and the net re-solved.
+        """
+        entry = self.results.get(key)
+        if entry is None:
+            return None
+        payload, digest = entry
+        if payload.digest() != digest:
+            self.counters["integrity_failures"] += 1
+            self.results.discard(key)
+            return None
+        return payload
 
     def _pool_for(self, request: "_SolveContext") -> "_PoolEntry":
         """The warm pool for this solve context (LRU over contexts).
@@ -1024,17 +1366,22 @@ class _SolveContext:
         backend: str,
         options: Dict[str, Any],
         policy: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> None:
         self.library = library
         self.algorithm = algorithm
         self.backend = backend
         self.options = options
         self.policy = policy
+        self.deadline_ms = deadline_ms
         self.library_key = library_key(library)
 
     @classmethod
     def from_spec(
-        cls, spec: Dict[str, Any], default_policy: Optional[str] = None
+        cls,
+        spec: Dict[str, Any],
+        default_policy: Optional[str] = None,
+        default_deadline_ms: Optional[float] = None,
     ) -> "_SolveContext":
         library_spec = _require(spec, "library", dict)
         try:
@@ -1058,6 +1405,17 @@ class _SolveContext:
                 validate_policy(policy)
             except ValueError as exc:
                 raise _BadRequest(str(exc)) from exc
+        deadline_ms = spec.get("deadline_ms", default_deadline_ms)
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0
+            ):
+                raise _BadRequest(
+                    "'deadline_ms' must be a positive number of milliseconds"
+                )
+            deadline_ms = float(deadline_ms)
         try:
             get_algorithm(algorithm).validate_options(options)
             from repro.core.stores import get_store_backend
@@ -1071,7 +1429,7 @@ class _SolveContext:
                 backend = resolve_backend(backend)
         except ReproError as exc:
             raise _BadRequest(str(exc)) from exc
-        return cls(library, algorithm, backend, options, policy)
+        return cls(library, algorithm, backend, options, policy, deadline_ms)
 
 
 def _parse_body(body: bytes) -> Dict[str, Any]:
@@ -1107,15 +1465,25 @@ def serve(
     parallel_threshold: Optional[int] = None,
     policy: Optional[str] = None,
     workload_log: Optional[str] = None,
+    max_inflight: int = 8,
+    max_queue_depth: int = 32,
+    max_request_bytes: int = _MAX_BODY_BYTES,
+    max_positions: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
     ready=None,
 ) -> None:
     """Run a :class:`BufferServer` until interrupted (the CLI's engine).
 
+    SIGTERM triggers a graceful drain: no new admissions, in-flight
+    requests complete, stats are flushed, then the socket and the
+    worker pools close.  SIGINT (Ctrl-C) remains the immediate stop.
+
     Args:
         host, port, jobs, cache_size, cache_ttl, max_pools,
         max_sessions, session_ttl, frontier_cache_bytes,
-        parallel_threshold, policy, workload_log: Forwarded to
-            :class:`BufferServer`.
+        parallel_threshold, policy, workload_log, max_inflight,
+        max_queue_depth, max_request_bytes, max_positions,
+        deadline_ms: Forwarded to :class:`BufferServer`.
         ready: Optional callback invoked with the started server (tests
             use it to learn the ephemeral port and to retain a handle).
     """
@@ -1128,8 +1496,18 @@ def serve(
             frontier_cache_bytes=frontier_cache_bytes,
             parallel_threshold=parallel_threshold,
             policy=policy, workload_log=workload_log,
+            max_inflight=max_inflight, max_queue_depth=max_queue_depth,
+            max_request_bytes=max_request_bytes,
+            max_positions=max_positions, deadline_ms=deadline_ms,
         )
         bound_host, bound_port = await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, server.request_drain)
+        except (NotImplementedError, RuntimeError):
+            # Platforms/threads without signal support still serve;
+            # drain stays reachable via request_drain().
+            pass
         print(f"repro serve: listening on http://{bound_host}:{bound_port} "
               f"(jobs={server.jobs}, cache={cache_size} entries"
               f"{'' if cache_ttl is None else f', ttl={cache_ttl}s'})")
@@ -1138,10 +1516,14 @@ def serve(
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
-            # Raised when stop() closes the listening socket from
-            # another thread — the clean-shutdown path, not an error.
+            # Raised when stop() or drain() closes the listening socket
+            # — the clean-shutdown path, not an error.
             pass
         finally:
+            try:
+                loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
             await server.stop()
 
     try:

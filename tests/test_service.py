@@ -463,6 +463,194 @@ class TestSessions:
         session.delete()
 
 
+class TestResilienceServing:
+    """Server hardening: deadlines, limits, shedding, integrity, drain."""
+
+    def test_deep_healthz_reports_internals(self, harness, net, library):
+        harness.client.solve(net, library)
+        shallow = harness.client.healthz()
+        assert "workers" not in shallow
+        deep = harness.client.healthz(deep=True)
+        assert deep["status"] == "ok"
+        worker = deep["workers"][0]
+        assert worker["pool_created"] in (True, False)
+        assert worker["jobs"] == 1
+        assert worker["in_flight"] == 0
+        assert set(deep["breakers"]) == {"parallel", "batch_axis"}
+        admission = deep["admission"]
+        assert admission["max_inflight"] == 8
+        # The healthz request itself is the one in flight.
+        assert admission["in_flight_requests"] == 1
+        pressure = deep["cache_pressure"]
+        assert pressure["results_size"] == 1
+        assert pressure["integrity_failures"] == 0
+
+    def test_deadline_ms_maps_to_504(self, harness, library):
+        big = random_tree_net(
+            64, seed=3, required_arrival=(ps(500.0), ps(2000.0)),
+            driver=Driver(resistance=200.0),
+        )
+        with pytest.raises(ServiceError, match="504") as info:
+            harness.client.solve(big, paper_library(8), deadline_ms=1e-4)
+        assert "deadline" in str(info.value)
+        stats = harness.client.stats()
+        assert stats["resilience"]["server"]["deadline_hits"] == 1
+
+    def test_invalid_deadline_ms_is_400(self, harness, net, library):
+        with pytest.raises(ServiceError, match="400"):
+            harness.client.solve(net, library, deadline_ms=-5)
+        with pytest.raises(ServiceError, match="400"):
+            harness.client.solve(net, library, deadline_ms="soon")
+
+    def test_generous_deadline_is_bit_identical(self, harness, net, library):
+        expected = insert_buffers(net, library)
+        answer = harness.client.solve(net, library, deadline_ms=300_000)
+        assert answer["slack_seconds"] == expected.slack
+
+    def test_oversized_request_is_413(self, net, library):
+        h = ServerHarness(jobs=1, max_request_bytes=200)
+        try:
+            with pytest.raises(ServiceError, match="413") as info:
+                h.client.solve(net, library)
+            assert "too large" in str(info.value)
+        finally:
+            h.shutdown()
+
+    def test_too_many_positions_is_422(self, net, library):
+        h = ServerHarness(jobs=1, max_positions=2)
+        try:
+            with pytest.raises(ServiceError, match="422") as info:
+                h.client.solve(net, library)
+            assert "buffer positions" in str(info.value)
+            stats = h.client.stats()
+            assert stats["resilience"]["server"]["rejected_payloads"] == 1
+        finally:
+            h.shutdown()
+
+    def test_overload_sheds_with_503(self, library):
+        h = ServerHarness(jobs=1, max_inflight=1, max_queue_depth=0)
+        try:
+            big = random_tree_net(
+                900, seed=5, required_arrival=(ps(500.0), ps(2000.0)),
+                driver=Driver(resistance=200.0),
+            )
+            lib8 = paper_library(8)
+            results = []
+
+            def worker():
+                try:
+                    h.client.solve(big, lib8)
+                    results.append(("ok", None))
+                except ServiceError as exc:
+                    results.append(("err", str(exc)))
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+            assert h.server.counters["sheds"] >= 1
+            assert any(kind == "ok" for kind, _ in results)
+            for kind, message in results:
+                if kind == "err":
+                    assert "503" in message and "overloaded" in message
+        finally:
+            h.shutdown()
+
+    def test_corrupted_cache_entry_is_not_served(self, harness, net, library):
+        from repro.resilience import (
+            FaultPlan, FaultRule, clear_fault_plan, install_fault_plan,
+        )
+
+        install_fault_plan(FaultPlan(
+            [FaultRule("cache.payload", "corrupt", rate=1.0)], seed=1))
+        try:
+            first = harness.client.solve(net, library)
+            assert first["cached"] is False
+            # The stored payload was tampered with after its digest was
+            # taken: the repeat must detect the mismatch, drop the
+            # entry, and re-solve rather than serve corrupted bits.
+            second = harness.client.solve(net, library)
+            assert second["cached"] is False
+            assert second["slack_seconds"] == first["slack_seconds"]
+            assert harness.server.counters["integrity_failures"] >= 1
+        finally:
+            clear_fault_plan()
+
+    def test_stats_resilience_block(self, harness, net, library):
+        harness.client.solve(net, library)
+        block = harness.client.stats()["resilience"]
+        assert set(block) == {
+            "server", "supervisor", "breaker_trips", "breakers",
+            "batch_group_fallbacks", "partitioned_fallbacks",
+        }
+        server = block["server"]
+        assert server["sheds"] == 0
+        assert server["draining"] is False
+        assert server["max_inflight"] == 8
+        assert block["supervisor"]["retries"] == 0
+        assert block["breakers"]["parallel"]["open"] == 0
+
+    def test_drain_completes_in_flight_and_refuses_new(self, library):
+        import time
+
+        h = ServerHarness(jobs=1)
+        try:
+            big = random_tree_net(
+                1200, seed=7, required_arrival=(ps(500.0), ps(2000.0)),
+                driver=Driver(resistance=200.0),
+            )
+            result = {}
+
+            def slow_solve():
+                try:
+                    result["answer"] = h.client.solve(big, paper_library(8))
+                except ServiceError as exc:
+                    result["error"] = str(exc)
+
+            # An artificial in-flight token holds the drain window open
+            # deterministically — a real solve can finish before the
+            # mid-drain probes land.
+            def hold():
+                h.server._active_requests += 1
+
+            h.loop.call_soon_threadsafe(hold)
+            thread = threading.Thread(target=slow_solve)
+            thread.start()
+            time.sleep(0.15)  # let the solve get admitted
+            h.server.request_drain()
+            time.sleep(0.05)
+            # While draining: no new admissions, healthz says so.
+            with pytest.raises(ServiceError, match="draining|503"):
+                h.client.healthz()
+            with pytest.raises(ServiceError, match="draining|503"):
+                h.client.solve(big, library)
+            thread.join(60)
+            # The already-admitted solve completed during the drain.
+            assert "answer" in result, result
+            assert result["answer"]["num_buffers"] >= 0
+
+            def release():
+                h.server._active_requests -= 1
+
+            h.loop.call_soon_threadsafe(release)
+            # After the drain the listening socket is closed outright.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    h.client.healthz()
+                except ServiceError:
+                    break  # refused / reset: socket is down
+                time.sleep(0.05)
+            else:
+                pytest.fail("server kept answering after drain")
+            assert h.server.counters["drains"] == 1
+        finally:
+            h.loop.call_soon_threadsafe(h.loop.stop)
+            h.thread.join(10)
+            h.loop.close()
+
+
 class TestPartitionedServing:
     """Large /solve nets route through the partitioned solver."""
 

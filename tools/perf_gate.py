@@ -28,6 +28,12 @@ regresses.  Thresholds always come from the benchmark file itself
   ``ci_gate.min_model_speedup_vs_oracle`` of the oracle (per-request
   best measured plan) and ``ci_gate.min_model_speedup_vs_static`` of
   the legacy static heuristics (see ``benchmarks/bench_routing.py``).
+* ``BENCH_PR9.json`` (has ``resilience``) — the chaos gate: under the
+  committed fault plan (seeded worker crashes and hangs; see
+  ``benchmarks/bench_resilience.py``) at least
+  ``ci_gate.min_success_rate`` of requests must return an answer, and
+  with ``ci_gate.require_bit_identical`` every answer must match the
+  healthy in-process solve bit-for-bit.
 * ``BENCH_PR7.json`` (has ``fig4_trunk``) — the partitioned-solve gate:
   at every random-topology position level with at least
   ``ci_gate.min_positions`` actual positions, the best
@@ -48,6 +54,51 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
+
+
+def check_resilience(payload: dict, path: Path) -> int:
+    gate = payload["ci_gate"]
+    min_success = gate["min_success_rate"]
+    require_identical = gate.get("require_bit_identical", False)
+
+    report = payload["resilience"]
+    success_rate = report["success_rate"]
+    identical_fraction = report["bit_identical_fraction"]
+    latency = report["latency"]
+    supervisor = report["supervisor"]
+    print(
+        f"perf gate: chaos run {report['successes']}/{report['requests']} "
+        f"ok, {report['bit_identical']} bit-identical, "
+        f"p50 {latency['p50_seconds']*1e3:.1f}ms "
+        f"p99 {latency['p99_seconds']*1e3:.1f}ms "
+        f"({supervisor['retries']} retries, {supervisor['respawns']} "
+        f"respawns, {supervisor['fallbacks']} fallbacks)"
+    )
+
+    failures = 0
+    verdict = "ok" if success_rate >= min_success else "FAIL"
+    if verdict == "FAIL":
+        failures += 1
+    print(
+        f"perf gate: success rate {success_rate:.3f} "
+        f"(floor {min_success:.2f})  {verdict}"
+    )
+    if require_identical:
+        verdict = "ok" if identical_fraction == 1.0 else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(
+            f"perf gate: bit-identical fraction {identical_fraction:.3f} "
+            f"(must be 1.000)  {verdict}"
+        )
+    for failure in report["failures"]:
+        print(f"perf gate:   escaped failure: {failure}")
+    if failures:
+        print(
+            f"perf gate: {failures} resilience threshold(s) missed — "
+            "requests failed or answers drifted under the fault plan"
+        )
+    return 1 if failures else 0
 
 
 def check_fig4(payload: dict, path: Path) -> int:
@@ -317,6 +368,8 @@ def check(path: Path) -> int:
         print(f"perf gate: {path} has no ci_gate section")
         return 1
     print(f"perf gate: {path}")
+    if "resilience" in payload:
+        return check_resilience(payload, path)
     if "routing" in payload:
         return check_routing(payload, path)
     if "incremental" in payload:
