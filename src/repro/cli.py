@@ -121,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the buffer assignment JSON here")
     buf.add_argument("--show-tree", action="store_true",
                      help="print an ASCII sketch with buffer markers")
+    buf.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                     help="write a Chrome trace_event JSON of this solve "
+                          "(route/compile/kernel/worker spans; open it at "
+                          "https://ui.perfetto.dev)")
 
     batch = sub.add_parser(
         "batch", help="buffer many nets in one run (multi-process capable)")
@@ -239,6 +243,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "milliseconds, answered with a 504 when "
                             "exceeded; a request's own deadline_ms "
                             "overrides it (default: no deadline)")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit structured JSON log lines on stderr, "
+                            "each stamped with the request id it "
+                            "belongs to")
 
     replay = sub.add_parser(
         "replay",
@@ -303,13 +311,19 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
             return 2
         options["destructive_pruning"] = True
     from repro.errors import DeadlineExceeded, WorkerCrashError
+    from repro.obs.spans import Tracer, new_request_id, request_scope, trace_scope
     from repro.resilience import Deadline
 
     deadline = (
         Deadline.from_ms(args.deadline_ms)
         if args.deadline_ms is not None else None
     )
-    try:
+    tracer = (
+        Tracer(request_id=new_request_id())
+        if args.trace is not None else None
+    )
+
+    def _solve():
         if args.jobs > 1:
             from repro.parallel import solve_partitioned
 
@@ -340,13 +354,25 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
                 print(f"partitioned solve fell back to serial: "
                       f"{report['reason']}")
             print()
-        else:
-            result = insert_buffers(tree, library, algorithm=args.algorithm,
-                                    backend=args.backend, deadline=deadline,
-                                    **options)
+            return result
+        return insert_buffers(tree, library, algorithm=args.algorithm,
+                              backend=args.backend, deadline=deadline,
+                              **options)
+
+    try:
+        # The ambient scope makes every layer under the solve —
+        # routing, compile, kernel, worker partitions — emit spans
+        # onto the tracer (a no-op when --trace was not given).
+        with request_scope(tracer.request_id if tracer else None), \
+                trace_scope(tracer):
+            result = _solve()
     except DeadlineExceeded as exc:
         print(f"buffer: {exc}", file=sys.stderr)
         return 2
+    if tracer is not None:
+        args.trace.write_text(json.dumps(tracer.to_chrome()))
+        print(f"wrote trace ({len(tracer)} spans, request "
+              f"{tracer.request_id}) -> {args.trace}")
     print(full_report(tree, result))
     if args.show_tree:
         print()
@@ -619,6 +645,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
     from repro.service.server import serve
 
+    if args.log_json:
+        from repro.obs.logging import configure_json_logging
+
+        configure_json_logging()
     session_ttl = args.session_ttl if args.session_ttl > 0 else None
     serve(host=args.host, port=args.port, jobs=args.jobs,
           cache_size=args.cache_size, cache_ttl=args.cache_ttl,

@@ -54,6 +54,7 @@ from repro.core.schedule import CompiledNet, compile_net, group_signature
 from repro.core.solution import BufferingResult
 from repro.errors import AlgorithmError, DeadlineExceeded, WorkerHangError
 from repro.library.library import BufferLibrary
+from repro.obs.spans import active_tracer
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.deadline import Deadline, active_deadline, deadline_scope
 from repro.resilience.faults import inject as _inject_fault
@@ -78,11 +79,13 @@ def _init_worker(
 ) -> None:
     # A fork during a deadline-scoped dispatch (lazy pool creation or a
     # supervised respawn) copies the parent thread's thread-locals into
-    # the child; a request-scoped budget must not outlive its request
-    # inside a pooled worker.
+    # the child; a request-scoped budget — or tracer — must not outlive
+    # its request inside a pooled worker.
+    from repro.obs.spans import reset_active_tracer
     from repro.resilience.deadline import reset_active_deadline
 
     reset_active_deadline()
+    reset_active_tracer()
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = {
         "library": library,
@@ -821,8 +824,8 @@ class SolverPool:
                 (index, solve_subschedule(
                     sub, root_id, self.library, self.algorithm,
                     self.backend, self.options,
-                ), 0.0)
-                for index, root_id, sub in tasks
+                ), 0.0, None)
+                for index, root_id, sub, _ in tasks
             ]
 
         return self._supervised_map(
@@ -881,6 +884,11 @@ class SolverPool:
             used_fallback[0] = True
             return fallback()
 
+        tracer = active_tracer()
+        dispatch_handle = (
+            tracer.begin("dispatch", tasks=len(items), site=site)
+            if tracer is not None else None
+        )
         result = self.supervisor.run(
             attempt,
             respawn=self._respawn_pool,
@@ -891,6 +899,8 @@ class SolverPool:
                 if axis is not None else None
             ),
         )
+        if dispatch_handle is not None:
+            tracer.end(dispatch_handle)
         if axis is not None and not used_fallback[0]:
             self.breakers.record(axis, True)
         return result

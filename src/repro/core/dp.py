@@ -58,6 +58,7 @@ contract: change them in lockstep with that engine.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -82,6 +83,8 @@ from repro.core.schedule import (
 from repro.core.solution import BufferingResult, DPStats
 from repro.errors import AlgorithmError
 from repro.library.library import BufferLibrary
+from repro.obs.profiler import instrument_ops, record_dp_stats
+from repro.obs.spans import active_tracer
 from repro.resilience.deadline import active_deadline
 from repro.tree.node import Driver
 from repro.tree.routing_tree import RoutingTree
@@ -209,6 +212,12 @@ def _execute_schedule(
     peak = 0
     generated = 0
     deadline = active_deadline()
+    # One thread-local read per solve; with no active profiler the ops
+    # come back untouched and end_range is None, so the dispatch loop
+    # below executes the uninstrumented instruction stream.
+    sink_op, wire_op, merge_op, add_buffer, end_range = instrument_ops(
+        sink_op, wire_op, merge_op, add_buffer
+    )
 
     for op, arg in steps:
         code = op & 3
@@ -242,12 +251,14 @@ def _execute_schedule(
                 stack[-1] = current
         if op & OP_FINAL:
             # Instruction-range boundary: one per tree node.  The
-            # deadline poll costs a single is-not-None test when no
-            # deadline is installed.
+            # deadline poll and profiler hook each cost a single
+            # is-not-None test when inactive.
             if len(current) > peak:
                 peak = len(current)
             if deadline is not None:
                 deadline.check("dp.schedule")
+            if end_range is not None:
+                end_range(len(current))
 
     assert len(stack) == 1, "schedule must reduce to the root list"
     return stack[0], peak, generated
@@ -274,6 +285,10 @@ def _finish(
     root_candidates = len(root_list)
     release(root_list)
 
+    tracer = active_tracer()
+    with tracer.span("backtrace") if tracer is not None else nullcontext():
+        assignment = reconstruct_assignment(best.decision)
+
     elapsed = time.perf_counter() - started
     stats = DPStats(
         algorithm=algorithm,
@@ -285,9 +300,10 @@ def _finish(
         runtime_seconds=elapsed,
         backend=backend,
     )
+    record_dp_stats(stats)
     return BufferingResult(
         slack=slack,
-        assignment=reconstruct_assignment(best.decision),
+        assignment=assignment,
         driver_load=best.c,
         stats=stats,
     )
@@ -311,10 +327,19 @@ def _run_compiled(
     )
 
     started = time.perf_counter()
+    tracer = active_tracer()
     try:
-        root_list, peak_length, candidates_generated = _execute_schedule(
-            compiled, plans, sink_op, wire_op, merge_op, add_buffer, release
-        )
+        with (
+            tracer.span(
+                "dp.schedule", backend=backend, algorithm=algorithm,
+                instructions=len(compiled.ops),
+            )
+            if tracer is not None
+            else nullcontext()
+        ):
+            root_list, peak_length, candidates_generated = _execute_schedule(
+                compiled, plans, sink_op, wire_op, merge_op, add_buffer, release
+            )
         result = _finish(
             root_list, best_op, release, driver, algorithm,
             compiled.num_buffer_positions, library, peak_length,
@@ -409,6 +434,15 @@ def run_dynamic_program(
     peak_length = 0
     candidates_generated = 0
     deadline = active_deadline()
+    tracer = active_tracer()
+    sink_op, wire_op, merge_op, add_buffer, end_range = instrument_ops(
+        sink_op, wire_op, merge_op, add_buffer
+    )
+    walk_handle = (
+        tracer.begin("dp.walk", backend=backend, algorithm=algorithm)
+        if tracer is not None
+        else None
+    )
 
     for node_id in tree.postorder():
         if deadline is not None:
@@ -446,7 +480,12 @@ def run_dynamic_program(
 
         if len(current) > peak_length:
             peak_length = len(current)
+        if end_range is not None:
+            end_range(len(current))
         lists[node_id] = current
+
+    if walk_handle is not None:
+        tracer.end(walk_handle)
 
     result = _finish(
         lists[tree.root_id], best_op, release, driver, algorithm,

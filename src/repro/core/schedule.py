@@ -472,6 +472,14 @@ def compile_net(
         AlgorithmError: The tree fails validation.
     """
     from repro.core.dp import build_plans
+    from repro.obs.spans import active_tracer
+
+    tracer = active_tracer()
+    compile_handle = (
+        tracer.begin("compile", nodes=tree.num_nodes)
+        if tracer is not None
+        else None
+    )
 
     if validate:
         try:
@@ -583,6 +591,8 @@ def compile_net(
 
     prime_plan_kernels(plan_table)
     compiled._plans = plan_table
+    if compile_handle is not None:
+        tracer.end(compile_handle, instructions=len(compiled.ops))
     return compiled
 
 

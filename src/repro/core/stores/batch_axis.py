@@ -93,6 +93,8 @@ from repro.core.stores.soa import (
     prime_plan_kernels,
 )
 from repro.errors import AlgorithmError
+from repro.obs.profiler import instrument_ops, record_lane_count
+from repro.obs.spans import active_tracer
 from repro.resilience.deadline import active_deadline
 
 
@@ -824,8 +826,25 @@ def solve_group(
         net.driver if driver is None else driver for net in nets
     ]
 
+    record_lane_count(lanes)
     factory.begin_solve()
     deadline = active_deadline()
+    tracer = active_tracer()
+    # Hoisted unbound ops: a local load per instruction instead of an
+    # attribute lookup, and the uniform shape the kernel profiler wraps.
+    # With no active profiler these come back untouched (one
+    # thread-local read for the whole group).
+    sink_op, wire_op, merge_op, buffer_op, end_range = instrument_ops(
+        factory.sink_group, BatchedSoAStore.add_wire,
+        BatchedSoAStore.merge, add_buffer,
+    )
+    group_handle = (
+        tracer.begin(
+            "batch_axis.group", lanes=lanes, instructions=len(steps)
+        )
+        if tracer is not None
+        else None
+    )
     started = time.perf_counter()
     stack: List[BatchedSoAStore] = []
     peak = np.zeros(lanes, dtype=np.intp)
@@ -838,9 +857,9 @@ def solve_group(
         for op, arg in steps:
             code = op & 3
             if code == 1:  # OP_WIRE
-                current = stack[-1].add_wire(wire_r[:, arg], wire_c[:, arg])
+                current = wire_op(stack[-1], wire_r[:, arg], wire_c[:, arg])
             elif code == 0:  # OP_SINK
-                current = factory.sink_group(
+                current = sink_op(
                     sink_node[arg], sink_q[:, arg], sink_c[:, arg]
                 )
                 generated += 1
@@ -848,7 +867,7 @@ def solve_group(
             elif code == 2:  # OP_MERGE
                 right = stack.pop()
                 left = stack.pop()
-                current = left.merge(right)
+                current = merge_op(left, right)
                 generated += current.n
                 left.release()
                 right.release()
@@ -856,7 +875,7 @@ def solve_group(
             else:  # OP_BUFFER
                 top = stack[-1]
                 scratch_counts[:] = top.n
-                current = add_buffer(top, plans[arg])
+                current = buffer_op(top, plans[arg])
                 if current is not top:  # pragma: no cover - custom algos
                     top.release()
                     stack[-1] = current
@@ -867,6 +886,10 @@ def solve_group(
                 np.maximum(peak, current.n, out=peak)
                 if deadline is not None:
                     deadline.check("batch_axis.group")
+                if end_range is not None:
+                    end_range(int(current.n.max()))
+    if group_handle is not None:
+        tracer.end(group_handle)
     root = stack.pop()
     assert not stack, "schedule left operands on the stack"
     elapsed = time.perf_counter() - started

@@ -1,10 +1,22 @@
-"""Per-operation profiling of the dynamic program.
+"""Per-operation profiling of the dynamic program (compatibility shim).
 
 The paper explains Figure 4 by noting that "the operation of adding a
 buffer becomes more dominant among three major operations when n
 increases".  This module makes that claim measurable: it runs either
-algorithm with the three operations wrapped in timers and reports the
-wall-clock share of each.
+algorithm with the three operations timed and reports the wall-clock
+share of each.
+
+.. deprecated::
+    The hand-built object-backend timing wrappers this module used to
+    construct are gone; :func:`profile_operations` is now a thin shim
+    over the strategy-agnostic sampling profiler in
+    :mod:`repro.obs.profiler`, which instruments the interpreter loop
+    itself (and therefore also covers the soa, batch-axis and
+    partitioned execution paths).  New code should use
+    :class:`repro.obs.profiler.KernelProfiler` under
+    :func:`repro.obs.profiler.profile_scope` directly; this entry point
+    remains only so existing callers (``bench_op_profile.py``) keep
+    working unchanged.
 """
 
 from __future__ import annotations
@@ -13,17 +25,6 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.buffer_ops import (
-    BufferPlan,
-    generate_fast,
-    generate_lillis,
-    insert_candidates,
-)
-from repro.core.candidate import CandidateList
-from repro.core.dp import run_dynamic_program
-from repro.core.merge import merge_branches
-from repro.core.pruning import convex_prune
-from repro.core.wire_ops import add_wire
 from repro.errors import AlgorithmError
 from repro.library.library import BufferLibrary
 from repro.tree.node import Driver
@@ -77,6 +78,11 @@ def profile_operations(
 ) -> OperationProfile:
     """Run one DP with the three major operations individually timed.
 
+    A shim over :class:`repro.obs.profiler.KernelProfiler`: the solve
+    runs under an ambient :func:`~repro.obs.profiler.profile_scope`, and
+    the profiler's per-op totals are repackaged into the historical
+    :class:`OperationProfile` shape.
+
     Args:
         tree: The instance.
         library: Buffer library.
@@ -88,63 +94,32 @@ def profile_operations(
         discarded (per-op timers add overhead, so callers wanting clean
         end-to-end numbers should time the plain entry points).
     """
-    if algorithm == "lillis":
-        generate = generate_lillis
-    elif algorithm == "fast":
-        generate = generate_fast
-    else:
+    if algorithm not in ("lillis", "fast"):
         raise AlgorithmError(
             f"unknown algorithm {algorithm!r}; choose 'fast' or 'lillis'"
         )
+    from repro.core.api import insert_buffers
+    from repro.obs.profiler import KernelProfiler, profile_scope
 
-    timers = {"wire": 0.0, "merge": 0.0, "buffer": 0.0}
-    counts = {"wire": 0, "merge": 0, "buffer": 0}
-
-    def timed_wire(candidates: CandidateList, r: float, c: float):
-        start = time.perf_counter()
-        out = add_wire(candidates, r, c)
-        timers["wire"] += time.perf_counter() - start
-        counts["wire"] += 1
-        return out
-
-    def timed_merge(left: CandidateList, right: CandidateList):
-        start = time.perf_counter()
-        out = merge_branches(left, right)
-        timers["merge"] += time.perf_counter() - start
-        counts["merge"] += 1
-        return out
-
-    def timed_buffer(candidates: CandidateList, plan: BufferPlan):
-        start = time.perf_counter()
-        if algorithm == "fast":
-            hull = convex_prune(candidates)
-            new_candidates = generate(candidates, plan, hull=hull)
-        else:
-            new_candidates = generate(candidates, plan)
-        out = insert_candidates(candidates, new_candidates)
-        timers["buffer"] += time.perf_counter() - start
-        counts["buffer"] += 1
-        return out
-
+    profiler = KernelProfiler()
     started = time.perf_counter()
-    run_dynamic_program(
-        tree,
-        library,
-        timed_buffer,
-        algorithm=f"{algorithm}-profiled",
-        driver=driver,
-        add_wire=timed_wire,
-        merge=timed_merge,
-    )
+    # flush=False: a profiling *experiment* should not fold its timings
+    # into the process-wide metrics registry the way a served solve
+    # under profile_scope does.
+    with profile_scope(profiler, flush=False):
+        insert_buffers(
+            tree, library, algorithm=algorithm, backend="object",
+            driver=driver,
+        )
     total = time.perf_counter() - started
 
     return OperationProfile(
         algorithm=algorithm,
-        wire_seconds=timers["wire"],
-        merge_seconds=timers["merge"],
-        buffer_seconds=timers["buffer"],
+        wire_seconds=profiler.seconds["wire"],
+        merge_seconds=profiler.seconds["merge"],
+        buffer_seconds=profiler.seconds["buffer"],
         total_seconds=total,
-        wire_calls=counts["wire"],
-        merge_calls=counts["merge"],
-        buffer_calls=counts["buffer"],
+        wire_calls=profiler.calls["wire"],
+        merge_calls=profiler.calls["merge"],
+        buffer_calls=profiler.calls["buffer"],
     )

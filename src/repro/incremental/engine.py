@@ -78,6 +78,8 @@ from repro.incremental.edits import (
 )
 from repro.incremental.subtree_cache import FrontierCache, FrontierSnapshot
 from repro.library.library import BufferLibrary
+from repro.obs.profiler import instrument_ops
+from repro.obs.spans import active_tracer
 from repro.resilience.deadline import active_deadline
 from repro.service.canon import (
     digest_body,
@@ -491,6 +493,15 @@ class IncrementalSolver:
         sink_op, wire_op, merge_op, best_op, release = _resolve_ops(
             self.backend, None, None, factory=self.factory
         )
+        sink_op, wire_op, merge_op, add_buffer, end_range = instrument_ops(
+            sink_op, wire_op, merge_op, add_buffer
+        )
+        tracer = active_tracer()
+        resolve_handle = (
+            tracer.begin("incremental.resolve", backend=self.backend)
+            if tracer is not None
+            else None
+        )
         factory = self.factory
         snapshot_values = getattr(factory, "snapshot_values", None)
 
@@ -522,7 +533,14 @@ class IncrementalSolver:
                     if snapshot is not None:
                         break
                 if snapshot is not None:
-                    push(self._splice(snapshot, node, index))
+                    if tracer is not None:
+                        splice_handle = tracer.begin(
+                            "splice", node=node, size=len(snapshot.q)
+                        )
+                        push(self._splice(snapshot, node, index))
+                        tracer.end(splice_handle)
+                    else:
+                        push(self._splice(snapshot, node, index))
                     peaks.append(snapshot.peak)
                     gens.append(snapshot.generated)
                     spliced += 1
@@ -572,6 +590,8 @@ class IncrementalSolver:
                     peaks[-1] = length
                 if deadline is not None:
                     deadline.check("incremental.resolve")
+                if end_range is not None:
+                    end_range(length)
                 if capture:
                     node = final_node[i]
                     key = (digest[node], context)
@@ -598,6 +618,11 @@ class IncrementalSolver:
             i += 1
 
         assert len(stack) == 1, "schedule must reduce to the root list"
+        if resolve_handle is not None:
+            tracer.end(
+                resolve_handle, executed=executed, total=total,
+                spliced=spliced,
+            )
         result = _finish(
             stack[0], best_op, release, driver, self._label,
             compiled.num_buffer_positions, self.library, peaks[0], gens[0],

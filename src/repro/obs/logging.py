@@ -1,0 +1,83 @@
+"""Structured JSON logging stamped with the current request id.
+
+``repro serve --log-json`` swaps the root handler's formatter for
+:class:`JsonLogFormatter`: one JSON object per line, each carrying the
+request id installed by :func:`repro.obs.spans.request_scope` on the
+emitting thread.  A shed, deadline-blown or crashed request is then
+greppable end to end — the same id appears in the error payload, the
+trace export and every log line the request produced, in the server
+process and (via the id shipped in partition task tuples) in pool
+workers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+from repro.obs.spans import current_request_id
+
+__all__ = ["JsonLogFormatter", "configure_json_logging"]
+
+#: LogRecord attributes that are plumbing, not payload; anything else
+#: attached via ``logger.info(..., extra={...})`` is emitted as a field.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message,
+    request id (when one is installed on the emitting thread), any
+    ``extra=`` fields, and the formatted traceback for exceptions."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            ) + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        request_id = current_request_id()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_") or key in payload:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def configure_json_logging(
+    level: int = logging.INFO, stream: Optional[IO[str]] = None
+) -> logging.Handler:
+    """Install a JSON-formatting handler on the root logger.
+
+    Replaces existing root handlers (the server's default plain-text
+    handler included) so every line on ``stream`` — stderr by default —
+    is one JSON object.  Returns the installed handler so callers can
+    detach it (tests do).
+    """
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    root = logging.getLogger()
+    root.handlers[:] = [handler]
+    root.setLevel(level)
+    return handler

@@ -44,6 +44,8 @@ from repro.core.schedule import OP_FINAL, OP_MERGE, OP_SINK, OP_WIRE, CompiledNe
 from repro.core.solution import BufferingResult
 from repro.errors import AlgorithmError, DeadlineExceeded, WorkerCrashError
 from repro.library.library import BufferLibrary
+from repro.obs.profiler import instrument_ops
+from repro.obs.spans import active_tracer, current_request_id
 from repro.resilience.deadline import Deadline, active_deadline, deadline_scope
 from repro.resilience.faults import inject as _inject_fault
 from repro.parallel.partition import PartitionPlan, plan_partitions
@@ -192,13 +194,29 @@ def solve_partitioned(
         key=lambda index: plan.cuts[index].size,
         reverse=True,
     )
+    # The observability context rides in the task tuple exactly as
+    # REPRO_FAULTS ships fault plans: the worker re-installs the
+    # request id (log/span correlation) and, when the parent is
+    # tracing, collects its own spans to be re-parented below.
+    tracer = active_tracer()
+    request_id = current_request_id()
+    obs = (
+        (request_id, tracer is not None)
+        if request_id is not None or tracer is not None
+        else None
+    )
     tasks = [
         (index, plan.cuts[index].node_id,
-         compiled.subschedule(plan.cuts[index].node_id))
+         compiled.subschedule(plan.cuts[index].node_id), obs)
         for index in order
     ]
 
     _inject_fault("parallel.dispatch")
+    dispatch_handle = (
+        tracer.begin("dispatch", partitions=len(tasks), jobs=jobs)
+        if tracer is not None
+        else None
+    )
     dispatch_started = time.perf_counter()
     if pool is not None and jobs > 1:
         raw = pool._map_partition_tasks(tasks)
@@ -211,16 +229,22 @@ def solve_partitioned(
         raw = [
             (index, solve_subschedule(
                 sub, root_id, library, algorithm, backend, options
-            ), 0.0)
-            for index, root_id, sub in tasks
+            ), 0.0, None)
+            for index, root_id, sub, _ in tasks
         ]
     dispatch_seconds = time.perf_counter() - dispatch_started
+    if dispatch_handle is not None:
+        tracer.end(dispatch_handle)
 
     snapshots: List[Optional[object]] = [None] * len(plan.cuts)
     busy = 0.0
-    for index, snapshot, seconds in raw:
+    for index, snapshot, seconds, spans in raw:
         snapshots[index] = snapshot
         busy += seconds
+        if spans and tracer is not None:
+            # Worker clocks are not comparable to ours: re-base the
+            # worker's epoch-relative spans at the dispatch instant.
+            tracer.adopt(spans, at=dispatch_started, tid=f"worker-{index}")
     report["dispatch_seconds"] = dispatch_seconds
     report["worker_busy_seconds"] = busy
     if jobs > 1 and dispatch_seconds > 0:
@@ -256,7 +280,7 @@ def _dispatch_transient(
     from concurrent.futures import TimeoutError as FuturesTimeoutError
     from concurrent.futures.process import BrokenProcessPool
 
-    cut_ids = tuple(root_id for _, root_id, _ in tasks)
+    cut_ids = tuple(task[1] for task in tasks)
     deadline = active_deadline()
     executor = ProcessPoolExecutor(
         max_workers=jobs,
@@ -335,6 +359,9 @@ def _execute_residual(
     sink_op, wire_op, merge_op, best_op, release = _resolve_ops(
         backend, None, None, factory=factory
     )
+    sink_op, wire_op, merge_op, add_buffer, end_range = instrument_ops(
+        sink_op, wire_op, merge_op, add_buffer
+    )
     steps, wire_r, wire_c, sink_node, sink_q, sink_c = compiled.runtime()
     plans = compiled.plans()
     splice_at: Dict[int, Tuple[object, int]] = {
@@ -343,6 +370,12 @@ def _execute_residual(
     }
     resolved_driver = driver if driver is not None else compiled.driver
 
+    tracer = active_tracer()
+    residual_handle = (
+        tracer.begin("parallel.residual", cuts=len(plan.cuts))
+        if tracer is not None
+        else None
+    )
     stack: List[object] = []
     push = stack.append
     pop = stack.pop
@@ -356,7 +389,14 @@ def _execute_residual(
         hit = splice_at.get(i)
         if hit is not None:
             snapshot, final = hit
-            push(splice_snapshot(snapshot, factory))
+            if tracer is not None:
+                splice_handle = tracer.begin(
+                    "splice", size=len(snapshot.q)
+                )
+                push(splice_snapshot(snapshot, factory))
+                tracer.end(splice_handle)
+            else:
+                push(splice_snapshot(snapshot, factory))
             if snapshot.peak > peak:
                 peak = snapshot.peak
             generated += snapshot.generated
@@ -398,9 +438,13 @@ def _execute_residual(
                 peak = length
             if deadline is not None:
                 deadline.check("parallel.residual")
+            if end_range is not None:
+                end_range(length)
         i += 1
 
     assert len(stack) == 1, "residual must reduce to the root list"
+    if residual_handle is not None:
+        tracer.end(residual_handle)
     result = _finish(
         stack[0], best_op, release, resolved_driver, label,
         compiled.num_buffer_positions, library, peak, generated,

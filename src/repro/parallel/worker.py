@@ -104,24 +104,55 @@ def _worker_state():
 
 
 def _solve_partition(
-    task: Tuple[int, int, CompiledNet]
-) -> Tuple[int, FrontierSnapshot, float]:
-    """One pool task: ``(partition index, cut node id, subschedule)``.
+    task: Tuple[int, int, CompiledNet, Optional[tuple]]
+) -> Tuple[int, FrontierSnapshot, float, Optional[list]]:
+    """One pool task: ``(index, cut node id, subschedule, obs context)``.
 
-    Returns ``(partition index, snapshot, busy seconds)`` — the busy
-    time feeds the pool-utilization figure in the solve report.
+    ``obs`` is ``None`` or ``(request_id, collect_spans)`` — the
+    observability context the parent threads through the task tuple,
+    the same channel ``REPRO_FAULTS`` uses for fault plans.  The
+    request id is re-installed here so worker-side spans and JSON log
+    lines correlate with the originating request; when the parent is
+    tracing, the worker collects its own spans and returns them
+    epoch-relative for the parent to re-parent
+    (:meth:`repro.obs.spans.Tracer.adopt`).
+
+    Returns ``(partition index, snapshot, busy seconds, spans)`` — the
+    busy time feeds the pool-utilization figure in the solve report.
     """
-    part_index, root_id, sub = task
+    part_index, root_id, sub, obs = task
+    request_id, collect_spans = obs if obs is not None else (None, False)
     # Forked executor workers can inherit the parent thread's ambient
-    # deadline; the parent bounds its wait instead, so drop it here.
+    # deadline and tracer; the parent bounds its wait and collects its
+    # own spans instead, so drop both here.
+    from repro.obs.spans import Tracer, request_scope, reset_active_tracer, trace_scope
     from repro.resilience.deadline import reset_active_deadline
 
     reset_active_deadline()
+    reset_active_tracer()
     _inject_fault("worker.partition")
     context, factory = _worker_state()
-    started = time.perf_counter()
-    snapshot = solve_subschedule(
-        sub, root_id, context["library"], context["algorithm"],
-        context["backend"], context["options"], factory=factory,
+    tracer = (
+        Tracer(request_id=request_id or "untraced")
+        if collect_spans
+        else None
     )
-    return part_index, snapshot, time.perf_counter() - started
+    started = time.perf_counter()
+    with request_scope(request_id), trace_scope(tracer):
+        if tracer is not None:
+            with tracer.span(
+                "worker.partition", root=root_id,
+                instructions=len(sub.ops),
+            ):
+                snapshot = solve_subschedule(
+                    sub, root_id, context["library"], context["algorithm"],
+                    context["backend"], context["options"], factory=factory,
+                )
+        else:
+            snapshot = solve_subschedule(
+                sub, root_id, context["library"], context["algorithm"],
+                context["backend"], context["options"], factory=factory,
+            )
+    elapsed = time.perf_counter() - started
+    spans = tracer.export_relative() if tracer is not None else None
+    return part_index, snapshot, elapsed, spans

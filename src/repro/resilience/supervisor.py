@@ -31,6 +31,8 @@ from repro.errors import (
     WorkerCrashError,
     WorkerHangError,
 )
+from repro.obs.metrics import default_registry
+from repro.obs.spans import active_tracer
 from repro.resilience.deadline import Deadline
 
 __all__ = [
@@ -133,6 +135,10 @@ class Supervisor:
     def _count(self, field: str) -> None:
         with self._lock:
             setattr(self, field, getattr(self, field) + 1)
+        default_registry().counter(
+            "repro_supervisor_events_total",
+            "Supervisor events across all supervised resources.",
+        ).inc(event=field)
 
     def run(
         self,
@@ -166,6 +172,15 @@ class Supervisor:
                     on_failure(exc)
             if attempt_index >= self.max_retries:
                 break
+            tracer = active_tracer()
+            retry_handle = (
+                tracer.begin(
+                    "supervisor.retry", attempt=attempt_index,
+                    error=type(last).__name__,
+                )
+                if tracer is not None
+                else None
+            )
             if respawn is not None:
                 respawn()
                 self._count("respawns")
@@ -177,6 +192,8 @@ class Supervisor:
                 pause = min(pause, remaining)
             if pause > 0:
                 self._sleep(pause)
+            if retry_handle is not None:
+                tracer.end(retry_handle)
             self._count("retries")
         if fallback is not None:
             self._count("fallbacks")

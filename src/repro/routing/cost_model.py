@@ -244,6 +244,16 @@ class CostModel:
             low, high = _RATIO_CLAMP
             ratio = min(max(ratio, low), high)
             self._scales[key] = (1.0 - EMA_ALPHA) * scale + EMA_ALPHA * ratio
+        # Outside the lock: the registry has its own.  A scrape of this
+        # histogram reads calibration drift without a live /stats —
+        # what `repro replay` and offline refits consume.
+        from repro.obs.metrics import ROUTING_ERROR_BUCKETS, default_registry
+
+        default_registry().histogram(
+            "repro_routing_abs_error_seconds",
+            "Absolute predicted-vs-actual error per routed execution.",
+            ROUTING_ERROR_BUCKETS,
+        ).observe(abs(predicted - seconds), strategy=key)
 
     def stats(self) -> dict:
         """Observability snapshot (the ``/stats`` ``routing.model`` block)."""

@@ -31,6 +31,8 @@ import threading
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import default_registry
+from repro.obs.spans import active_tracer
 from repro.routing.cost_model import CostModel, default_model
 from repro.routing.features import RequestFeatures
 
@@ -339,6 +341,12 @@ class Router:
         supports_walk: bool = False,
     ) -> ExecutionPlan:
         """Pick the execution plan for one request under this policy."""
+        tracer = active_tracer()
+        route_handle = (
+            tracer.begin("route", policy=self.policy)
+            if tracer is not None
+            else None
+        )
         constraints = self._constraints
         plan = self._static_plan(
             features, backend, supports_batch, supports_parallel
@@ -395,6 +403,12 @@ class Router:
             self._routed += 1
             key = plan.strategy
             self._decisions[key] = self._decisions.get(key, 0) + 1
+        default_registry().counter(
+            "repro_routing_decisions_total",
+            "Execution plans chosen, by strategy label.",
+        ).inc(strategy=key)
+        if route_handle is not None:
+            tracer.end(route_handle, strategy=key)
         return plan
 
     # -- feedback and observability -------------------------------------

@@ -56,9 +56,10 @@ class ServiceClient:
         self.port = port
         self.timeout = timeout
 
-    def _request(
+    def _request_text(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
+    ) -> tuple:
+        """One request; returns ``(status, raw response text)``."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -77,17 +78,23 @@ class ServiceClient:
             ) from exc
         finally:
             connection.close()
+        return response.status, text
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, text = self._request_text(method, path, body)
         try:
             answer = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ServiceError(
                 f"{method} {path}: server returned non-JSON "
-                f"({response.status}): {text[:200]!r}"
+                f"({status}): {text[:200]!r}"
             ) from exc
-        if response.status != 200:
+        if status != 200:
             detail = answer.get("error", text) if isinstance(answer, dict) else text
             raise ServiceError(
-                f"{method} {path} failed ({response.status}): {detail}"
+                f"{method} {path} failed ({status}): {detail}"
             )
         return answer
 
@@ -99,6 +106,7 @@ class ServiceClient:
         backend: str = "auto",
         options: Optional[Dict[str, Any]] = None,
         deadline_ms: Optional[float] = None,
+        trace: bool = False,
     ) -> Dict[str, Any]:
         """``POST /solve`` one net; returns the answer object.
 
@@ -106,6 +114,9 @@ class ServiceClient:
         buffer name, in *this* tree's ids), ``cached``, ``key`` and the
         original solve's ``stats``.  ``deadline_ms`` bounds the
         server-side solve; exceeding it fails with a 504.
+        ``trace=True`` asks the server for a structured trace of this
+        request: the answer gains a ``"trace"`` key holding a Chrome
+        ``trace_event`` document (open it at https://ui.perfetto.dev).
 
         Raises:
             ServiceError: Transport failure or any non-200 response
@@ -120,7 +131,8 @@ class ServiceClient:
         }
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
-        return self._request("POST", "/solve", body)
+        path = "/solve?trace=1" if trace else "/solve"
+        return self._request("POST", path, body)
 
     def solve_batch(
         self,
@@ -158,6 +170,17 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         """``GET /stats``: request/cache counters and pool inventory."""
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """``GET /metrics``: Prometheus text exposition, verbatim.
+
+        The one endpoint that answers ``text/plain`` instead of JSON —
+        the raw scrape body is returned as a string.
+        """
+        status, text = self._request_text("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"GET /metrics failed ({status}): {text[:200]}")
+        return text
 
     def create_session(
         self,

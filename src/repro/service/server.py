@@ -26,7 +26,19 @@ path                      method  purpose
                                   routing decisions and the resilience
                                   block (retries, trips, sheds, drains,
                                   deadline hits)
+``/metrics``              GET     the same counters (plus latency, list-
+                                  length and lane histograms and kernel
+                                  profiler totals) as Prometheus text
+                                  exposition format
 ========================  ======  ==========================================
+
+**Observability.**  Every request is minted a correlation id at entry
+(``request_id``, echoed in error payloads and stamped on spans and JSON
+log lines); ``/solve?trace=1`` additionally collects a structured trace
+of the request — route, compile, cache lookup, dispatch, sampled kernel
+ranges, worker partitions re-parented across the process-pool boundary
+— and returns it as a Chrome ``trace_event`` document under ``"trace"``
+(open it at https://ui.perfetto.dev).  See ``docs/observability.md``.
 
 **Resilience.**  The server is hardened along five axes (see
 ``docs/resilience.md``):
@@ -103,6 +115,7 @@ import asyncio
 import contextlib
 import dataclasses
 import json
+import logging
 import signal
 import threading
 import time
@@ -116,6 +129,19 @@ from repro.core.schedule import CompiledNet, compile_net
 from repro.core.stores import resolve_backend
 from repro.errors import DeadlineExceeded, EditError, ReproError, WorkerCrashError
 from repro.library.library import BufferLibrary
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    CounterGroup,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.spans import (
+    Tracer,
+    active_tracer,
+    new_request_id,
+    request_scope,
+    trace_scope,
+)
 from repro.resilience import Deadline, should_corrupt
 from repro.routing.router import default_policy, validate_policy
 from repro.routing.workload import WorkloadLog, compiled_digest
@@ -131,7 +157,19 @@ from repro.service.canon import (
 from repro.tree.io import library_from_dict, tree_from_dict
 
 _JSON_HEADERS = "Content-Type: application/json\r\nConnection: close\r\n"
+_TEXT_HEADERS = (
+    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+    "Connection: close\r\n"
+)
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: One record per request (INFO for 2xx, WARNING for 4xx/5xx), always
+#: carrying the correlation id as an ``extra`` field — the event-loop
+#: thread deliberately installs no ambient request scope, so the id
+#: cannot come from :func:`repro.obs.spans.current_request_id` here.
+#: Silent by default (no root handler is installed at INFO); ``repro
+#: serve --log-json`` turns these into one JSON object per line.
+_ACCESS_LOG = logging.getLogger("repro.service.access")
 
 _REASONS = {
     200: "OK",
@@ -160,6 +198,39 @@ class _BadRequest(_HttpError):
     """Client-side error; rendered as a 400 with an ``error`` field."""
 
     status = 400
+
+
+class _TextPayload(str):
+    """A pre-rendered ``text/plain`` response body (``GET /metrics``).
+
+    The response writer JSON-encodes every payload by default; this
+    marker subclass routes the body out verbatim under the Prometheus
+    text-exposition content type instead.
+    """
+
+
+def _scoped_call(request_id, fn, tracer=None):
+    """Run ``fn`` under the request's ambient observability scope.
+
+    Executor threads do not inherit the event loop's thread-locals (and
+    the loop thread deliberately installs none — it interleaves every
+    request), so the correlation id and tracer are re-established here,
+    on the thread that actually runs the solve.
+    """
+    with request_scope(request_id), trace_scope(tracer):
+        return fn()
+
+
+def _endpoint_label(path: str) -> str:
+    """The latency-histogram label for a request path.
+
+    Session paths fold their embedded id (``/session/{id}/edit`` →
+    ``/session/edit``) so the label set stays small and fixed.
+    """
+    parts = path.partition("?")[0].strip("/").split("/")
+    if parts and parts[0] == "session":
+        return "/session/" + parts[2] if len(parts) == 3 else "/session"
+    return "/" + parts[0] if parts and parts[0] else "/"
 
 
 class BufferServer:
@@ -298,24 +369,40 @@ class BufferServer:
         self._waiting = 0
         self._active_requests = 0
         self._draining = False
-        self._started = time.monotonic()
-        self.counters: Dict[str, int] = {
-            "requests_total": 0,
-            "solve_requests": 0,
-            "batch_requests": 0,
-            "nets_requested": 0,
-            "nets_solved": 0,
-            "worker_dispatches": 0,
-            "session_creates": 0,
-            "session_edits": 0,
-            "session_resolves": 0,
-            "errors": 0,
-            "sheds": 0,
-            "deadline_hits": 0,
-            "rejected_payloads": 0,
-            "integrity_failures": 0,
-            "drains": 0,
-        }
+        # Per-server registry: request counters, the uptime clock and
+        # request-latency buckets live here (not in default_registry),
+        # so two servers in one test process never bleed counts.
+        # GET /metrics renders this registry plus the process-wide one.
+        self.registry = MetricsRegistry()
+        self._uptime = self.registry.uptime_clock(
+            "repro_uptime_seconds",
+            "Seconds since the serving socket was bound.",
+        )
+        self.counters = CounterGroup(self.registry, "repro_", {
+            "requests_total":
+                "HTTP requests received, any endpoint or outcome.",
+            "solve_requests": "POST /solve requests admitted.",
+            "batch_requests": "POST /batch requests admitted.",
+            "nets_requested": "Nets received across /solve and /batch.",
+            "nets_solved": "Nets actually solved (result-cache misses).",
+            "worker_dispatches": "Solve dispatches onto a worker pool.",
+            "session_creates": "Incremental sessions opened.",
+            "session_edits": "Edits applied across all sessions.",
+            "session_resolves": "Incremental re-solves across all sessions.",
+            "errors": "Requests answered with an error status.",
+            "sheds": "Requests shed by admission control (503).",
+            "deadline_hits": "Requests that exceeded their deadline (504).",
+            "rejected_payloads":
+                "Requests rejected for size or position limits (413/422).",
+            "integrity_failures":
+                "Result-cache entries dropped by digest verification.",
+            "drains": "Graceful-drain sequences started.",
+        })
+        self._request_seconds = self.registry.histogram(
+            "repro_request_seconds",
+            "Wall seconds per HTTP request, by endpoint.",
+            LATENCY_BUCKETS,
+        )
         # Aggregated dirty-instruction fractions over session re-solves
         # (the /stats "incremental" block's mean).
         self._session_fraction_sum = 0.0
@@ -323,7 +410,18 @@ class BufferServer:
         # Nets actually solved (cache misses), per resolved candidate-
         # store backend — with the kernel/arena health in /stats this is
         # what makes production pool sizing debuggable.
-        self.solves_by_backend: Dict[str, int] = {}
+        self._solve_counter = self.registry.counter(
+            "repro_solves_total",
+            "Nets solved (cache misses), by resolved store backend.",
+        )
+
+    @property
+    def solves_by_backend(self) -> Dict[str, int]:
+        """Per-backend solve counts, read from the labeled counter."""
+        return {
+            dict(key).get("backend", ""): int(value)
+            for key, value in self._solve_counter.series().items()
+        }
 
     # -- lifecycle -----------------------------------------------------
 
@@ -335,7 +433,7 @@ class BufferServer:
             self._handle, self.host, self.port
         )
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
-        self._started = time.monotonic()
+        self._uptime.restart()
         return self.host, self.port
 
     async def serve_forever(self) -> None:
@@ -427,6 +525,16 @@ class BufferServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         status, payload = 500, {"error": "internal error"}
+        # One correlation id per request, minted before any parsing so
+        # even a malformed request line gets a correlated error answer.
+        # It rides as an explicit argument (not an ambient scope: the
+        # event loop thread interleaves every request, so a thread-local
+        # here would leak between them) and is re-installed as the
+        # ambient scope inside executor threads and worker processes.
+        request_id = new_request_id()
+        endpoint: Optional[str] = None
+        method, path = "-", "-"
+        started = time.perf_counter()
         # The in-flight count covers the response write too: drain()
         # waits for it to reach zero before closing up, so a completed
         # solve is never cut off mid-answer.
@@ -434,8 +542,11 @@ class BufferServer:
         try:
             try:
                 method, path, body = await self._read_request(reader)
+                endpoint = _endpoint_label(path)
                 self.counters["requests_total"] += 1
-                status, payload = await self._dispatch(method, path, body)
+                status, payload = await self._dispatch(
+                    method, path, body, request_id
+                )
             except _HttpError as exc:
                 self.counters["errors"] += 1
                 status, payload = exc.status, {"error": str(exc)}
@@ -445,13 +556,34 @@ class BufferServer:
             except Exception as exc:  # never leak a traceback to the socket
                 self.counters["errors"] += 1
                 status, payload = 500, {"error": f"internal error: {exc}"}
-            body_bytes = json.dumps(payload).encode("utf-8")
+            if status >= 400 and isinstance(payload, dict):
+                payload.setdefault("request_id", request_id)
+            extra = {
+                "request_id": request_id,
+                "status": status,
+                "duration_ms": round(
+                    (time.perf_counter() - started) * 1e3, 3
+                ),
+            }
+            if status >= 400 and isinstance(payload, dict):
+                extra["error"] = payload.get("error")
+            _ACCESS_LOG.log(
+                logging.WARNING if status >= 400 else logging.INFO,
+                "%s %s -> %d", method, path, status, extra=extra,
+            )
+            if isinstance(payload, _TextPayload):
+                body_bytes = str(payload).encode("utf-8")
+                content_headers = _TEXT_HEADERS
+            else:
+                body_bytes = json.dumps(payload).encode("utf-8")
+                content_headers = _JSON_HEADERS
             reason = _REASONS.get(status, "Error")
             # Shed/draining answers tell well-behaved clients when to
             # come back instead of leaving them to guess a backoff.
             retry_after = "Retry-After: 1\r\n" if status == 503 else ""
             head = (
-                f"HTTP/1.1 {status} {reason}\r\n{_JSON_HEADERS}{retry_after}"
+                f"HTTP/1.1 {status} {reason}\r\n{content_headers}"
+                f"{retry_after}"
                 f"Content-Length: {len(body_bytes)}\r\n\r\n"
             )
             try:
@@ -463,6 +595,10 @@ class BufferServer:
                 writer.close()
         finally:
             self._active_requests -= 1
+            if endpoint is not None:
+                self._request_seconds.observe(
+                    time.perf_counter() - started, endpoint=endpoint
+                )
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -496,7 +632,11 @@ class BufferServer:
         return method, path, body
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         path, _, query = path.partition("?")
         routes = {
@@ -505,22 +645,25 @@ class BufferServer:
             "/session": ("POST", self._handle_session_create),
             "/healthz": ("GET", self._handle_healthz),
             "/stats": ("GET", self._handle_stats),
+            "/metrics": ("GET", self._handle_metrics),
         }
         route = routes.get(path)
         if route is not None:
             expected_method, handler = route
             if method != expected_method:
                 return 405, {"error": f"{path} requires {expected_method}"}
-            if path == "/healthz":
-                return await handler(body, query)
-            return await handler(body)
+            return await handler(body, query, request_id)
         if path.startswith("/session/"):
-            return await self._dispatch_session(method, path, body)
+            return await self._dispatch_session(method, path, body, request_id)
         return 404, {"error": f"unknown path {path!r}",
                      "paths": sorted(routes) + ["/session/{id}"]}
 
     async def _dispatch_session(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         parts = path.strip("/").split("/")
         # parts[0] == "session"; parts[1] = id; optional parts[2] = verb.
@@ -533,8 +676,10 @@ class BufferServer:
                 return 405, {"error": f"/session/{{id}}/{parts[2]} requires POST"}
             session = self._session(parts[1])
             if parts[2] == "edit":
-                return await self._handle_session_edit(session, body)
-            return await self._handle_session_resolve(session)
+                return await self._handle_session_edit(
+                    session, body, request_id
+                )
+            return await self._handle_session_resolve(session, request_id)
         return 404, {
             "error": f"unknown session path {path!r}",
             "paths": ["/session/{id}", "/session/{id}/edit",
@@ -544,7 +689,10 @@ class BufferServer:
     # -- endpoints -----------------------------------------------------
 
     async def _handle_healthz(
-        self, body: bytes, query: str = ""
+        self,
+        body: bytes,
+        query: str = "",
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Dict]:
         import repro
 
@@ -552,7 +700,7 @@ class BufferServer:
         answer: Dict[str, Any] = {
             "status": "draining" if draining else "ok",
             "version": repro.__version__,
-            "uptime_seconds": time.monotonic() - self._started,
+            "uptime_seconds": self._uptime.seconds(),
             "jobs": self.jobs,
         }
         params = dict(
@@ -589,7 +737,28 @@ class BufferServer:
             }
         return (503 if draining else 200), answer
 
-    async def _handle_stats(self, body: bytes) -> Tuple[int, Dict]:
+    async def _handle_metrics(
+        self,
+        body: bytes,
+        query: str = "",
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, "_TextPayload"]:
+        """Prometheus text exposition: server + process-wide registries.
+
+        The server registry carries the request counters, latency
+        buckets and the uptime gauge; the process default registry
+        carries kernel, supervisor and routing instruments (fed without
+        plumbing by the subsystems themselves).
+        """
+        text = self.registry.render() + default_registry().render()
+        return 200, _TextPayload(text)
+
+    async def _handle_stats(
+        self,
+        body: bytes,
+        query: str = "",
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, Dict]:
         compiled_bytes = sum(
             net.payload_nbytes() for net, _ in self.compiled.values()
         )
@@ -766,7 +935,7 @@ class BufferServer:
         live_sessions = tuple(self.sessions.values())
         resolves = self.counters["session_resolves"]
         return 200, {
-            "uptime_seconds": time.monotonic() - self._started,
+            "uptime_seconds": self._uptime.seconds(),
             "counters": dict(self.counters),
             "solves_by_backend": dict(self.solves_by_backend),
             "kernels": kernels,
@@ -812,19 +981,42 @@ class BufferServer:
             ],
         }
 
-    async def _handle_solve(self, body: bytes) -> Tuple[int, Dict]:
+    async def _handle_solve(
+        self,
+        body: bytes,
+        query: str = "",
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, Dict]:
         async with self._admit():
             spec = _parse_body(body)
             net_spec = _require(spec, "net", dict)
             request = _SolveContext.from_spec(
                 spec, self.policy, self.deadline_ms
             )
+            params = dict(
+                part.partition("=")[::2] for part in query.split("&") if part
+            )
+            tracer = (
+                Tracer(request_id=request_id or new_request_id())
+                if params.get("trace") in ("1", "true", "yes")
+                else None
+            )
             self.counters["solve_requests"] += 1
             self.counters["nets_requested"] += 1
-            answers = await self._answer(request, [net_spec])
-            return 200, answers[0]
+            answers = await self._answer(
+                request, [net_spec], request_id=request_id, tracer=tracer
+            )
+            answer = answers[0]
+            if tracer is not None:
+                answer["trace"] = tracer.to_chrome()
+            return 200, answer
 
-    async def _handle_batch(self, body: bytes) -> Tuple[int, Dict]:
+    async def _handle_batch(
+        self,
+        body: bytes,
+        query: str = "",
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, Dict]:
         async with self._admit():
             spec = _parse_body(body)
             net_specs = _require(spec, "nets", list)
@@ -835,7 +1027,9 @@ class BufferServer:
             )
             self.counters["batch_requests"] += 1
             self.counters["nets_requested"] += len(net_specs)
-            answers = await self._answer(request, net_specs)
+            answers = await self._answer(
+                request, net_specs, request_id=request_id
+            )
             return 200, {"results": answers}
 
     # -- stateful sessions (incremental ECO re-solve) ------------------
@@ -854,7 +1048,12 @@ class BufferServer:
         self.sessions.put(sid, session)
         return session
 
-    async def _handle_session_create(self, body: bytes) -> Tuple[int, Dict]:
+    async def _handle_session_create(
+        self,
+        body: bytes,
+        query: str = "",
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, Dict]:
         spec = _parse_body(body)
         net_spec = _require(spec, "net", dict)
         context = _SolveContext.from_spec(spec, self.policy)
@@ -868,11 +1067,14 @@ class BufferServer:
         try:
             # Construction validates, compiles and digests the net —
             # O(n) work that belongs off the event loop.
-            solver = await loop.run_in_executor(None, lambda: IncrementalSolver(
-                tree, context.library, algorithm=context.algorithm,
-                backend=context.backend, cache=self.frontiers,
-                **context.options,
-            ))
+            solver = await loop.run_in_executor(
+                None,
+                lambda: _scoped_call(request_id, lambda: IncrementalSolver(
+                    tree, context.library, algorithm=context.algorithm,
+                    backend=context.backend, cache=self.frontiers,
+                    **context.options,
+                )),
+            )
         except ReproError as exc:
             raise _BadRequest(str(exc)) from exc
         session = _Session(uuid.uuid4().hex[:16], solver, id_map)
@@ -887,7 +1089,10 @@ class BufferServer:
         }
 
     async def _handle_session_edit(
-        self, session: "_Session", body: bytes
+        self,
+        session: "_Session",
+        body: bytes,
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Dict]:
         spec = _parse_body(body)
         edit_specs = _require(spec, "edits", list)
@@ -896,7 +1101,10 @@ class BufferServer:
         loop = asyncio.get_running_loop()
         try:
             answer = await loop.run_in_executor(
-                None, lambda: session.apply_edits(edit_specs)
+                None,
+                lambda: _scoped_call(
+                    request_id, lambda: session.apply_edits(edit_specs)
+                ),
             )
         except (EditError, ReproError) as exc:
             raise _BadRequest(str(exc)) from exc
@@ -904,11 +1112,15 @@ class BufferServer:
         return 200, answer
 
     async def _handle_session_resolve(
-        self, session: "_Session"
+        self,
+        session: "_Session",
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Dict]:
         loop = asyncio.get_running_loop()
         try:
-            answer = await loop.run_in_executor(None, session.resolve)
+            answer = await loop.run_in_executor(
+                None, lambda: _scoped_call(request_id, session.resolve)
+            )
         except ReproError as exc:
             raise _BadRequest(str(exc)) from exc
         self.counters["session_resolves"] += 1
@@ -960,7 +1172,11 @@ class BufferServer:
     # -- the serving core ----------------------------------------------
 
     async def _answer(
-        self, request: "_SolveContext", net_specs: List[Any]
+        self,
+        request: "_SolveContext",
+        net_specs: List[Any],
+        request_id: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[Dict[str, Any]]:
         """Answer every net of one request: cache hits + sharded misses."""
         # The deadline clock starts here: parse, canonicalize, cache
@@ -975,6 +1191,30 @@ class BufferServer:
         # within one net or across a batch's nets — hash once instead
         # of once per occurrence (see canonicalize's ``memo``).
         digest_memo: Dict[str, str] = {}
+        # The parse/canonicalize/compile loop below is synchronous — no
+        # awaits — so installing the ambient scope on the loop thread
+        # for its duration is safe (no other request can interleave),
+        # and compile + cache.lookup spans land on the tracer.
+        with request_scope(request_id), trace_scope(tracer):
+            self._prepare_records(
+                request, net_specs, records, misses, digest_memo
+            )
+
+        if misses:
+            await self._solve_misses(request, misses, deadline,
+                                     request_id, tracer)
+
+        return [record.render(request.library) for record in records]
+
+    def _prepare_records(
+        self,
+        request: "_SolveContext",
+        net_specs: List[Any],
+        records: "List[_NetRecord]",
+        misses: "List[_NetRecord]",
+        digest_memo: Dict[str, str],
+    ) -> None:
+        """Parse, canonicalize, cache-probe and compile every net."""
         for index, net_spec in enumerate(net_specs):
             if not isinstance(net_spec, dict):
                 raise _BadRequest(
@@ -1040,59 +1280,70 @@ class BufferServer:
                     self.compiled.put(compiled_key, entry)
                 record.compiled, record.base_canon = entry
 
-        if misses:
-            entry = self._pool_for(request)
-            # Within one batch, identical nets are solved once: dedupe
-            # by request key, keeping the (compiled, canon) pair of the
-            # first occurrence so result node ids and canon agree.
-            unique: "OrderedDict[str, Tuple[CompiledNet, CanonicalNet]]" = (
-                OrderedDict()
+    async def _solve_misses(
+        self,
+        request: "_SolveContext",
+        misses: "List[_NetRecord]",
+        deadline: Optional[Deadline],
+        request_id: Optional[str],
+        tracer: Optional[Tracer],
+    ) -> None:
+        """Solve the cache misses on the warm pool and fill payloads."""
+        entry = self._pool_for(request)
+        # Within one batch, identical nets are solved once: dedupe
+        # by request key, keeping the (compiled, canon) pair of the
+        # first occurrence so result node ids and canon agree.
+        unique: "OrderedDict[str, Tuple[CompiledNet, CanonicalNet]]" = (
+            OrderedDict()
+        )
+        for record in misses:
+            unique.setdefault(
+                record.key, (record.compiled, record.base_canon)
             )
-            for record in misses:
-                unique.setdefault(
-                    record.key, (record.compiled, record.base_canon)
-                )
-            to_solve = [net for net, _ in unique.values()]
-            self.counters["worker_dispatches"] += 1
-            self.counters["nets_solved"] += len(to_solve)
-            backend = entry.pool.backend
-            self.solves_by_backend[backend] = (
-                self.solves_by_backend.get(backend, 0) + len(to_solve)
+        to_solve = [net for net, _ in unique.values()]
+        self.counters["worker_dispatches"] += 1
+        self.counters["nets_solved"] += len(to_solve)
+        backend = entry.pool.backend
+        self._solve_counter.inc(len(to_solve), backend=backend)
+        loop = asyncio.get_running_loop()
+        # in_flight bookkeeping happens on the event loop thread
+        # (before and after the await), so LRU eviction never
+        # terminates a pool another request is still solving on.
+        entry.in_flight += 1
+        try:
+            # The deadline rides the call, not the ambient thread-
+            # local: run_in_executor hops threads, so the scope is
+            # re-established pool-side from the explicit argument.
+            # The correlation id and tracer hop the same way, via
+            # _scoped_call on the executor thread.
+            results = await loop.run_in_executor(
+                None,
+                lambda: _scoped_call(
+                    request_id,
+                    lambda: entry.pool.solve(to_solve, deadline=deadline),
+                    tracer=tracer,
+                ),
             )
-            loop = asyncio.get_running_loop()
-            # in_flight bookkeeping happens on the event loop thread
-            # (before and after the await), so LRU eviction never
-            # terminates a pool another request is still solving on.
-            entry.in_flight += 1
-            try:
-                # The deadline rides the call, not the ambient thread-
-                # local: run_in_executor hops threads, so the scope is
-                # re-established pool-side from the explicit argument.
-                results = await loop.run_in_executor(
-                    None, lambda: entry.pool.solve(to_solve, deadline=deadline)
-                )
-            except DeadlineExceeded as exc:
-                self.counters["deadline_hits"] += 1
-                raise _HttpError(str(exc), status=504) from exc
-            except WorkerCrashError as exc:
-                # Escapes only when supervised recovery itself failed;
-                # a server fault, not a client one.
-                raise _HttpError(f"worker pool failure: {exc}") from exc
-            except ReproError as exc:
-                raise _BadRequest(str(exc)) from exc
-            finally:
-                entry.in_flight -= 1
-                if entry.evicted and entry.in_flight == 0:
-                    entry.pool.close()
-            payload_by_key: Dict[str, SolutionPayload] = {}
-            for (key, (_, base_canon)), result in zip(unique.items(), results):
-                payload = SolutionPayload.encode(result, base_canon)
-                payload_by_key[key] = payload
-                self._cache_put(key, payload)
-            for record in misses:
-                record.payload = payload_by_key[record.key]
-
-        return [record.render(request.library) for record in records]
+        except DeadlineExceeded as exc:
+            self.counters["deadline_hits"] += 1
+            raise _HttpError(str(exc), status=504) from exc
+        except WorkerCrashError as exc:
+            # Escapes only when supervised recovery itself failed;
+            # a server fault, not a client one.
+            raise _HttpError(f"worker pool failure: {exc}") from exc
+        except ReproError as exc:
+            raise _BadRequest(str(exc)) from exc
+        finally:
+            entry.in_flight -= 1
+            if entry.evicted and entry.in_flight == 0:
+                entry.pool.close()
+        payload_by_key: Dict[str, SolutionPayload] = {}
+        for (key, (_, base_canon)), result in zip(unique.items(), results):
+            payload = SolutionPayload.encode(result, base_canon)
+            payload_by_key[key] = payload
+            self._cache_put(key, payload)
+        for record in misses:
+            record.payload = payload_by_key[record.key]
 
     def _cache_put(self, key: str, payload: SolutionPayload) -> None:
         """Store ``(payload, digest)`` so reads can verify integrity.
@@ -1114,6 +1365,15 @@ class BufferServer:
         identical contract every other fallback path honors; instead
         the entry is dropped, counted, and the net re-solved.
         """
+        tracer = active_tracer()
+        if tracer is None:
+            return self._cache_read(key)
+        handle = tracer.begin("cache.lookup")
+        payload = self._cache_read(key)
+        tracer.end(handle, hit=payload is not None)
+        return payload
+
+    def _cache_read(self, key: str) -> Optional[SolutionPayload]:
         entry = self.results.get(key)
         if entry is None:
             return None

@@ -34,6 +34,12 @@ regresses.  Thresholds always come from the benchmark file itself
   ``ci_gate.min_success_rate`` of requests must return an answer, and
   with ``ci_gate.require_bit_identical`` every answer must match the
   healthy in-process solve bit-for-bit.
+* ``BENCH_PR10.json`` (has ``obs``) — the observability-overhead gate:
+  on the Figure-4 trunk compiled solve, the disabled observability
+  path (thread-local polls, nothing installed) must stay within
+  ``ci_gate.max_disabled_over_bypass`` of the hard-bypassed baseline
+  (see ``benchmarks/bench_obs.py``).  The fully enabled
+  profiling+tracing cost is printed as ungated context.
 * ``BENCH_PR7.json`` (has ``fig4_trunk``) — the partitioned-solve gate:
   at every random-topology position level with at least
   ``ci_gate.min_positions`` actual positions, the best
@@ -54,6 +60,33 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
+
+
+def check_obs_overhead(payload: dict, path: Path) -> int:
+    gate = payload["ci_gate"]
+    max_ratio = gate["max_disabled_over_bypass"]
+
+    report = payload["obs"]
+    ratio = report["disabled_over_bypass"]
+    print(
+        f"perf gate: n={report['positions']} backend={report['backend']}  "
+        f"bypass {report['bypass_seconds']*1e3:9.2f}ms  "
+        f"disabled {report['disabled_seconds']*1e3:9.2f}ms  "
+        f"enabled {report['enabled_seconds']*1e3:9.2f}ms "
+        f"({report['enabled_over_bypass']:.2f}x, info)"
+    )
+    verdict = "ok" if ratio <= max_ratio else "FAIL"
+    print(
+        f"perf gate: disabled/bypass {ratio:.4f} "
+        f"(limit {max_ratio:.2f})  {verdict}"
+    )
+    if verdict == "FAIL":
+        print(
+            "perf gate: the disabled observability path is no longer "
+            "near-free — an instrumentation check leaked into a hot loop"
+        )
+        return 1
+    return 0
 
 
 def check_resilience(payload: dict, path: Path) -> int:
@@ -368,6 +401,8 @@ def check(path: Path) -> int:
         print(f"perf gate: {path} has no ci_gate section")
         return 1
     print(f"perf gate: {path}")
+    if "obs" in payload:
+        return check_obs_overhead(payload, path)
     if "resilience" in payload:
         return check_resilience(payload, path)
     if "routing" in payload:
